@@ -1,0 +1,15 @@
+"""Appendix C — the attribute combination that evades DataDome."""
+
+from repro.analysis.attributes import appendix_c_combination
+from repro.reporting.tables import format_percent
+
+
+def bench_appendix_c(benchmark, bot_store):
+    result = benchmark(appendix_c_combination, bot_store)
+    print()
+    print(
+        f"Requests matching the Appendix C combination: {result.matching_requests} "
+        f"with DataDome evasion {format_percent(result.matching_datadome_evasion)} "
+        f"(corpus-wide evasion {format_percent(result.overall_datadome_evasion)})"
+    )
+    assert result.matching_datadome_evasion >= result.overall_datadome_evasion

@@ -1,0 +1,16 @@
+"""Section 5.3.3 — services evading both DataDome and BotD."""
+
+from repro.analysis.evasion import dual_evader_summary
+from repro.reporting.tables import format_percent
+
+
+def bench_dual_evaders(benchmark, bot_store):
+    summary = benchmark(dual_evader_summary, bot_store)
+    print()
+    print(f"Services evading both: {summary.services} with {summary.num_requests} requests (paper: S14, S20; 5,302 requests)")
+    print(f"  DataDome evasion: {format_percent(summary.datadome_evasion_rate)} (paper: 84.7%)")
+    print(f"  BotD evasion:     {format_percent(summary.botd_evasion_rate)} (paper: 90.59%)")
+    print(f"  <8 cores:         {format_percent(summary.low_cores_fraction)} (paper: 83.77%)")
+    print(f"  no plugins:       {format_percent(summary.no_plugins_fraction)} (paper: 93.02%)")
+    print(f"  touch support:    {format_percent(summary.touch_support_fraction)} (paper: 78.36%)")
+    assert summary.touch_support_fraction > 0.5

@@ -1,0 +1,20 @@
+"""Throughput of the measurement substrate itself (corpus generation)."""
+
+import numpy as np
+
+from repro.bots.marketplace import marketplace_by_name
+from repro.bots.traffic import BotTrafficGenerator
+from repro.honeysite.site import HoneySite
+
+
+def bench_corpus_generation_throughput(benchmark):
+    profile = marketplace_by_name()["S14"]
+
+    def generate():
+        site = HoneySite(rng=np.random.default_rng(0))
+        generator = BotTrafficGenerator(site, rng=np.random.default_rng(0))
+        generator.run_service(profile, scale=0.2)
+        return len(site.store)
+
+    recorded = benchmark.pedantic(generate, rounds=2, iterations=1)
+    assert recorded == profile.scaled_requests(0.2)

@@ -1,0 +1,17 @@
+"""Figure 10 — platform values reported under the busiest cookie."""
+
+from repro.analysis.figures import figure10_platform_spread
+from repro.reporting.figures import ascii_bar_chart
+
+
+def bench_fig10_platform_spread(benchmark, bot_store):
+    spread = benchmark(figure10_platform_spread, bot_store)
+    print()
+    assert spread is not None
+    print(f"Busiest cookie carried {spread.requests} requests over {spread.distinct_platforms} platform values")
+    print(
+        ascii_bar_chart(
+            spread.platform_percentages,
+            title="Figure 10 — % of requests per platform for the busiest cookie (paper: 8 platforms for one device)",
+        )
+    )

@@ -1,0 +1,16 @@
+"""Figure 4 — probability of evading BotD per PDF plugin."""
+
+from repro.analysis.figures import figure4_plugin_evasion
+from repro.reporting.figures import ascii_bar_chart
+
+
+def bench_fig4_plugin_evasion(benchmark, bot_store):
+    points = benchmark(figure4_plugin_evasion, bot_store)
+    print()
+    print(
+        ascii_bar_chart(
+            {p.plugin: p.evasion_probability for p in points},
+            title="Figure 4 — P(evade BotD | plugin present) (paper: ~1.0 for every PDF plugin)",
+        )
+    )
+    assert all(p.evasion_probability > 0.9 for p in points if p.requests >= 50)

@@ -1,0 +1,20 @@
+"""Figure 5 — CDF of CPU cores for high vs low DataDome-evasion cohorts."""
+
+from repro.analysis.evasion import table1_rows, top_and_bottom_services
+from repro.analysis.figures import figure5_core_cdfs
+from repro.reporting.figures import cdf_table
+from repro.reporting.tables import format_percent
+
+
+def bench_fig5_core_cdfs(benchmark, bot_store):
+    rows = table1_rows(bot_store)
+    top, bottom = top_and_bottom_services(rows, "DataDome")
+    high, low = benchmark(figure5_core_cdfs, bot_store, top, bottom)
+    print()
+    print(f"High-evasion cohort {top}: <8 cores on {format_percent(high.fraction_below(8))} of requests (paper: 84.7%)")
+    print(f"Low-evasion cohort {bottom}: <8 cores on {format_percent(low.fraction_below(8))} of requests (paper: 38.16%)")
+    print(cdf_table([
+        (high.label, high.core_counts, high.cumulative_probability),
+        (low.label, low.core_counts, low.cumulative_probability),
+    ], value_name="cores"))
+    assert high.fraction_below(8) > low.fraction_below(8)

@@ -1,0 +1,16 @@
+"""Figure 6 — device types with the highest DataDome evasion probability."""
+
+from repro.analysis.figures import figure6_device_evasion
+from repro.reporting.figures import ascii_bar_chart
+
+
+def bench_fig6_device_types(benchmark, bot_store):
+    points = benchmark(figure6_device_evasion, bot_store)
+    print()
+    print(
+        ascii_bar_chart(
+            {p.device: p.evasion_probability for p in points},
+            title="Figure 6 — top device types by P(evade DataDome) (paper: iPhone ~50%, then Other/iPad/Mac)",
+        )
+    )
+    assert points

@@ -1,0 +1,18 @@
+"""Figure 7 / Section 6.1 — screen resolutions of requests claiming iPhones."""
+
+from repro.analysis.figures import figure7_iphone_resolutions
+from repro.reporting.figures import ascii_bar_chart
+
+
+def bench_fig7_iphone_resolutions(benchmark, bot_store):
+    analysis = benchmark(figure7_iphone_resolutions, bot_store)
+    print()
+    print(f"Unique iPhone resolutions: {analysis.unique_resolutions} (paper: 83), among evading: {analysis.unique_resolutions_among_evading} (paper: 42)")
+    print(f"Non-existent among top {len(analysis.top_points)}: {analysis.nonexistent_in_top} (paper: 9 of 10)")
+    print(
+        ascii_bar_chart(
+            {p.resolution: p.evasion_probability for p in analysis.top_points},
+            title="Figure 7 — top iPhone resolutions by P(evade DataDome)",
+        )
+    )
+    assert analysis.unique_resolutions > 12

@@ -1,0 +1,23 @@
+"""Figure 9 — temporal distribution of traffic on the honey site."""
+
+from repro.analysis.figures import figure9_daily_series
+from repro.reporting.figures import series_to_csv
+
+
+def bench_fig9_daily_series(benchmark, bot_store):
+    series = benchmark(figure9_daily_series, bot_store)
+    print()
+    csv_text = series_to_csv(
+        {
+            "day": series.days,
+            "requests": series.requests,
+            "unique_ips": series.unique_ips,
+            "unique_cookies": series.unique_cookies,
+            "unique_fingerprints": series.unique_fingerprints,
+        }
+    )
+    print("Figure 9 series (first 10 days):")
+    print("\n".join(csv_text.splitlines()[:11]))
+    peak_day = series.days[series.requests.index(max(series.requests))]
+    print(f"Peak volume on day {peak_day} (renewal days are 0, 30, 60)")
+    assert sum(series.requests) == len(bot_store)

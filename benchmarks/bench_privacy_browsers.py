@@ -1,0 +1,38 @@
+"""Section 7.5 / Appendix G — privacy-enhancing technologies."""
+
+from repro.analysis.privacy_eval import evaluate_privacy_technologies
+from repro.core.detector import FPInconsistent
+from repro.reporting.tables import format_percent, format_table
+from repro.users.privacy import PrivacyTechnology
+
+
+def bench_privacy_technologies(benchmark, corpus, pipeline_result):
+    stores = {
+        technology: corpus.privacy_store(technology)
+        for technology in PrivacyTechnology
+        if len(corpus.privacy_store(technology)) > 0
+    }
+    detector = FPInconsistent(filter_list=pipeline_result.filter_list)
+    results = benchmark(evaluate_privacy_technologies, stores, detector)
+    print()
+    print(
+        format_table(
+            ["Technology", "Requests", "DataDome", "BotD", "FP-Inc (spatial)", "FP-Inc (temporal)", "FP-Inc (combined)"],
+            [
+                (
+                    r.technology.value,
+                    r.requests,
+                    format_percent(r.datadome_detection_rate),
+                    format_percent(r.botd_detection_rate),
+                    format_percent(r.fp_spatial_rate),
+                    format_percent(r.fp_temporal_rate),
+                    format_percent(r.fp_inconsistent_rate),
+                )
+                for r in results
+            ],
+            title="Section 7.5 / Appendix G (paper: Tor fully flagged; Brave only temporal; Safari/uBlock/ABP untouched)",
+        )
+    )
+    by_tech = {r.technology: r for r in results}
+    assert by_tech[PrivacyTechnology.TOR].fp_spatial_rate > 0.9
+    assert by_tech[PrivacyTechnology.SAFARI].fp_inconsistent_rate == 0.0

@@ -1,0 +1,19 @@
+"""Section 7.4 — true-negative rate on real-user traffic."""
+
+from repro.core.evaluation import true_negative_rate
+from repro.core.detector import FPInconsistent
+from repro.reporting.tables import format_percent
+
+
+def bench_real_user_tnr(benchmark, corpus, pipeline_result):
+    detector = FPInconsistent(filter_list=pipeline_result.filter_list)
+    store = corpus.real_user_store
+
+    def run():
+        verdicts = detector.classify_store(store)
+        return true_negative_rate(store, verdicts)
+
+    tnr = benchmark(run)
+    print()
+    print(f"True-negative rate on {len(store)} real-user requests: {format_percent(tnr)} (paper: 96.84% on 2,206 requests)")
+    assert tnr > 0.9

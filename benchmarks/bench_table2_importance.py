@@ -1,0 +1,31 @@
+"""Section 5.2 / Table 2 — evasion classifiers and attribute importance."""
+
+from repro.analysis.attributes import train_evasion_classifier
+from repro.reporting.tables import format_percent, format_table
+
+
+def bench_table2_importance(benchmark, bot_store):
+    def run():
+        return {
+            detector: train_evasion_classifier(bot_store, detector, max_samples=20_000, seed=0)
+            for detector in ("DataDome", "BotD")
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["Detector", "Train acc", "Test acc", "Top-5 attributes"],
+            [
+                (
+                    name,
+                    format_percent(result.train_accuracy),
+                    format_percent(result.test_accuracy),
+                    ", ".join(result.top_attributes(5)),
+                )
+                for name, result in results.items()
+            ],
+            title="Table 2 (paper: DataDome acc 81.66%, BotD acc 97.71%)",
+        )
+    )
+    assert results["BotD"].test_accuracy > 0.9

@@ -1,0 +1,34 @@
+"""Table 4 — none / spatial / temporal / combined rule ablation."""
+
+from repro.reporting.tables import format_percent, format_table
+
+
+def bench_table4_ablation(benchmark, bot_store, pipeline_result):
+    def table4():
+        from repro.core.evaluation import evaluate_table4
+
+        return evaluate_table4(bot_store, pipeline_result.verdicts)
+
+    rates = benchmark(table4)
+    print()
+    print(
+        format_table(
+            ["Rules", "DataDome", "BotD"],
+            [
+                ("None", format_percent(rates["DataDome"].baseline), format_percent(rates["BotD"].baseline)),
+                ("Spatial", format_percent(rates["DataDome"].with_spatial), format_percent(rates["BotD"].with_spatial)),
+                ("Temporal", format_percent(rates["DataDome"].with_temporal), format_percent(rates["BotD"].with_temporal)),
+                ("Combined", format_percent(rates["DataDome"].with_combined), format_percent(rates["BotD"].with_combined)),
+            ],
+            title="Table 4 (paper: 55.44/76.04/56.53/76.88 DataDome; 47.07/70.33/48.09/70.86 BotD)",
+        )
+    )
+    print(
+        "Evasion reduction: DataDome "
+        + format_percent(rates["DataDome"].evasion_reduction)
+        + " (paper 48.11%), BotD "
+        + format_percent(rates["BotD"].evasion_reduction)
+        + " (paper 44.95%)"
+    )
+    for detector_rates in rates.values():
+        assert detector_rates.with_combined >= detector_rates.with_spatial >= detector_rates.baseline

@@ -1,0 +1,21 @@
+"""Table 5 — browser APIs read by DataDome and BotD."""
+
+from repro.antibot.signals import API_ACCESS, apis_read_by
+from repro.reporting.tables import format_table
+
+
+def bench_table5_api_inventory(benchmark):
+    datadome_apis = benchmark(apis_read_by, "DataDome")
+    botd_apis = apis_read_by("BotD")
+    print()
+    print(
+        format_table(
+            ["Browser API", "DataDome", "BotD"],
+            [
+                (api, "x" if readers["DataDome"] else "", "x" if readers["BotD"] else "")
+                for api, readers in API_ACCESS.items()
+            ],
+            title="Table 5 — APIs accessed by each service",
+        )
+    )
+    assert len(datadome_apis) > len(botd_apis)

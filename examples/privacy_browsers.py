@@ -1,0 +1,48 @@
+"""Evaluate FP-Inconsistent against privacy-enhancing technologies (§7.5).
+
+Sends traffic through Safari, Brave, Tor, uBlock Origin and AdBlock Plus
+models from four real devices, mines rules from bot traffic, and reports
+how each technology fares against DataDome, BotD and FP-Inconsistent.
+
+Run:  python examples/privacy_browsers.py
+"""
+
+from repro.analysis import build_corpus, evaluate_privacy_technologies
+from repro.core import FPInconsistent, FPInconsistentPipeline
+from repro.reporting import format_percent, format_table
+from repro.users import PrivacyTechnology
+
+
+def main() -> None:
+    corpus = build_corpus(seed=7, scale=0.02, include_real_users=False, include_privacy=True,
+                          privacy_requests_each=60)
+    result = FPInconsistentPipeline().run(corpus.bot_store)
+    detector = FPInconsistent(filter_list=result.filter_list)
+
+    stores = {
+        technology: corpus.privacy_store(technology)
+        for technology in PrivacyTechnology
+        if len(corpus.privacy_store(technology)) > 0
+    }
+    rows = evaluate_privacy_technologies(stores, detector)
+    print(
+        format_table(
+            ["Technology", "Requests", "DataDome", "BotD", "FP-Inc spatial", "FP-Inc temporal"],
+            [
+                (
+                    r.technology.value,
+                    r.requests,
+                    format_percent(r.datadome_detection_rate),
+                    format_percent(r.botd_detection_rate),
+                    format_percent(r.fp_spatial_rate),
+                    format_percent(r.fp_temporal_rate),
+                )
+                for r in rows
+            ],
+            title="Section 7.5 — privacy technologies vs bot detection",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

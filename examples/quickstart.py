@@ -1,0 +1,53 @@
+"""Quickstart: detect an inconsistent fingerprint with FP-Inconsistent.
+
+Builds a tiny bot corpus, mines inconsistency rules from it and then
+classifies two fingerprints: a consistent real iPhone and a bot that
+claims to be an iPhone while exposing desktop attributes.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.analysis.corpus import build_corpus
+from repro.core import FPInconsistent
+from repro.devices import DeviceCatalog
+from repro.fingerprint import Attribute, Fingerprint
+
+
+def main() -> None:
+    # 1. Generate a small honey-site corpus (bots only) and mine rules.
+    corpus = build_corpus(seed=1, scale=0.01, include_real_users=False)
+    detector = FPInconsistent()
+    detector.fit(corpus.bot_store)
+    print(f"Mined {len(detector.filter_list)} inconsistency rules from "
+          f"{len(corpus.bot_store)} bot requests")
+    for rule in detector.filter_list.top_rules(5):
+        print("  ", rule.describe(), f"(support={rule.support})")
+
+    # 2. A real iPhone fingerprint from the device catalogue: consistent.
+    iphone = DeviceCatalog().get("iphone-14").fingerprint()
+    print("\nReal iPhone flagged?", detector.check_fingerprint(iphone) is not None)
+
+    # 3. An evasive bot claiming to be an iPhone but leaking desktop values.
+    bot = Fingerprint(
+        {
+            Attribute.UA_DEVICE: "iPhone",
+            Attribute.UA_OS: "iOS",
+            Attribute.UA_BROWSER: "Mobile Safari",
+            Attribute.PLATFORM: "Linux x86_64",
+            Attribute.VENDOR: "Google Inc.",
+            Attribute.SCREEN_RESOLUTION: (1920, 1080),
+            Attribute.TOUCH_SUPPORT: "None",
+            Attribute.MAX_TOUCH_POINTS: 0,
+            Attribute.HARDWARE_CONCURRENCY: 16,
+        }
+    )
+    match = detector.check_fingerprint(bot)
+    print("Evasive bot flagged?", match is not None)
+    if match is not None:
+        print("  violated rule:", match.describe())
+
+
+if __name__ == "__main__":
+    main()

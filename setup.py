@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The project is configured through ``pyproject.toml``; this file only exists
+so that ``pip install -e . --no-build-isolation --config-settings
+--build-option=...``-free legacy editable installs work offline.
+"""
+
+from setuptools import setup
+
+setup()

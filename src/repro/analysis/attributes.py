@@ -1,0 +1,155 @@
+"""Attribute-importance analysis (Section 5.2, Table 2, Appendix C).
+
+Trains one classifier per anti-bot service to distinguish requests the
+service detected from requests that evaded it, reports the accuracies the
+paper quotes, and ranks the fingerprint attributes that drive evasion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.fingerprint.attributes import Attribute
+from repro.honeysite.storage import RequestStore
+from repro.ml.encoding import FingerprintEncoder
+from repro.ml.explain import FeatureImportance, gain_importance, permutation_importance, top_features
+from repro.ml.forest import GradientBoostingClassifier, RandomForestClassifier
+from repro.ml.metrics import accuracy_score, train_test_split
+
+
+@dataclass
+class EvasionClassifierResult:
+    """Outcome of training one evasion classifier (one column of Table 2)."""
+
+    detector: str
+    train_accuracy: float
+    test_accuracy: float
+    importances: List[FeatureImportance]
+    permutation: List[FeatureImportance]
+    feature_names: List[str]
+
+    def top_attributes(self, count: int = 5) -> List[str]:
+        """The Table 2 column: most important attributes for evading the service."""
+
+        return top_features(self.importances, count)
+
+
+def train_evasion_classifier(
+    store: RequestStore,
+    detector: str,
+    *,
+    model: str = "forest",
+    test_fraction: float = 0.1,
+    max_samples: int = 60_000,
+    seed: int = 0,
+    encoder: Optional[FingerprintEncoder] = None,
+) -> EvasionClassifierResult:
+    """Train a detected-vs-evaded classifier for *detector* (Section 5.2.1).
+
+    Parameters
+    ----------
+    model:
+        ``"forest"`` (random forest, the paper's choice) or ``"boosting"``
+        (gradient boosting, XGBoost-style).
+    max_samples:
+        Upper bound on the number of requests used (stratified subsample),
+        keeping training time reasonable on the full-scale corpus.
+    """
+
+    if len(store) < 20:
+        raise ValueError("need at least 20 requests to train a classifier")
+    rng = np.random.default_rng(seed)
+    records = list(store)
+    if len(records) > max_samples:
+        indices = rng.choice(len(records), size=max_samples, replace=False)
+        records = [records[int(index)] for index in indices]
+
+    fingerprints = [record.request.fingerprint for record in records]
+    labels = np.array([1 if record.evaded(detector) else 0 for record in records], dtype=float)
+
+    encoder = encoder if encoder is not None else FingerprintEncoder()
+    features = encoder.fit_transform(fingerprints)
+    train_x, test_x, train_y, test_y = train_test_split(
+        features, labels, test_fraction=test_fraction, rng=rng
+    )
+
+    if model == "forest":
+        classifier = RandomForestClassifier(n_estimators=15, max_depth=10, random_state=seed)
+    elif model == "boosting":
+        classifier = GradientBoostingClassifier(n_estimators=40, max_depth=5, random_state=seed)
+    else:
+        raise ValueError("model must be 'forest' or 'boosting'")
+    classifier.fit(train_x, train_y)
+
+    feature_names = encoder.feature_names
+    return EvasionClassifierResult(
+        detector=detector,
+        train_accuracy=accuracy_score(train_y, classifier.predict(train_x)),
+        test_accuracy=accuracy_score(test_y, classifier.predict(test_x)),
+        importances=gain_importance(classifier, feature_names),
+        permutation=permutation_importance(
+            classifier, test_x, test_y, feature_names, rng=np.random.default_rng(seed)
+        ),
+        feature_names=feature_names,
+    )
+
+
+def table2(
+    store: RequestStore, *, top_k: int = 5, max_samples: int = 40_000, seed: int = 0
+) -> Dict[str, List[str]]:
+    """Table 2: the top-k attributes helping evade DataDome and BotD."""
+
+    result = {}
+    for detector in ("DataDome", "BotD"):
+        outcome = train_evasion_classifier(
+            store, detector, max_samples=max_samples, seed=seed
+        )
+        result[detector] = outcome.top_attributes(top_k)
+    return result
+
+
+@dataclass(frozen=True)
+class CombinationRuleResult:
+    """Appendix C: the DataDome-evading attribute combination."""
+
+    matching_requests: int
+    matching_datadome_evasion: float
+    overall_datadome_evasion: float
+
+
+def appendix_c_combination(store: RequestStore) -> CombinationRuleResult:
+    """Evaluate the Appendix C combination rule on the corpus.
+
+    The paper's decision-tree analysis found that requests with a screen
+    frame below 20, no Chrome PDF Viewer plugin, more than 256 MB of
+    memory, fewer than 14 cores and a monospace width above 131.5 were able
+    to evade DataDome.
+    """
+
+    def matches(record) -> bool:
+        frame = record.attribute(Attribute.SCREEN_FRAME)
+        plugins = record.attribute(Attribute.PLUGINS) or ()
+        memory = record.attribute(Attribute.DEVICE_MEMORY)
+        cores = record.attribute(Attribute.HARDWARE_CONCURRENCY)
+        monospace = record.attribute(Attribute.MONOSPACE_WIDTH)
+        return (
+            frame is not None
+            and frame < 20
+            and "Chrome PDF Viewer" not in plugins
+            and memory is not None
+            and memory > 0.25
+            and cores is not None
+            and cores < 14
+            and monospace is not None
+            and monospace > 131.5
+        )
+
+    matching = store.filter(matches)
+    return CombinationRuleResult(
+        matching_requests=len(matching),
+        matching_datadome_evasion=matching.evasion_rate("DataDome"),
+        overall_datadome_evasion=store.evasion_rate("DataDome"),
+    )

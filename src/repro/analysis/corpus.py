@@ -1,0 +1,143 @@
+"""Corpus construction.
+
+One honey-site corpus backs every analysis, table and figure.  This module
+builds it: all 20 bot services (Table 1 volumes), the real-user share
+(Section 7.4) and, optionally, the privacy-technology experiment
+(Section 7.5), all driven by a single seed so results are reproducible.
+
+The full-scale corpus is 507,080 bot requests; benchmarks default to a
+scaled-down corpus (controlled by the ``REPRO_SCALE`` environment
+variable, default 0.05 ≈ 25k requests) so the whole suite runs in minutes
+on a laptop.  The scale only changes sampling noise, not behaviour.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.bots.marketplace import build_marketplace
+from repro.bots.service import BotServiceProfile
+from repro.bots.traffic import BotTrafficGenerator
+from repro.honeysite.site import HoneySite
+from repro.honeysite.storage import RequestStore
+from repro.users.privacy import PrivacyTechnology, PrivacyTrafficGenerator
+from repro.users.realuser import REAL_USER_SOURCE, RealUserTrafficGenerator
+
+#: Environment variable overriding the default corpus scale.
+SCALE_ENV_VAR = "REPRO_SCALE"
+
+#: Default corpus scale used by benchmarks when the variable is unset.
+DEFAULT_SCALE = 0.05
+
+
+def default_scale() -> float:
+    """The corpus scale requested through ``REPRO_SCALE`` (default 0.05)."""
+
+    raw = os.environ.get(SCALE_ENV_VAR)
+    if not raw:
+        return DEFAULT_SCALE
+    try:
+        value = float(raw)
+    except ValueError as exc:
+        raise ValueError(f"{SCALE_ENV_VAR} must be a number, got {raw!r}") from exc
+    if value <= 0:
+        raise ValueError(f"{SCALE_ENV_VAR} must be positive, got {value}")
+    return value
+
+
+@dataclass
+class Corpus:
+    """Everything one measurement campaign produced."""
+
+    site: HoneySite
+    scale: float
+    seed: int
+    bot_profiles: Tuple[BotServiceProfile, ...]
+    #: per-service recorded request counts
+    service_volumes: Dict[str, int] = field(default_factory=dict)
+    real_user_requests: int = 0
+    privacy_requests: Dict[PrivacyTechnology, int] = field(default_factory=dict)
+
+    @property
+    def store(self) -> RequestStore:
+        """Every recorded request."""
+
+        return self.site.store
+
+    @property
+    def bot_store(self) -> RequestStore:
+        """Requests attributed to the 20 bot services."""
+
+        bot_names = {profile.name for profile in self.bot_profiles}
+        return self.site.store.filter(lambda record: record.source in bot_names)
+
+    @property
+    def real_user_store(self) -> RequestStore:
+        """Requests recorded at the real-user URL."""
+
+        return self.site.store.by_source(REAL_USER_SOURCE)
+
+    def privacy_store(self, technology: PrivacyTechnology) -> RequestStore:
+        """Requests recorded for one privacy technology."""
+
+        return self.site.store.by_source(f"privacy:{technology.value}")
+
+
+def build_corpus(
+    *,
+    seed: int = 7,
+    scale: Optional[float] = None,
+    include_real_users: bool = True,
+    include_privacy: bool = False,
+    real_user_requests: int = 2206,
+    privacy_requests_each: int = 60,
+    campaign_days: int = 90,
+) -> Corpus:
+    """Build the full measurement corpus.
+
+    Parameters
+    ----------
+    seed:
+        Master seed; every generator derives its stream from it.
+    scale:
+        Fraction of the paper's request volumes to generate (``None`` reads
+        ``REPRO_SCALE`` / defaults to 0.05; pass 1.0 for the full 507,080
+        requests).
+    include_real_users / include_privacy:
+        Whether to also generate the Section 7.4 and 7.5 traffic.
+    """
+
+    if scale is None:
+        scale = default_scale()
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+
+    rng = np.random.default_rng(seed)
+    site = HoneySite(rng=np.random.default_rng(rng.integers(0, 2 ** 32)))
+    profiles = build_marketplace()
+    corpus = Corpus(site=site, scale=scale, seed=seed, bot_profiles=profiles)
+
+    bot_generator = BotTrafficGenerator(site, rng=np.random.default_rng(rng.integers(0, 2 ** 32)))
+    corpus.service_volumes = bot_generator.run_marketplace(
+        profiles, scale=scale, campaign_days=campaign_days
+    )
+
+    if include_real_users:
+        user_generator = RealUserTrafficGenerator(
+            site, rng=np.random.default_rng(rng.integers(0, 2 ** 32))
+        )
+        corpus.real_user_requests = user_generator.run(num_requests=real_user_requests)
+
+    if include_privacy:
+        privacy_generator = PrivacyTrafficGenerator(
+            site, rng=np.random.default_rng(rng.integers(0, 2 ** 32))
+        )
+        corpus.privacy_requests = privacy_generator.run_all(
+            num_requests_each=privacy_requests_each
+        )
+
+    return corpus

@@ -1,0 +1,173 @@
+"""Evasion-rate analyses (Table 1, Sections 5.3.1–5.3.3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.fingerprint.attributes import Attribute
+from repro.honeysite.storage import RequestStore
+
+
+@dataclass(frozen=True)
+class ServiceEvasionRow:
+    """One row of Table 1."""
+
+    service: str
+    num_requests: int
+    datadome_evasion_rate: float
+    botd_evasion_rate: float
+
+
+def table1_rows(store: RequestStore, *, services: Optional[Sequence[str]] = None) -> Tuple[ServiceEvasionRow, ...]:
+    """Per-service request volumes and evasion rates (Table 1).
+
+    Rows are ordered by descending request count, like the paper.
+    """
+
+    if services is None:
+        services = store.sources()
+    rows = []
+    for service in services:
+        service_store = store.by_source(service)
+        if len(service_store) == 0:
+            continue
+        rows.append(
+            ServiceEvasionRow(
+                service=service,
+                num_requests=len(service_store),
+                datadome_evasion_rate=service_store.evasion_rate("DataDome"),
+                botd_evasion_rate=service_store.evasion_rate("BotD"),
+            )
+        )
+    rows.sort(key=lambda row: row.num_requests, reverse=True)
+    return tuple(rows)
+
+
+def overall_detection_rates(store: RequestStore) -> Dict[str, float]:
+    """Overall DataDome / BotD detection rates (the 55.44% / 47.07% numbers)."""
+
+    return {
+        "DataDome": store.detection_rate("DataDome"),
+        "BotD": store.detection_rate("BotD"),
+    }
+
+
+def top_and_bottom_services(
+    rows: Sequence[ServiceEvasionRow], detector: str, count: int = 3
+) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    """Service names with the highest / lowest evasion rate against *detector*.
+
+    Reproduces the cohort selection of Sections 5.3.1 and 5.3.2 (e.g. S15,
+    S18, S19 as the top BotD evaders).
+    """
+
+    if detector == "DataDome":
+        key = lambda row: row.datadome_evasion_rate
+    elif detector == "BotD":
+        key = lambda row: row.botd_evasion_rate
+    else:
+        raise KeyError(f"unknown detector {detector!r}")
+    ordered = sorted(rows, key=key)
+    bottom = tuple(row.service for row in ordered[:count])
+    top = tuple(row.service for row in ordered[-count:][::-1])
+    return top, bottom
+
+
+@dataclass(frozen=True)
+class CohortComparison:
+    """Attribute statistics for a high- vs low-evasion cohort (Section 5.3)."""
+
+    detector: str
+    top_services: Tuple[str, ...]
+    bottom_services: Tuple[str, ...]
+    top_requests: int
+    bottom_requests: int
+    top_evasion_rate: float
+    bottom_evasion_rate: float
+    #: fraction of cohort requests exposing at least one plugin
+    top_with_plugins: float
+    bottom_with_plugins: float
+    #: fraction of cohort requests claiming touch support
+    top_with_touch: float
+    bottom_with_touch: float
+    #: fraction of cohort requests reporting fewer than 8 CPU cores
+    top_low_cores: float
+    bottom_low_cores: float
+
+
+def _fraction(store: RequestStore, predicate) -> float:
+    if len(store) == 0:
+        return 0.0
+    return sum(1 for record in store if predicate(record)) / len(store)
+
+
+def _has_plugins(record) -> bool:
+    return bool(record.attribute(Attribute.PLUGINS))
+
+
+def _has_touch(record) -> bool:
+    return str(record.attribute(Attribute.TOUCH_SUPPORT)) not in ("", "None", "None")
+
+
+def _low_cores(record) -> bool:
+    cores = record.attribute(Attribute.HARDWARE_CONCURRENCY)
+    return cores is not None and int(cores) < 8
+
+
+def cohort_comparison(store: RequestStore, detector: str, *, count: int = 3) -> CohortComparison:
+    """Compare the top/bottom evasion cohorts against *detector* (Section 5.3)."""
+
+    rows = table1_rows(store)
+    top, bottom = top_and_bottom_services(rows, detector, count=count)
+    top_store = store.filter(lambda record: record.source in top)
+    bottom_store = store.filter(lambda record: record.source in bottom)
+    return CohortComparison(
+        detector=detector,
+        top_services=top,
+        bottom_services=bottom,
+        top_requests=len(top_store),
+        bottom_requests=len(bottom_store),
+        top_evasion_rate=top_store.evasion_rate(detector),
+        bottom_evasion_rate=bottom_store.evasion_rate(detector),
+        top_with_plugins=_fraction(top_store, _has_plugins),
+        bottom_with_plugins=_fraction(bottom_store, _has_plugins),
+        top_with_touch=_fraction(top_store, _has_touch),
+        bottom_with_touch=_fraction(bottom_store, _has_touch),
+        top_low_cores=_fraction(top_store, _low_cores),
+        bottom_low_cores=_fraction(bottom_store, _low_cores),
+    )
+
+
+@dataclass(frozen=True)
+class DualEvaderSummary:
+    """Section 5.3.3: services with >80% evasion against both detectors."""
+
+    services: Tuple[str, ...]
+    num_requests: int
+    datadome_evasion_rate: float
+    botd_evasion_rate: float
+    low_cores_fraction: float
+    no_plugins_fraction: float
+    touch_support_fraction: float
+
+
+def dual_evader_summary(store: RequestStore, *, threshold: float = 0.8) -> DualEvaderSummary:
+    """Characterise the services evading both DataDome and BotD."""
+
+    rows = table1_rows(store)
+    services = tuple(
+        row.service
+        for row in rows
+        if row.datadome_evasion_rate > threshold and row.botd_evasion_rate > threshold
+    )
+    cohort = store.filter(lambda record: record.source in services)
+    return DualEvaderSummary(
+        services=services,
+        num_requests=len(cohort),
+        datadome_evasion_rate=cohort.evasion_rate("DataDome"),
+        botd_evasion_rate=cohort.evasion_rate("BotD"),
+        low_cores_fraction=_fraction(cohort, _low_cores),
+        no_plugins_fraction=_fraction(cohort, lambda record: not _has_plugins(record)),
+        touch_support_fraction=_fraction(cohort, _has_touch),
+    )

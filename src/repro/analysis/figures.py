@@ -1,0 +1,376 @@
+"""Per-figure analyses (Figures 4–10).
+
+Each function returns the data series behind one figure of the paper, in a
+plain structure (labels + values) that the reporting module can render as a
+text chart or CSV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.devices.profiles import CHROMIUM_PDF_PLUGINS
+from repro.devices.screens import is_real_iphone_resolution
+from repro.fingerprint.attributes import Attribute, parse_resolution
+from repro.geo.geolite import GeoDatabase
+from repro.honeysite.storage import RequestStore
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 — probability of evading BotD per PDF plugin
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PluginEvasionPoint:
+    """One bar of Figure 4."""
+
+    plugin: str
+    requests: int
+    evasion_probability: float
+
+
+def figure4_plugin_evasion(
+    store: RequestStore, *, plugins: Sequence[str] = CHROMIUM_PDF_PLUGINS
+) -> Tuple[PluginEvasionPoint, ...]:
+    """P(evading BotD | plugin present) for each common PDF plugin."""
+
+    points = []
+    for plugin in plugins:
+        subset = store.filter(lambda record, p=plugin: p in (record.attribute(Attribute.PLUGINS) or ()))
+        points.append(
+            PluginEvasionPoint(
+                plugin=plugin,
+                requests=len(subset),
+                evasion_probability=subset.evasion_rate("BotD"),
+            )
+        )
+    points.sort(key=lambda point: point.evasion_probability, reverse=True)
+    return tuple(points)
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 — CDF of CPU core counts, high vs low DataDome evasion cohorts
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CoreCountCdf:
+    """One CDF curve of Figure 5."""
+
+    label: str
+    core_counts: Tuple[int, ...]
+    cumulative_probability: Tuple[float, ...]
+
+    def fraction_below(self, threshold: int) -> float:
+        """Fraction of requests reporting fewer than *threshold* cores."""
+
+        fraction = 0.0
+        for cores, cumulative in zip(self.core_counts, self.cumulative_probability):
+            if cores < threshold:
+                fraction = cumulative
+        return fraction
+
+
+def _core_cdf(store: RequestStore, label: str) -> CoreCountCdf:
+    values = [
+        int(record.attribute(Attribute.HARDWARE_CONCURRENCY))
+        for record in store
+        if record.attribute(Attribute.HARDWARE_CONCURRENCY) is not None
+    ]
+    if not values:
+        return CoreCountCdf(label=label, core_counts=(), cumulative_probability=())
+    array = np.sort(np.array(values))
+    unique, counts = np.unique(array, return_counts=True)
+    cumulative = np.cumsum(counts) / array.size
+    return CoreCountCdf(
+        label=label,
+        core_counts=tuple(int(value) for value in unique),
+        cumulative_probability=tuple(float(value) for value in cumulative),
+    )
+
+
+def figure5_core_cdfs(
+    store: RequestStore,
+    high_evasion_services: Sequence[str],
+    low_evasion_services: Sequence[str],
+) -> Tuple[CoreCountCdf, CoreCountCdf]:
+    """The two CDF curves of Figure 5 (high- and low-evasion cohorts)."""
+
+    high = store.filter(lambda record: record.source in tuple(high_evasion_services))
+    low = store.filter(lambda record: record.source in tuple(low_evasion_services))
+    return (_core_cdf(high, "High evasion rate"), _core_cdf(low, "Low evasion rate"))
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 — probability of evading DataDome per UA device type
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DeviceEvasionPoint:
+    """One bar of Figure 6."""
+
+    device: str
+    requests: int
+    evasion_probability: float
+
+
+def figure6_device_evasion(
+    store: RequestStore, *, detector: str = "DataDome", top: int = 4, min_requests: int = 50
+) -> Tuple[DeviceEvasionPoint, ...]:
+    """The UA device families with the highest probability of evading
+    *detector* (Figure 6 uses DataDome and the top 4)."""
+
+    histogram = store.unique_values(Attribute.UA_DEVICE)
+    points = []
+    for device, count in histogram.items():
+        if device is None or count < min_requests:
+            continue
+        subset = store.filter(
+            lambda record, d=device: record.request.fingerprint.value_for_grouping(Attribute.UA_DEVICE) == d
+        )
+        points.append(
+            DeviceEvasionPoint(
+                device=str(device),
+                requests=count,
+                evasion_probability=subset.evasion_rate(detector),
+            )
+        )
+    points.sort(key=lambda point: point.evasion_probability, reverse=True)
+    return tuple(points[:top])
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 — top iPhone screen resolutions by DataDome evasion probability
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ResolutionEvasionPoint:
+    """One bar of Figure 7."""
+
+    resolution: str
+    requests: int
+    evasion_probability: float
+    exists_on_real_iphone: bool
+
+
+@dataclass(frozen=True)
+class IphoneResolutionAnalysis:
+    """Figure 7 plus the Section 6.1 unique-resolution counts."""
+
+    unique_resolutions: int
+    unique_resolutions_among_evading: int
+    top_points: Tuple[ResolutionEvasionPoint, ...]
+
+    @property
+    def nonexistent_in_top(self) -> int:
+        """How many of the top resolutions do not exist on real iPhones."""
+
+        return sum(1 for point in self.top_points if not point.exists_on_real_iphone)
+
+
+def figure7_iphone_resolutions(
+    store: RequestStore, *, detector: str = "DataDome", top: int = 10, min_requests: int = 10
+) -> IphoneResolutionAnalysis:
+    """Resolution spread of requests claiming to be iPhones (Section 6.1)."""
+
+    iphone_store = store.filter(
+        lambda record: record.request.fingerprint.value_for_grouping(Attribute.UA_DEVICE) == "iPhone"
+    )
+    histogram = iphone_store.unique_values(Attribute.SCREEN_RESOLUTION)
+    histogram.pop(None, None)
+    evading_histogram = iphone_store.evading(detector).unique_values(Attribute.SCREEN_RESOLUTION)
+    evading_histogram.pop(None, None)
+
+    points = []
+    for resolution, count in histogram.items():
+        if count < min_requests:
+            continue
+        subset = iphone_store.filter(
+            lambda record, r=resolution: record.request.fingerprint.value_for_grouping(
+                Attribute.SCREEN_RESOLUTION
+            )
+            == r
+        )
+        points.append(
+            ResolutionEvasionPoint(
+                resolution=str(resolution),
+                requests=count,
+                evasion_probability=subset.evasion_rate(detector),
+                exists_on_real_iphone=is_real_iphone_resolution(parse_resolution(resolution)),
+            )
+        )
+    points.sort(key=lambda point: (point.evasion_probability, point.requests), reverse=True)
+    return IphoneResolutionAnalysis(
+        unique_resolutions=len(histogram),
+        unique_resolutions_among_evading=len(evading_histogram),
+        top_points=tuple(points[:top]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 / Section 6.2 — location inferred from timezone vs IP address
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GeoMismatchSummary:
+    """Per-service location match rates (Section 6.2) and the Figure 8 data."""
+
+    service: str
+    advertised_region: str
+    requests: int
+    ip_match_rate: float
+    timezone_match_rate: float
+
+
+def section62_geo_match(
+    store: RequestStore,
+    services_with_regions: Dict[str, str],
+) -> Tuple[GeoMismatchSummary, ...]:
+    """Match rates of the advertised region via IP vs via browser timezone."""
+
+    from repro.geo.timezones import country_matches_region, timezone_matches_region
+
+    summaries = []
+    for service, region in services_with_regions.items():
+        service_store = store.by_source(service)
+        if len(service_store) == 0:
+            continue
+        ip_matches = 0
+        timezone_matches = 0
+        for record in service_store:
+            country = record.attribute(Attribute.IP_COUNTRY)
+            if country and country_matches_region(str(country), region):
+                ip_matches += 1
+            timezone = record.attribute(Attribute.TIMEZONE)
+            if timezone:
+                try:
+                    if timezone_matches_region(str(timezone), region):
+                        timezone_matches += 1
+                except KeyError:
+                    pass
+        summaries.append(
+            GeoMismatchSummary(
+                service=service,
+                advertised_region=region,
+                requests=len(service_store),
+                ip_match_rate=ip_matches / len(service_store),
+                timezone_match_rate=timezone_matches / len(service_store),
+            )
+        )
+    return tuple(summaries)
+
+
+def figure8_location_histograms(store: RequestStore) -> Tuple[Dict[str, int], Dict[str, int]]:
+    """The two Figure 8 heatmaps flattened to per-country request counts.
+
+    Returns ``(by_timezone_country, by_ip_country)``.
+    """
+
+    from repro.geo.timezones import country_of_timezone
+
+    by_timezone: Dict[str, int] = {}
+    by_ip: Dict[str, int] = {}
+    for record in store:
+        timezone = record.attribute(Attribute.TIMEZONE)
+        if timezone:
+            country = country_of_timezone(str(timezone)) or "Unknown"
+            by_timezone[country] = by_timezone.get(country, 0) + 1
+        ip_country = record.attribute(Attribute.IP_COUNTRY)
+        if ip_country:
+            by_ip[str(ip_country)] = by_ip.get(str(ip_country), 0) + 1
+    return by_timezone, by_ip
+
+
+# ---------------------------------------------------------------------------
+# Figure 9 — temporal distribution of traffic
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DailySeries:
+    """The four Figure 9 series."""
+
+    days: Tuple[int, ...]
+    requests: Tuple[int, ...]
+    unique_ips: Tuple[int, ...]
+    unique_cookies: Tuple[int, ...]
+    unique_fingerprints: Tuple[int, ...]
+
+
+def figure9_daily_series(store: RequestStore) -> DailySeries:
+    """Per-day request / unique-IP / unique-cookie / unique-fingerprint counts."""
+
+    series = store.daily_series()
+    days = tuple(sorted(series))
+    return DailySeries(
+        days=days,
+        requests=tuple(series[day]["requests"] for day in days),
+        unique_ips=tuple(series[day]["unique_ips"] for day in days),
+        unique_cookies=tuple(series[day]["unique_cookies"] for day in days),
+        unique_fingerprints=tuple(series[day]["unique_fingerprints"] for day in days),
+    )
+
+
+def new_fingerprints_over_time(store: RequestStore) -> Tuple[int, ...]:
+    """Per-day count of never-before-seen fingerprints (Section 6.3)."""
+
+    seen = set()
+    per_day: Dict[int, int] = {}
+    for record in store.sorted_by_time():
+        digest = record.request.fingerprint.stable_hash()
+        if digest not in seen:
+            seen.add(digest)
+            per_day[record.day] = per_day.get(record.day, 0) + 1
+    return tuple(per_day.get(day, 0) for day in sorted(set(record.day for record in store)))
+
+
+# ---------------------------------------------------------------------------
+# Figure 10 — platform values reported under one cookie
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CookiePlatformSpread:
+    """Figure 10: platform distribution of the busiest cookie."""
+
+    cookie: str
+    requests: int
+    platform_percentages: Dict[str, float]
+
+    @property
+    def distinct_platforms(self) -> int:
+        return len(self.platform_percentages)
+
+
+def figure10_platform_spread(store: RequestStore) -> Optional[CookiePlatformSpread]:
+    """Platform values reported by the device with the busiest cookie."""
+
+    groups = store.group_by_cookie()
+    if not groups:
+        return None
+    cookie, records = max(groups.items(), key=lambda item: len(item[1]))
+    histogram: Dict[str, int] = {}
+    for record in records:
+        platform = record.attribute(Attribute.PLATFORM)
+        if platform is None:
+            continue
+        histogram[str(platform)] = histogram.get(str(platform), 0) + 1
+    total = sum(histogram.values())
+    if total == 0:
+        return None
+    return CookiePlatformSpread(
+        cookie=cookie,
+        requests=len(records),
+        platform_percentages={
+            platform: 100.0 * count / total for platform, count in sorted(
+                histogram.items(), key=lambda item: item[1], reverse=True
+            )
+        },
+    )

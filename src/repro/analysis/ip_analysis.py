@@ -1,0 +1,90 @@
+"""IP address and ASN block-list analysis (Section 5.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.geo.asn import AsnBlocklist, IpBlocklist
+from repro.geo.geolite import GeoDatabase, build_ip_blocklist
+from repro.honeysite.storage import RequestStore
+
+
+@dataclass(frozen=True)
+class AsnBlocklistAnalysis:
+    """How much bot traffic comes from flagged ASNs, and whether flagged
+    traffic still evades the anti-bot services."""
+
+    total_requests: int
+    flagged_requests: int
+    flagged_fraction: float
+    flagged_datadome_evasion: float
+    flagged_botd_evasion: float
+
+
+def analyze_asn_blocklist(
+    store: RequestStore,
+    geo: GeoDatabase,
+    *,
+    blocklist: Optional[AsnBlocklist] = None,
+) -> AsnBlocklistAnalysis:
+    """Reproduce the ASN part of Section 5.1.
+
+    The paper found 82.54% of requests originated from flagged ASNs, among
+    which 52.93% evaded DataDome and 43.17% evaded BotD.
+    """
+
+    blocklist = blocklist if blocklist is not None else AsnBlocklist()
+    flagged = store.filter(
+        lambda record: blocklist.is_blocked(geo.asn_of(record.request.ip_address))
+    )
+    total = len(store)
+    return AsnBlocklistAnalysis(
+        total_requests=total,
+        flagged_requests=len(flagged),
+        flagged_fraction=len(flagged) / total if total else 0.0,
+        flagged_datadome_evasion=flagged.evasion_rate("DataDome"),
+        flagged_botd_evasion=flagged.evasion_rate("BotD"),
+    )
+
+
+@dataclass(frozen=True)
+class IpBlocklistAnalysis:
+    """Coverage of an IP-level block list and evasion among covered requests."""
+
+    total_requests: int
+    covered_requests: int
+    coverage: float
+    covered_datadome_evasion: float
+    covered_botd_evasion: float
+
+
+def analyze_ip_blocklist(
+    store: RequestStore,
+    *,
+    blocklist: Optional[IpBlocklist] = None,
+    coverage: float = 0.1586,
+    seed: int = 0,
+) -> IpBlocklistAnalysis:
+    """Reproduce the minFraud part of Section 5.1.
+
+    The real minFraud list is proprietary; by default a synthetic list
+    covering the paper's measured 15.86% of distinct bot addresses is
+    sampled, and the evasion rates among covered requests are computed from
+    the corpus (the paper reports 48.1% DataDome / 68.85% BotD evasion).
+    """
+
+    if blocklist is None:
+        addresses = {record.request.ip_address for record in store}
+        blocklist = build_ip_blocklist(addresses, np.random.default_rng(seed), coverage)
+    covered = store.filter(lambda record: blocklist.is_blocked(record.request.ip_address))
+    total = len(store)
+    return IpBlocklistAnalysis(
+        total_requests=total,
+        covered_requests=len(covered),
+        coverage=len(covered) / total if total else 0.0,
+        covered_datadome_evasion=covered.evasion_rate("DataDome"),
+        covered_botd_evasion=covered.evasion_rate("BotD"),
+    )

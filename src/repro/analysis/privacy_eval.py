@@ -1,0 +1,58 @@
+"""Privacy-technology evaluation (Section 7.5 and Appendix G)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.detector import FPInconsistent
+from repro.honeysite.storage import RequestStore
+from repro.users.privacy import PrivacyTechnology
+
+
+@dataclass(frozen=True)
+class PrivacyTechnologyResult:
+    """How one privacy technology fares against the detectors and the rules."""
+
+    technology: PrivacyTechnology
+    requests: int
+    datadome_detection_rate: float
+    botd_detection_rate: float
+    fp_inconsistent_rate: float
+    fp_spatial_rate: float
+    fp_temporal_rate: float
+
+
+def evaluate_privacy_technologies(
+    stores: Dict[PrivacyTechnology, RequestStore],
+    detector: FPInconsistent,
+) -> Tuple[PrivacyTechnologyResult, ...]:
+    """Run the fitted FP-Inconsistent detector over each technology's traffic.
+
+    The paper's findings: Safari, uBlock Origin and AdBlock Plus trigger
+    nothing; Brave triggers only temporal inconsistencies (it retains
+    cookies while randomising attributes); Tor triggers spatial location
+    inconsistencies on every request.
+    """
+
+    results = []
+    for technology, store in stores.items():
+        if len(store) == 0:
+            continue
+        verdicts = detector.classify_store(store)
+        total = len(store)
+        spatial = sum(1 for verdict in verdicts.values() if verdict.spatially_inconsistent)
+        temporal = sum(1 for verdict in verdicts.values() if verdict.temporally_inconsistent)
+        combined = sum(1 for verdict in verdicts.values() if verdict.is_inconsistent)
+        results.append(
+            PrivacyTechnologyResult(
+                technology=technology,
+                requests=total,
+                datadome_detection_rate=store.detection_rate("DataDome"),
+                botd_detection_rate=store.detection_rate("BotD"),
+                fp_inconsistent_rate=combined / total,
+                fp_spatial_rate=spatial / total,
+                fp_temporal_rate=temporal / total,
+            )
+        )
+    return tuple(results)

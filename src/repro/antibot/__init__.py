@@ -1,0 +1,17 @@
+"""Anti-bot detector models (DataDome-like and BotD-like)."""
+
+from repro.antibot.base import BotDetector, Decision
+from repro.antibot.botd import BOTD_THRESHOLD, BotDModel
+from repro.antibot.datadome import DATADOME_THRESHOLD, DataDomeModel
+from repro.antibot.signals import API_ACCESS, apis_read_by
+
+__all__ = [
+    "API_ACCESS",
+    "BOTD_THRESHOLD",
+    "BotDModel",
+    "BotDetector",
+    "DATADOME_THRESHOLD",
+    "DataDomeModel",
+    "Decision",
+    "apis_read_by",
+]

@@ -1,0 +1,71 @@
+"""BotD-like detector model.
+
+BotD is a client-side bot detection library: it inspects automation
+artefacts exposed through browser APIs but (per the paper's measurements)
+does not use IP intelligence or cross-request state.  The measurement
+analysis in Section 5.3.1 and 5.3.3 found two blind spots that this model
+reproduces exactly:
+
+* a fingerprint exposing **any navigator plugin** is treated as a real
+  browser (Figure 4 — "the presence of any PDF plugin nearly guarantees
+  evasion"), and
+* a fingerprint reporting **touch support** is treated as a real mobile
+  browser.
+
+Requests that expose neither (the default for headless/server browsers)
+are classified as bots, as are requests with explicit automation tells.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.antibot.base import BotDetector, Decision
+from repro.antibot.signals import (
+    has_any_plugin,
+    has_automation_user_agent,
+    has_webdriver_flag,
+    missing_languages,
+    reports_touch_support,
+)
+from repro.network.request import WebRequest
+
+#: Score at or above which BotD reports a bot.
+BOTD_THRESHOLD = 1.0
+
+
+class BotDModel(BotDetector):
+    """Deterministic single-request model of the BotD service."""
+
+    name = "BotD"
+
+    def evaluate(self, request: WebRequest) -> Decision:
+        fingerprint = request.fingerprint
+        signals: List[str] = []
+        score = 0.0
+
+        if has_webdriver_flag(fingerprint):
+            signals.append("webdriver_flag")
+            score += 1.0
+        if has_automation_user_agent(request):
+            signals.append("automation_user_agent")
+            score += 1.0
+        if missing_languages(fingerprint):
+            signals.append("no_languages")
+            score += 0.5
+
+        # Blind-spot structure from the paper: a browser that exposes
+        # plugins or touch support is accepted as human unless an explicit
+        # automation tell fired above.
+        exposes_plugins = has_any_plugin(fingerprint)
+        exposes_touch = reports_touch_support(fingerprint)
+        if not exposes_plugins and not exposes_touch:
+            signals.append("no_plugins_no_touch")
+            score += 1.0
+
+        return Decision(
+            detector=self.name,
+            is_bot=score >= BOTD_THRESHOLD,
+            score=score,
+            signals=tuple(signals),
+        )

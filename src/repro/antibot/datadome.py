@@ -1,0 +1,104 @@
+"""DataDome-like detector model.
+
+DataDome combines client-side fingerprinting with server-side IP
+intelligence (the honey site also calls a server-side API per request).
+The model below is a deterministic scoring function over the signals the
+paper found DataDome to be sensitive to:
+
+* explicit automation tells (``navigator.webdriver``, automation UAs),
+* requests from datacenter / hosting address space running on server-grade
+  CPU counts — the combination typical of headless farms, and
+* accessibility / rendering values that (per Section 5.3.2) "always result
+  in detection" (active forced-colors mode, large screen frames on
+  plugin-less browsers).
+
+Its blind spot, reproduced from Figure 5 and Appendix C, is a low reported
+``hardwareConcurrency``: requests claiming fewer than 8 cores look like
+consumer devices and pass even from flagged address space.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.antibot.base import BotDetector, Decision
+from repro.antibot.signals import (
+    forced_colors_active,
+    has_any_plugin,
+    has_automation_user_agent,
+    has_webdriver_flag,
+    hardware_concurrency,
+    missing_languages,
+    reports_touch_support,
+    screen_frame,
+)
+from repro.geo.asn import TOR_EXIT_ASNS
+from repro.network.request import WebRequest
+
+#: Score at or above which DataDome reports a bot.
+DATADOME_THRESHOLD = 0.8
+
+#: Reported core counts at or above this look like server hardware.
+SERVER_CORE_COUNT = 8
+#: Reported core counts at or above this are almost certainly server VMs.
+LARGE_CORE_COUNT = 14
+
+
+class DataDomeModel(BotDetector):
+    """Deterministic single-request model of the DataDome service."""
+
+    name = "DataDome"
+
+    def evaluate(self, request: WebRequest) -> Decision:
+        fingerprint = request.fingerprint
+        signals: List[str] = []
+        score = 0.0
+
+        if has_webdriver_flag(fingerprint):
+            signals.append("webdriver_flag")
+            score += 1.0
+        if has_automation_user_agent(request):
+            signals.append("automation_user_agent")
+            score += 1.0
+        if forced_colors_active(fingerprint):
+            signals.append("forced_colors_active")
+            score += 0.8
+        if missing_languages(fingerprint):
+            signals.append("no_languages")
+            score += 0.4
+
+        record = self._geo.lookup(request.ip_address) if self._geo is not None else None
+        from_datacenter = bool(record and record.is_datacenter)
+        if from_datacenter:
+            signals.append("datacenter_address_space")
+            score += 0.55
+        if record is not None and record.asn in TOR_EXIT_ASNS:
+            signals.append("anonymity_network_exit")
+            score += 0.35
+
+        cores = hardware_concurrency(fingerprint)
+        if cores is not None and cores >= SERVER_CORE_COUNT:
+            if from_datacenter:
+                signals.append("server_core_count")
+                score += 0.35
+            if cores >= LARGE_CORE_COUNT:
+                signals.append("very_large_core_count")
+                score += 0.2
+
+        frame = screen_frame(fingerprint)
+        if (
+            frame is not None
+            and frame >= 20
+            and from_datacenter
+            and not has_any_plugin(fingerprint)
+            and not reports_touch_support(fingerprint)
+        ):
+            signals.append("bare_browser_with_window_chrome")
+            score += 0.15
+
+        return Decision(
+            detector=self.name,
+            is_bot=score >= DATADOME_THRESHOLD,
+            score=score,
+            signals=tuple(signals),
+        )

@@ -1,0 +1,145 @@
+"""Bot service profiles.
+
+A :class:`BotServiceProfile` captures everything the traffic engine needs
+to emit requests on behalf of one purchased bot service: the volume, the
+mixture of evasion strategies, the proxy pool, the cookie hygiene and the
+degree of (in)consistency of its alterations.
+
+The per-service evasion-rate targets are *calibration inputs* taken from
+Table 1 of the paper — the measured behaviour of real underground services
+— because the services themselves cannot be re-purchased offline.  All
+downstream results (attribute analyses, inconsistency mining, the
+FP-Inconsistent improvements of Tables 3 and 4) are computed from the
+generated traffic, not injected.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class BotDEvasionFlavor(str, enum.Enum):
+    """How a service hits BotD's blind spots when it chooses to evade."""
+
+    PLUGINS = "plugins"
+    TOUCH = "touch"
+    MIXED = "mixed"
+
+
+@dataclass(frozen=True)
+class BotServiceProfile:
+    """Configuration of one bot service.
+
+    Attributes
+    ----------
+    name:
+        Service label (``"S1"`` … ``"S20"``).
+    num_requests:
+        Number of requests the service sends at scale 1.0 (Table 1 volume).
+    datadome_evasion_target / botd_evasion_target:
+        Calibrated per-request probabilities of adopting a configuration
+        that the respective detector model does not flag (Table 1).
+    botd_flavor:
+        Whether BotD evasion is achieved via plugin injection, touch
+        spoofing, or a mixture (Sections 5.3.1 and 5.3.3).
+    num_workers:
+        Number of distinct automation workers (devices) operating the
+        campaign; governs how many requests share a cookie / IP.
+    device_spoof_rate:
+        Probability of impersonating a popular consumer device in the
+        User-Agent.
+    full_consistency:
+        Probability that a device spoof uses a curated, fully consistent
+        emulation profile (no spatial inconsistency introduced).
+    consistency:
+        Probability that each correlated attribute is fixed up when a
+        *sloppy* alteration is made (low values → many spatial
+        inconsistencies).
+    session_reset_rate:
+        Probability that a worker re-rolls its whole altered configuration
+        before a request (new session); between resets the worker re-uses
+        its previous fingerprint and proxy address.
+    platform_rotation_rate:
+        Probability of rotating ``navigator.platform`` when a session is
+        re-rolled.
+    memory_rotation_rate:
+        Probability of re-drawing ``deviceMemory`` when a session is
+        re-rolled.
+    cookie_retention:
+        Probability a worker still holds its honey-site cookie on the next
+        visit.
+    datacenter_fraction:
+        Fraction of requests routed through datacenter/hosting IP space
+        (the remainder uses residential proxies).
+    advertised_region:
+        Region the service sells traffic "from" (``None`` when it makes no
+        such claim); drives the Section 6.2 geolocation behaviour.
+    ip_region_match_rate:
+        Probability the *IP address* actually sits in the advertised
+        region.
+    timezone_region_match_rate:
+        Probability the *browser timezone* is set to match the advertised
+        region (lower than the IP rate for the sloppy services).
+    forced_colors_rate:
+        Probability of running with forced-colors active (always detected
+        by DataDome; only meaningful for requests not trying to evade it).
+    webdriver_leak_rate:
+        Probability of failing to patch ``navigator.webdriver``.
+    requests_per_day_jitter:
+        Relative day-to-day volume jitter used by the campaign scheduler.
+    """
+
+    name: str
+    num_requests: int
+    datadome_evasion_target: float
+    botd_evasion_target: float
+    botd_flavor: BotDEvasionFlavor = BotDEvasionFlavor.MIXED
+    num_workers: int = 40
+    device_spoof_rate: float = 0.55
+    full_consistency: float = 0.5
+    consistency: float = 0.15
+    session_reset_rate: float = 0.6
+    platform_rotation_rate: float = 0.18
+    memory_rotation_rate: float = 0.3
+    cookie_retention: float = 0.07
+    datacenter_fraction: float = 0.6
+    advertised_region: Optional[str] = None
+    ip_region_match_rate: float = 0.92
+    timezone_region_match_rate: float = 0.75
+    forced_colors_rate: float = 0.3
+    webdriver_leak_rate: float = 0.0
+    requests_per_day_jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "datadome_evasion_target",
+            "botd_evasion_target",
+            "device_spoof_rate",
+            "full_consistency",
+            "consistency",
+            "session_reset_rate",
+            "platform_rotation_rate",
+            "memory_rotation_rate",
+            "cookie_retention",
+            "datacenter_fraction",
+            "ip_region_match_rate",
+            "timezone_region_match_rate",
+            "forced_colors_rate",
+            "webdriver_leak_rate",
+        ):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{field_name} must be within [0, 1], got {value}")
+        if self.num_requests < 1:
+            raise ValueError("num_requests must be positive")
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be positive")
+
+    def scaled_requests(self, scale: float) -> int:
+        """Request volume at the given corpus *scale* (at least 1)."""
+
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        return max(1, int(round(self.num_requests * scale)))

@@ -1,0 +1,279 @@
+"""Bot traffic engine.
+
+Drives requests from a :class:`~repro.bots.service.BotServiceProfile` to a
+:class:`~repro.honeysite.HoneySite`, reproducing the campaign structure of
+the paper: a fixed pool of automation workers per service, requests spread
+over a three-month campaign with volume spikes at purchase renewals
+(Figure 9), session-based fingerprint alteration, proxy IP selection and
+cookie (non-)retention.
+
+The worker model is session based.  A worker keeps one altered
+configuration (fingerprint + proxy address) for a stretch of requests and
+re-rolls it with probability ``session_reset_rate`` before a request.
+Whether the honey-site cookie survives a re-roll is governed by
+``cookie_retention``; a retained cookie paired with a re-rolled
+configuration is exactly what produces the temporal inconsistencies of
+Section 6.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bots.service import BotDEvasionFlavor, BotServiceProfile
+from repro.bots.strategies import (
+    apply_consistent_device_spoof,
+    apply_device_spoof,
+    apply_forced_colors,
+    apply_low_concurrency,
+    apply_memory_rotation,
+    apply_platform_rotation,
+    apply_plugin_injection,
+    apply_server_concurrency,
+    apply_timezone,
+    apply_touch_spoof,
+    apply_webdriver_leak,
+    base_bot_fingerprint,
+)
+from repro.fingerprint.fingerprint import Fingerprint
+from repro.geo.timezones import ADVERTISED_REGIONS, COUNTRY_TIMEZONES
+from repro.honeysite.site import HoneySite
+from repro.honeysite.storage import SECONDS_PER_DAY
+from repro.network.headers import build_headers
+from repro.network.request import WebRequest
+
+#: Country mix used when a service makes no geographic promise.  Weighted
+#: toward the United States, where most commodity bot infrastructure sits.
+DEFAULT_COUNTRY_MIX: Tuple[Tuple[str, float], ...] = (
+    ("United States of America", 0.48),
+    ("Germany", 0.10),
+    ("France", 0.06),
+    ("United Kingdom", 0.06),
+    ("Canada", 0.05),
+    ("Netherlands", 0.05),
+    ("China", 0.05),
+    ("India", 0.05),
+    ("Russia", 0.04),
+    ("Brazil", 0.03),
+    ("Singapore", 0.03),
+)
+
+#: Default campaign length in days (September–November in the paper).
+DEFAULT_CAMPAIGN_DAYS = 90
+
+#: Days on which the honey-site operators renewed their purchases; volume
+#: spikes right after each renewal (Figure 9).
+DEFAULT_RENEWAL_DAYS: Tuple[int, ...] = (0, 30, 60)
+
+_BASE_TIMEZONE = "America/Los_Angeles"
+
+
+@dataclass
+class _Worker:
+    """One automation worker of a bot service and its current session."""
+
+    worker_id: int
+    cookie: Optional[str] = None
+    fingerprint: Optional[Fingerprint] = None
+    ip_address: Optional[str] = None
+
+
+class BotTrafficGenerator:
+    """Generates and submits bot traffic for one or more services."""
+
+    def __init__(self, site: HoneySite, rng: Optional[np.random.Generator] = None):
+        self._site = site
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    # -- campaign scheduling --------------------------------------------------
+
+    def _daily_volumes(
+        self,
+        total: int,
+        campaign_days: int,
+        renewal_days: Sequence[int],
+        jitter: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Split *total* requests over the campaign with renewal spikes."""
+
+        days = np.arange(campaign_days, dtype=float)
+        weights = np.full(campaign_days, 0.25, dtype=float)
+        for renewal in renewal_days:
+            delta = days - float(renewal)
+            mask = delta >= 0
+            weights[mask] += np.exp(-delta[mask] / 9.0)
+        weights *= 1.0 + jitter * rng.random(campaign_days)
+        weights /= weights.sum()
+        return rng.multinomial(total, weights)
+
+    # -- session construction ------------------------------------------------------
+
+    def _choose_country(
+        self, profile: BotServiceProfile, rng: np.random.Generator
+    ) -> str:
+        """Pick the country the session's proxy address will sit in."""
+
+        if profile.advertised_region is not None:
+            region_countries = sorted(ADVERTISED_REGIONS[profile.advertised_region])
+            if rng.random() < profile.ip_region_match_rate:
+                return region_countries[int(rng.integers(len(region_countries)))]
+        names = [name for name, _weight in DEFAULT_COUNTRY_MIX]
+        weights = np.array([weight for _name, weight in DEFAULT_COUNTRY_MIX])
+        weights /= weights.sum()
+        return names[int(rng.choice(len(names), p=weights))]
+
+    def _choose_timezone(
+        self, profile: BotServiceProfile, ip_country: str, rng: np.random.Generator
+    ) -> str:
+        """Pick the browser timezone the session reports."""
+
+        if profile.advertised_region is not None:
+            if rng.random() < profile.timezone_region_match_rate:
+                region_countries = sorted(ADVERTISED_REGIONS[profile.advertised_region])
+                country = region_countries[int(rng.integers(len(region_countries)))]
+                zones = COUNTRY_TIMEZONES.get(country, (_BASE_TIMEZONE,))
+                return zones[int(rng.integers(len(zones)))]
+            return _BASE_TIMEZONE
+        # No geographic promise: half the sessions leave the server's zone
+        # in place, the rest align the zone with the proxy's country.
+        if rng.random() < 0.5:
+            zones = COUNTRY_TIMEZONES.get(ip_country, (_BASE_TIMEZONE,))
+            return zones[int(rng.integers(len(zones)))]
+        return _BASE_TIMEZONE
+
+    def _build_fingerprint(
+        self, profile: BotServiceProfile, rng: np.random.Generator
+    ) -> Tuple[Fingerprint, bool]:
+        """Build one altered fingerprint; returns it plus ``use_datacenter``."""
+
+        fingerprint = base_bot_fingerprint(rng)
+
+        # DataDome branch: adopt (or not) the configuration that its model
+        # does not flag — a consumer-grade core count (Figure 5).
+        evade_datadome = rng.random() < profile.datadome_evasion_target
+        if evade_datadome:
+            fingerprint = apply_low_concurrency(fingerprint, rng)
+            use_datacenter = rng.random() < profile.datacenter_fraction
+        else:
+            use_datacenter = True
+            if rng.random() < profile.forced_colors_rate:
+                # Detected regardless of core count: forced-colors mode is a
+                # give-away (Section 5.3.2), so some detected requests still
+                # report few cores, matching the CDF of Figure 5.
+                fingerprint = apply_low_concurrency(fingerprint, rng)
+                fingerprint = apply_forced_colors(fingerprint)
+            else:
+                fingerprint = apply_server_concurrency(fingerprint, rng)
+
+        # BotD branch: hit one of its blind spots (plugins / touch).
+        if rng.random() < profile.botd_evasion_target:
+            flavor = profile.botd_flavor
+            if flavor is BotDEvasionFlavor.MIXED:
+                flavor = (
+                    BotDEvasionFlavor.PLUGINS if rng.random() < 0.7 else BotDEvasionFlavor.TOUCH
+                )
+            if flavor is BotDEvasionFlavor.PLUGINS:
+                fingerprint = apply_plugin_injection(fingerprint, rng)
+            else:
+                fingerprint = apply_touch_spoof(fingerprint, rng, consistency=profile.consistency)
+
+        # Impersonate a popular consumer device (Figures 6 and 7).  Curated
+        # profiles spoof consistently; the rest leave correlated attributes
+        # only partially repaired (Section 6.1).
+        if rng.random() < profile.device_spoof_rate:
+            if rng.random() < profile.full_consistency:
+                fingerprint = apply_consistent_device_spoof(fingerprint, rng)
+            else:
+                fingerprint = apply_device_spoof(fingerprint, rng, consistency=profile.consistency)
+
+        # Attribute rotation across sessions (Figures 9 and 10).
+        if rng.random() < profile.platform_rotation_rate:
+            fingerprint = apply_platform_rotation(fingerprint, rng)
+        if rng.random() < profile.memory_rotation_rate:
+            fingerprint = apply_memory_rotation(fingerprint, rng)
+        if rng.random() < profile.webdriver_leak_rate:
+            fingerprint = apply_webdriver_leak(fingerprint)
+
+        return fingerprint, use_datacenter
+
+    def _reset_session(
+        self, worker: _Worker, profile: BotServiceProfile, rng: np.random.Generator
+    ) -> None:
+        """Re-roll a worker's configuration (new session)."""
+
+        fingerprint, use_datacenter = self._build_fingerprint(profile, rng)
+        country = self._choose_country(profile, rng)
+        timezone = self._choose_timezone(profile, country, rng)
+        fingerprint = apply_timezone(fingerprint, timezone)
+        worker.fingerprint = fingerprint
+        worker.ip_address = self._site.geo.allocate_address(
+            rng, country=country, datacenter=use_datacenter
+        )
+        if worker.cookie is not None and rng.random() > profile.cookie_retention:
+            worker.cookie = None
+
+    # -- public API ------------------------------------------------------------
+
+    def run_service(
+        self,
+        profile: BotServiceProfile,
+        *,
+        scale: float = 1.0,
+        campaign_days: int = DEFAULT_CAMPAIGN_DAYS,
+        renewal_days: Sequence[int] = DEFAULT_RENEWAL_DAYS,
+    ) -> int:
+        """Generate and submit the whole campaign of *profile*.
+
+        Returns the number of requests recorded by the honey site.
+        """
+
+        rng = np.random.default_rng(self._rng.integers(0, 2 ** 32))
+        url_path = self._site.register_source(profile.name)
+        total = profile.scaled_requests(scale)
+        volumes = self._daily_volumes(
+            total, campaign_days, renewal_days, profile.requests_per_day_jitter, rng
+        )
+        workers = [_Worker(worker_id=index) for index in range(profile.num_workers)]
+
+        recorded = 0
+        for day, day_volume in enumerate(volumes):
+            if day_volume == 0:
+                continue
+            offsets = np.sort(rng.random(int(day_volume))) * SECONDS_PER_DAY
+            for offset in offsets:
+                worker = workers[int(rng.integers(len(workers)))]
+                if worker.fingerprint is None or rng.random() < profile.session_reset_rate:
+                    self._reset_session(worker, profile, rng)
+                request = WebRequest(
+                    url_path=url_path,
+                    timestamp=day * SECONDS_PER_DAY + float(offset),
+                    ip_address=worker.ip_address,
+                    fingerprint=worker.fingerprint,
+                    cookie=worker.cookie,
+                    headers=build_headers(worker.fingerprint),
+                )
+                record = self._site.handle(request)
+                if record is not None:
+                    worker.cookie = record.cookie
+                    recorded += 1
+        return recorded
+
+    def run_marketplace(
+        self,
+        profiles: Sequence[BotServiceProfile],
+        *,
+        scale: float = 1.0,
+        campaign_days: int = DEFAULT_CAMPAIGN_DAYS,
+    ) -> Dict[str, int]:
+        """Run every service in *profiles*; returns per-service volumes."""
+
+        volumes: Dict[str, int] = {}
+        for profile in profiles:
+            volumes[profile.name] = self.run_service(
+                profile, scale=scale, campaign_days=campaign_days
+            )
+        return volumes

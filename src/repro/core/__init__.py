@@ -1,0 +1,48 @@
+"""FP-Inconsistent: spatial/temporal inconsistency mining and detection."""
+
+from repro.core.detector import FPInconsistent, InconsistencyVerdict
+from repro.core.evaluation import (
+    DetectionRates,
+    GeneralizationResult,
+    ServiceImprovement,
+    detection_rates,
+    evaluate_generalization,
+    evaluate_table3,
+    evaluate_table4,
+    true_negative_rate,
+)
+from repro.core.knowledge import DeviceKnowledgeBase
+from repro.core.pipeline import FPInconsistentPipeline, PipelineResult
+from repro.core.rules import FilterList, InconsistencyRule
+from repro.core.spatial import PairStatistics, SpatialInconsistencyMiner, SpatialMinerConfig
+from repro.core.temporal import (
+    DEFAULT_COOKIE_ATTRIBUTES,
+    DEFAULT_IP_ATTRIBUTES,
+    TemporalFlag,
+    TemporalInconsistencyDetector,
+)
+
+__all__ = [
+    "DEFAULT_COOKIE_ATTRIBUTES",
+    "DEFAULT_IP_ATTRIBUTES",
+    "DetectionRates",
+    "DeviceKnowledgeBase",
+    "FPInconsistent",
+    "FPInconsistentPipeline",
+    "FilterList",
+    "GeneralizationResult",
+    "InconsistencyRule",
+    "InconsistencyVerdict",
+    "PairStatistics",
+    "PipelineResult",
+    "ServiceImprovement",
+    "SpatialInconsistencyMiner",
+    "SpatialMinerConfig",
+    "TemporalFlag",
+    "TemporalInconsistencyDetector",
+    "detection_rates",
+    "evaluate_generalization",
+    "evaluate_table3",
+    "evaluate_table4",
+    "true_negative_rate",
+]

@@ -1,0 +1,174 @@
+"""The combined FP-Inconsistent detector.
+
+Wraps a mined spatial :class:`FilterList` and a
+:class:`TemporalInconsistencyDetector` behind one object that can
+
+* be fitted on a corpus of bot-labelled requests (rule mining),
+* classify individual fingerprints / whole request stores, and
+* report *why* a request was considered inconsistent.
+
+This is the artefact an anti-bot service would deploy (Section 8.3): the
+filter list runs client- or server-side per request, the temporal tracker
+runs server-side keyed on the first-party cookie and source address.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.rules import FilterList, InconsistencyRule
+from repro.core.spatial import SpatialInconsistencyMiner, SpatialMinerConfig
+from repro.core.temporal import TemporalFlag, TemporalInconsistencyDetector
+from repro.fingerprint.fingerprint import Fingerprint
+from repro.honeysite.storage import RecordedRequest, RequestStore
+
+
+@dataclass(frozen=True)
+class InconsistencyVerdict:
+    """Classification of one request by FP-Inconsistent."""
+
+    request_id: int
+    spatial_rule: Optional[InconsistencyRule]
+    temporal_flags: Tuple[TemporalFlag, ...] = ()
+
+    @property
+    def spatially_inconsistent(self) -> bool:
+        return self.spatial_rule is not None
+
+    @property
+    def temporally_inconsistent(self) -> bool:
+        return bool(self.temporal_flags)
+
+    @property
+    def is_inconsistent(self) -> bool:
+        """Combined decision (spatial OR temporal)."""
+
+        return self.spatially_inconsistent or self.temporally_inconsistent
+
+
+class FPInconsistent:
+    """Data-driven inconsistency detector (the paper's core contribution)."""
+
+    def __init__(
+        self,
+        *,
+        filter_list: Optional[FilterList] = None,
+        temporal: Optional[TemporalInconsistencyDetector] = None,
+        miner: Optional[SpatialInconsistencyMiner] = None,
+        location_predicate: bool = True,
+    ):
+        self._miner = miner if miner is not None else SpatialInconsistencyMiner()
+        self._filter_list = filter_list if filter_list is not None else FilterList()
+        self._temporal = temporal if temporal is not None else TemporalInconsistencyDetector()
+        #: When enabled, the Location rules generalise beyond the exact
+        #: value pairs mined from the corpus: any (IP country, browser
+        #: timezone) combination whose UTC offsets cannot overlap is a
+        #: spatial inconsistency (this is what flags Tor traffic, §7.5).
+        self._location_predicate = location_predicate
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def filter_list(self) -> FilterList:
+        return self._filter_list
+
+    @property
+    def temporal_detector(self) -> TemporalInconsistencyDetector:
+        return self._temporal
+
+    @property
+    def miner(self) -> SpatialInconsistencyMiner:
+        return self._miner
+
+    # -- fitting -----------------------------------------------------------------
+
+    def fit(self, store: RequestStore) -> "FPInconsistent":
+        """Mine the spatial filter list from a bot-labelled request store."""
+
+        self._filter_list = self._miner.mine_store(store)
+        return self
+
+    # -- single-fingerprint API ------------------------------------------------------
+
+    def check_fingerprint(self, fingerprint: Fingerprint) -> Optional[InconsistencyRule]:
+        """Spatial check of a single fingerprint (no temporal state)."""
+
+        match = self._filter_list.first_match(fingerprint)
+        if match is not None:
+            return match
+        if self._location_predicate:
+            return self._check_location(fingerprint)
+        return None
+
+    def _check_location(self, fingerprint: Fingerprint) -> Optional[InconsistencyRule]:
+        """Generalised Location-category check backed by the knowledge base."""
+
+        from repro.fingerprint.attributes import Attribute
+        from repro.fingerprint.categories import AttributeCategory
+
+        country = fingerprint.value_for_grouping(Attribute.IP_COUNTRY)
+        timezone = fingerprint.value_for_grouping(Attribute.TIMEZONE)
+        if country is None or timezone is None:
+            return None
+        verdict = self._miner.knowledge.is_pair_consistent(
+            Attribute.IP_COUNTRY, country, Attribute.TIMEZONE, timezone
+        )
+        if verdict is False:
+            return InconsistencyRule(
+                category=AttributeCategory.LOCATION,
+                attribute_a=Attribute.IP_COUNTRY,
+                value_a=country,
+                attribute_b=Attribute.TIMEZONE,
+                value_b=timezone,
+                support=0,
+            )
+        return None
+
+    # -- store classification ----------------------------------------------------------
+
+    def classify_store(
+        self,
+        store: RequestStore,
+        *,
+        use_spatial: bool = True,
+        use_temporal: bool = True,
+    ) -> Dict[int, InconsistencyVerdict]:
+        """Classify every request in *store*.
+
+        Temporal state is evaluated in timestamp order over the given store
+        only (it does not leak across calls).  Returns a verdict per
+        ``request_id``.
+        """
+
+        temporal_flags: Dict[int, List[TemporalFlag]] = {}
+        if use_temporal:
+            temporal_flags = self._temporal.evaluate_store(store)
+
+        verdicts: Dict[int, InconsistencyVerdict] = {}
+        for record in store:
+            spatial_rule = None
+            if use_spatial:
+                spatial_rule = self.check_fingerprint(record.request.fingerprint)
+            verdicts[record.request.request_id] = InconsistencyVerdict(
+                request_id=record.request.request_id,
+                spatial_rule=spatial_rule,
+                temporal_flags=tuple(temporal_flags.get(record.request.request_id, ())),
+            )
+        return verdicts
+
+    def inconsistent_fraction(
+        self,
+        store: RequestStore,
+        *,
+        use_spatial: bool = True,
+        use_temporal: bool = True,
+    ) -> float:
+        """Fraction of requests in *store* classified as inconsistent."""
+
+        if len(store) == 0:
+            return 0.0
+        verdicts = self.classify_store(
+            store, use_spatial=use_spatial, use_temporal=use_temporal
+        )
+        return sum(1 for verdict in verdicts.values() if verdict.is_inconsistent) / len(store)

@@ -1,0 +1,108 @@
+"""End-to-end FP-Inconsistent pipeline.
+
+Chains corpus → rule mining → classification → evaluation, producing the
+numbers of Tables 3 and 4, the real-user true-negative rate of Section 7.4
+and the generalisation check of Section 7.3 from one call.  The benchmarks
+and the quickstart example are thin wrappers around this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.detector import FPInconsistent, InconsistencyVerdict
+from repro.core.evaluation import (
+    DetectionRates,
+    GeneralizationResult,
+    ServiceImprovement,
+    evaluate_generalization,
+    evaluate_table3,
+    evaluate_table4,
+    true_negative_rate,
+)
+from repro.core.rules import FilterList
+from repro.core.spatial import SpatialInconsistencyMiner, SpatialMinerConfig
+from repro.core.temporal import TemporalInconsistencyDetector
+from repro.honeysite.storage import RequestStore
+
+
+@dataclass
+class PipelineResult:
+    """Everything the Section 7 evaluation produces."""
+
+    filter_list: FilterList
+    verdicts: Dict[int, InconsistencyVerdict]
+    table4: Dict[str, DetectionRates]
+    table3: Tuple[ServiceImprovement, ...]
+    real_user_tnr: Optional[float] = None
+    generalization: Optional[Dict[str, GeneralizationResult]] = None
+
+    @property
+    def evasion_reductions(self) -> Dict[str, float]:
+        """Relative evasion reduction per detector (headline numbers)."""
+
+        return {name: rates.evasion_reduction for name, rates in self.table4.items()}
+
+
+class FPInconsistentPipeline:
+    """Mines rules from bot traffic and evaluates them end to end."""
+
+    def __init__(
+        self,
+        *,
+        miner_config: Optional[SpatialMinerConfig] = None,
+        temporal: Optional[TemporalInconsistencyDetector] = None,
+    ):
+        self._miner_config = miner_config
+        self._temporal = temporal
+
+    def _build_detector(self) -> FPInconsistent:
+        miner = SpatialInconsistencyMiner(config=self._miner_config)
+        temporal = self._temporal if self._temporal is not None else TemporalInconsistencyDetector()
+        return FPInconsistent(miner=miner, temporal=temporal)
+
+    def run(
+        self,
+        bot_store: RequestStore,
+        *,
+        real_user_store: Optional[RequestStore] = None,
+        check_generalization: bool = False,
+        generalization_seed: int = 0,
+    ) -> PipelineResult:
+        """Run the full evaluation.
+
+        Parameters
+        ----------
+        bot_store:
+            Requests recorded from the bot services (ground-truth bots).
+        real_user_store:
+            Requests from real users; when given, the true-negative rate of
+            Section 7.4 is computed with the same mined rules.
+        check_generalization:
+            When ``True``, additionally performs the 80/20 train/test check
+            of Section 7.3 (more expensive: rules are mined twice).
+        """
+
+        detector = self._build_detector()
+        detector.fit(bot_store)
+        verdicts = detector.classify_store(bot_store)
+
+        result = PipelineResult(
+            filter_list=detector.filter_list,
+            verdicts=verdicts,
+            table4=evaluate_table4(bot_store, verdicts),
+            table3=evaluate_table3(bot_store, verdicts),
+        )
+
+        if real_user_store is not None and len(real_user_store) > 0:
+            user_verdicts = detector.classify_store(real_user_store)
+            result.real_user_tnr = true_negative_rate(real_user_store, user_verdicts)
+
+        if check_generalization:
+            result.generalization = evaluate_generalization(
+                bot_store,
+                seed=generalization_seed,
+                detector_factory=self._build_detector,
+            )
+        return result

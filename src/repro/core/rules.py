@@ -1,0 +1,211 @@
+"""Inconsistency rules and filter lists.
+
+FP-Inconsistent's output is a *filter list*: a set of rules, each stating
+that a particular pair of attribute values cannot co-occur on a real device
+(Table 6).  A request whose fingerprint matches any rule is classified as a
+bot.  Filter lists serialise to JSON so they can be shipped to anti-bot
+services (Section 8.3) and are what the paper open-sources.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.fingerprint.attributes import Attribute
+from repro.fingerprint.categories import AttributeCategory
+from repro.fingerprint.fingerprint import Fingerprint
+
+
+@dataclass(frozen=True)
+class InconsistencyRule:
+    """One spatial inconsistency: a value pair that cannot exist for real devices.
+
+    Attributes
+    ----------
+    category:
+        The attribute group (Table 7) the pair was mined from.
+    attribute_a / value_a, attribute_b / value_b:
+        The two attribute values that cannot co-occur.  Values are stored
+        in their grouping form (the printable representation used in the
+        paper's tables, e.g. ``"1920x1080"`` for resolutions).
+    support:
+        Number of mining-corpus requests exhibiting the pair.
+    """
+
+    category: AttributeCategory
+    attribute_a: Attribute
+    value_a: object
+    attribute_b: Attribute
+    value_b: object
+    support: int = 0
+
+    @property
+    def key(self) -> Tuple[str, str, str, str]:
+        """Order-independent identity of the rule (ignores support)."""
+
+        left = (self.attribute_a.value, str(self.value_a))
+        right = (self.attribute_b.value, str(self.value_b))
+        first, second = sorted((left, right))
+        return (first[0], first[1], second[0], second[1])
+
+    def matches(self, fingerprint: Fingerprint) -> bool:
+        """Whether *fingerprint* exhibits this impossible value pair."""
+
+        observed_a = fingerprint.value_for_grouping(self.attribute_a)
+        observed_b = fingerprint.value_for_grouping(self.attribute_b)
+        return observed_a == self.value_a and observed_b == self.value_b
+
+    def describe(self) -> str:
+        """Human-readable one-liner in the Table 6 style."""
+
+        return (
+            f"[{self.category.value}] ({self.attribute_a.value}={self.value_a!r}, "
+            f"{self.attribute_b.value}={self.value_b!r})"
+        )
+
+    def to_dict(self) -> Dict:
+        return {
+            "category": self.category.value,
+            "attribute_a": self.attribute_a.value,
+            "value_a": self.value_a,
+            "attribute_b": self.attribute_b.value,
+            "value_b": self.value_b,
+            "support": self.support,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "InconsistencyRule":
+        return cls(
+            category=AttributeCategory(data["category"]),
+            attribute_a=Attribute(data["attribute_a"]),
+            value_a=data["value_a"],
+            attribute_b=Attribute(data["attribute_b"]),
+            value_b=data["value_b"],
+            support=int(data.get("support", 0)),
+        )
+
+
+class FilterList:
+    """A deployable collection of inconsistency rules."""
+
+    def __init__(self, rules: Optional[Iterable[InconsistencyRule]] = None):
+        self._rules: List[InconsistencyRule] = []
+        self._by_key: Dict[Tuple[str, str, str, str], InconsistencyRule] = {}
+        #: attribute_a -> value_a -> rules, used to make matching O(#attributes)
+        #: instead of O(#rules) per fingerprint.
+        self._index: Dict[Attribute, Dict[object, List[InconsistencyRule]]] = {}
+        if rules:
+            for rule in rules:
+                self.add(rule)
+
+    # -- collection protocol -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self) -> Iterator[InconsistencyRule]:
+        return iter(self._rules)
+
+    def __contains__(self, rule: InconsistencyRule) -> bool:
+        return rule.key in self._by_key
+
+    @property
+    def rules(self) -> Tuple[InconsistencyRule, ...]:
+        return tuple(self._rules)
+
+    def add(self, rule: InconsistencyRule) -> bool:
+        """Add *rule*; returns ``False`` when an equivalent rule exists."""
+
+        if rule.key in self._by_key:
+            return False
+        self._rules.append(rule)
+        self._by_key[rule.key] = rule
+        self._index.setdefault(rule.attribute_a, {}).setdefault(rule.value_a, []).append(rule)
+        return True
+
+    def merge(self, other: "FilterList") -> "FilterList":
+        """New filter list containing the union of rules."""
+
+        merged = FilterList(self._rules)
+        for rule in other:
+            merged.add(rule)
+        return merged
+
+    # -- matching --------------------------------------------------------------------
+
+    def first_match(self, fingerprint: Fingerprint) -> Optional[InconsistencyRule]:
+        """The first rule *fingerprint* violates, or ``None``.
+
+        Matching is indexed by the first attribute's value, so only rules
+        whose ``value_a`` the fingerprint actually exhibits are examined.
+        """
+
+        for attribute, by_value in self._index.items():
+            observed = fingerprint.value_for_grouping(attribute)
+            if observed is None:
+                continue
+            for rule in by_value.get(observed, ()):  # pragma: no branch
+                if fingerprint.value_for_grouping(rule.attribute_b) == rule.value_b:
+                    return rule
+        return None
+
+    def matches(self, fingerprint: Fingerprint) -> bool:
+        """Whether *fingerprint* violates any rule."""
+
+        return self.first_match(fingerprint) is not None
+
+    def all_matches(self, fingerprint: Fingerprint) -> Tuple[InconsistencyRule, ...]:
+        """Every rule *fingerprint* violates."""
+
+        return tuple(rule for rule in self._rules if rule.matches(fingerprint))
+
+    # -- views -----------------------------------------------------------------------
+
+    def by_category(self) -> Dict[AttributeCategory, Tuple[InconsistencyRule, ...]]:
+        """Rules grouped by attribute category (Table 6 layout)."""
+
+        grouped: Dict[AttributeCategory, List[InconsistencyRule]] = {}
+        for rule in self._rules:
+            grouped.setdefault(rule.category, []).append(rule)
+        return {category: tuple(rules) for category, rules in grouped.items()}
+
+    def by_attribute_pair(self) -> Dict[Tuple[Attribute, Attribute], Tuple[InconsistencyRule, ...]]:
+        """Rules grouped by the attribute pair they constrain."""
+
+        grouped: Dict[Tuple[Attribute, Attribute], List[InconsistencyRule]] = {}
+        for rule in self._rules:
+            pair = tuple(sorted((rule.attribute_a, rule.attribute_b), key=lambda a: a.value))
+            grouped.setdefault(pair, []).append(rule)  # type: ignore[arg-type]
+        return {pair: tuple(rules) for pair, rules in grouped.items()}
+
+    def top_rules(self, count: int = 10) -> Tuple[InconsistencyRule, ...]:
+        """The *count* highest-support rules."""
+
+        return tuple(sorted(self._rules, key=lambda rule: rule.support, reverse=True)[:count])
+
+    # -- persistence -------------------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialise the list to a JSON document."""
+
+        return json.dumps([rule.to_dict() for rule in self._rules], indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FilterList":
+        """Load a list serialised by :meth:`to_json`."""
+
+        return cls(InconsistencyRule.from_dict(item) for item in json.loads(text))
+
+    def save(self, path) -> None:
+        """Write the JSON serialisation to *path*."""
+
+        Path(path).write_text(self.to_json(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path) -> "FilterList":
+        """Load a filter list from *path*."""
+
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,214 @@
+"""Spatial inconsistency mining (Algorithm 1).
+
+The miner implements Section 7.1: real devices occupy a limited
+configuration space, so when bots alter attributes they inflate the number
+of distinct configurations observed for popular attribute values.  For
+every attribute pair within a category (Table 7) the miner:
+
+1. counts, for each value of the first attribute, how many distinct values
+   of the second attribute co-occur with it in the bot-labelled corpus;
+2. ranks the first-attribute values by that count and keeps the ones whose
+   count exceeds what the device knowledge base expects (the
+   configuration-count *inflation* test);
+3. walks the observed value pairs (most inflated first) and asks the
+   knowledge base whether each pair can exist on a real device; impossible
+   pairs with enough support become :class:`InconsistencyRule`s.
+
+The paper performs step 3 manually ("identify cases where the combination
+of these two attributes is impossible"); the knowledge base automates that
+judgement so the pipeline is reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.knowledge import DeviceKnowledgeBase
+from repro.core.rules import FilterList, InconsistencyRule
+from repro.fingerprint.attributes import Attribute
+from repro.fingerprint.categories import AttributeCategory, category_pairs
+from repro.fingerprint.fingerprint import Fingerprint
+
+
+@dataclass(frozen=True)
+class SpatialMinerConfig:
+    """Tuning knobs of the spatial miner.
+
+    Attributes
+    ----------
+    min_support:
+        Minimum number of corpus requests exhibiting a value pair before it
+        can become a rule.  Guards against mislabelling rare but real
+        configurations on the strength of one or two observations.
+    min_value_support:
+        Minimum number of requests carrying the first attribute's value at
+        all; values rarer than this are skipped entirely.
+    inflation_factor:
+        A first-attribute value is examined only when its distinct
+        second-value count exceeds ``inflation_factor`` times the count the
+        knowledge base expects for real devices (when known).  Set to 0 to
+        disable the inflation pre-filter (ablation).
+    max_values_per_pair:
+        Upper bound on how many first-attribute values are examined per
+        attribute pair (most-inflated first), mirroring the paper's
+        analyst starting "with the UA Device instance that has the highest
+        number of unique combinations".
+    """
+
+    min_support: int = 5
+    min_value_support: int = 10
+    inflation_factor: float = 1.5
+    max_values_per_pair: int = 50
+
+    def __post_init__(self) -> None:
+        if self.min_support < 1 or self.min_value_support < 1:
+            raise ValueError("support thresholds must be positive")
+        if self.inflation_factor < 0:
+            raise ValueError("inflation_factor cannot be negative")
+        if self.max_values_per_pair < 1:
+            raise ValueError("max_values_per_pair must be positive")
+
+
+@dataclass(frozen=True)
+class PairStatistics:
+    """Observed co-occurrence structure of one attribute pair."""
+
+    category: AttributeCategory
+    attribute_a: Attribute
+    attribute_b: Attribute
+    #: value_a -> {value_b -> count}
+    combinations: Dict[object, Dict[object, int]]
+
+    def distinct_counts(self) -> List[Tuple[object, int]]:
+        """``(value_a, number of distinct value_b)`` sorted most-inflated first."""
+
+        counts = [(value_a, len(values_b)) for value_a, values_b in self.combinations.items()]
+        counts.sort(key=lambda item: item[1], reverse=True)
+        return counts
+
+    def value_support(self, value_a: object) -> int:
+        """Number of requests carrying ``attribute_a == value_a``."""
+
+        return sum(self.combinations.get(value_a, {}).values())
+
+
+class SpatialInconsistencyMiner:
+    """Mines spatial inconsistency rules from bot-labelled fingerprints."""
+
+    def __init__(
+        self,
+        knowledge: Optional[DeviceKnowledgeBase] = None,
+        config: Optional[SpatialMinerConfig] = None,
+    ):
+        self._knowledge = knowledge if knowledge is not None else DeviceKnowledgeBase()
+        self._config = config if config is not None else SpatialMinerConfig()
+
+    @property
+    def config(self) -> SpatialMinerConfig:
+        return self._config
+
+    @property
+    def knowledge(self) -> DeviceKnowledgeBase:
+        return self._knowledge
+
+    # -- statistics ------------------------------------------------------------
+
+    def pair_statistics(
+        self,
+        fingerprints: Sequence[Fingerprint],
+        category: AttributeCategory,
+        attribute_a: Attribute,
+        attribute_b: Attribute,
+    ) -> PairStatistics:
+        """Co-occurrence counts of one attribute pair over *fingerprints*."""
+
+        combinations: Dict[object, Dict[object, int]] = {}
+        for fingerprint in fingerprints:
+            value_a = fingerprint.value_for_grouping(attribute_a)
+            value_b = fingerprint.value_for_grouping(attribute_b)
+            if value_a is None or value_b is None:
+                continue
+            bucket = combinations.setdefault(value_a, {})
+            bucket[value_b] = bucket.get(value_b, 0) + 1
+        return PairStatistics(
+            category=category,
+            attribute_a=attribute_a,
+            attribute_b=attribute_b,
+            combinations=combinations,
+        )
+
+    # -- mining -----------------------------------------------------------------
+
+    def mine_pair(
+        self,
+        fingerprints: Sequence[Fingerprint],
+        category: AttributeCategory,
+        attribute_a: Attribute,
+        attribute_b: Attribute,
+    ) -> List[InconsistencyRule]:
+        """Mine rules for a single attribute pair."""
+
+        statistics = self.pair_statistics(fingerprints, category, attribute_a, attribute_b)
+        config = self._config
+        rules: List[InconsistencyRule] = []
+
+        examined = 0
+        for value_a, distinct_count in statistics.distinct_counts():
+            if examined >= config.max_values_per_pair:
+                break
+            if statistics.value_support(value_a) < config.min_value_support:
+                continue
+
+            expected = self._knowledge.expected_value_count(attribute_a, value_a, attribute_b)
+            if (
+                config.inflation_factor > 0
+                and expected is not None
+                and distinct_count <= expected * config.inflation_factor
+            ):
+                # The configuration count is compatible with real devices;
+                # nothing to examine for this value.
+                continue
+            examined += 1
+
+            for value_b, support in sorted(
+                statistics.combinations[value_a].items(), key=lambda item: item[1], reverse=True
+            ):
+                if support < config.min_support:
+                    continue
+                verdict = self._knowledge.is_pair_consistent(
+                    attribute_a, value_a, attribute_b, value_b
+                )
+                if verdict is False:
+                    rules.append(
+                        InconsistencyRule(
+                            category=category,
+                            attribute_a=attribute_a,
+                            value_a=value_a,
+                            attribute_b=attribute_b,
+                            value_b=value_b,
+                            support=support,
+                        )
+                    )
+        return rules
+
+    def mine(self, fingerprints: Sequence[Fingerprint]) -> FilterList:
+        """Mine a full filter list over every category's attribute pairs."""
+
+        filter_list = FilterList()
+        for category in AttributeCategory:
+            for attribute_a, attribute_b in category_pairs(category):
+                for rule in self.mine_pair(fingerprints, category, attribute_a, attribute_b):
+                    filter_list.add(rule)
+                # Algorithm 1 sorts one side of the pair; mining the swapped
+                # orientation as well catches pairs where the *second*
+                # attribute's values are the inflated ones.
+                for rule in self.mine_pair(fingerprints, category, attribute_b, attribute_a):
+                    filter_list.add(rule)
+        return filter_list
+
+    def mine_store(self, store) -> FilterList:
+        """Mine from a :class:`~repro.honeysite.RequestStore` of bot traffic."""
+
+        fingerprints = [record.request.fingerprint for record in store]
+        return self.mine(fingerprints)

@@ -1,0 +1,184 @@
+"""Temporal inconsistency detection (Section 7.2).
+
+A temporal inconsistency is a change, across requests from the same device,
+of an attribute that cannot change for a real device.  Devices are
+identified two ways, exactly as in the paper:
+
+* the honey site's first-party **cookie** — immutable hardware/software
+  attributes (platform, CPU core count, device memory, …) must not vary
+  across requests carrying the same cookie;
+* the **IP address** — the set of browser timezones reported from one
+  address must not keep growing (a household has one, maybe two zones).
+
+The detector is streaming: requests are processed in timestamp order and a
+request is flagged when it *increases* the number of distinct values of a
+tracked attribute for its device key, mirroring the paper's "if an incoming
+request increases the number of unique attribute values associated with
+previous identifiers, we consider that request to be temporally
+inconsistent".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.fingerprint.attributes import Attribute
+from repro.fingerprint.fingerprint import Fingerprint
+from repro.honeysite.storage import RecordedRequest, RequestStore
+
+#: Immutable attributes tracked per cookie by default (Section 7.2 names
+#: hardware concurrency, device memory and the platform example of §6.3).
+DEFAULT_COOKIE_ATTRIBUTES: Tuple[Attribute, ...] = (
+    Attribute.PLATFORM,
+    Attribute.HARDWARE_CONCURRENCY,
+    Attribute.DEVICE_MEMORY,
+    Attribute.MAX_TOUCH_POINTS,
+    Attribute.COLOR_DEPTH,
+)
+
+#: Attributes tracked per IP address by default.
+DEFAULT_IP_ATTRIBUTES: Tuple[Attribute, ...] = (Attribute.TIMEZONE,)
+
+#: How many distinct values are tolerated per (device, attribute) before a
+#: further new value is considered inconsistent.  1 means "any change is
+#: inconsistent" (the paper's rule for cookie-keyed attributes); the IP key
+#: tolerates 2 zones (e.g. a laptop commuting between home and office).
+DEFAULT_COOKIE_TOLERANCE = 1
+DEFAULT_IP_TOLERANCE = 2
+
+
+@dataclass(frozen=True)
+class TemporalFlag:
+    """Why one request was considered temporally inconsistent."""
+
+    key_kind: str          # "cookie" or "ip"
+    key: str
+    attribute: Attribute
+    previous_values: Tuple[object, ...]
+    new_value: object
+
+    def describe(self) -> str:
+        return (
+            f"{self.key_kind}={self.key!r}: {self.attribute.value} changed to "
+            f"{self.new_value!r} after {list(self.previous_values)!r}"
+        )
+
+
+class TemporalInconsistencyDetector:
+    """Streaming detector of temporal inconsistencies."""
+
+    def __init__(
+        self,
+        *,
+        cookie_attributes: Sequence[Attribute] = DEFAULT_COOKIE_ATTRIBUTES,
+        ip_attributes: Sequence[Attribute] = DEFAULT_IP_ATTRIBUTES,
+        cookie_tolerance: int = DEFAULT_COOKIE_TOLERANCE,
+        ip_tolerance: int = DEFAULT_IP_TOLERANCE,
+    ):
+        if cookie_tolerance < 1 or ip_tolerance < 1:
+            raise ValueError("tolerances must be at least 1")
+        self._cookie_attributes = tuple(cookie_attributes)
+        self._ip_attributes = tuple(ip_attributes)
+        self._cookie_tolerance = cookie_tolerance
+        self._ip_tolerance = ip_tolerance
+        #: (key_kind, key, attribute) -> set of observed values
+        self._seen: Dict[Tuple[str, str, Attribute], Set[object]] = {}
+
+    def reset(self) -> None:
+        """Forget all per-device state."""
+
+        self._seen.clear()
+
+    # -- streaming API -----------------------------------------------------------
+
+    def _observe_one(
+        self,
+        key_kind: str,
+        key: str,
+        attribute: Attribute,
+        value: object,
+        tolerance: int,
+    ) -> Optional[TemporalFlag]:
+        if value is None or not key:
+            return None
+        seen = self._seen.setdefault((key_kind, key, attribute), set())
+        if value in seen:
+            return None
+        flag: Optional[TemporalFlag] = None
+        if len(seen) >= tolerance:
+            flag = TemporalFlag(
+                key_kind=key_kind,
+                key=key,
+                attribute=attribute,
+                previous_values=tuple(seen),
+                new_value=value,
+            )
+        seen.add(value)
+        return flag
+
+    def observe(
+        self,
+        fingerprint: Fingerprint,
+        *,
+        cookie: Optional[str],
+        ip_address: Optional[str],
+    ) -> List[TemporalFlag]:
+        """Process one request; returns the flags it raised (possibly empty).
+
+        The observation is recorded regardless of whether it was flagged,
+        so a later request re-using an already-flagged value is *not*
+        flagged again (only increases are flagged).
+        """
+
+        flags: List[TemporalFlag] = []
+        if cookie:
+            for attribute in self._cookie_attributes:
+                flag = self._observe_one(
+                    "cookie",
+                    cookie,
+                    attribute,
+                    fingerprint.value_for_grouping(attribute),
+                    self._cookie_tolerance,
+                )
+                if flag is not None:
+                    flags.append(flag)
+        if ip_address:
+            for attribute in self._ip_attributes:
+                flag = self._observe_one(
+                    "ip",
+                    ip_address,
+                    attribute,
+                    fingerprint.value_for_grouping(attribute),
+                    self._ip_tolerance,
+                )
+                if flag is not None:
+                    flags.append(flag)
+        return flags
+
+    # -- batch API ------------------------------------------------------------------
+
+    def evaluate_store(self, store: RequestStore) -> Dict[int, List[TemporalFlag]]:
+        """Evaluate a whole store in timestamp order.
+
+        Returns a mapping from ``request_id`` to the flags raised by that
+        request (requests that raised none are omitted).  Detector state is
+        reset first so the evaluation is self-contained.
+        """
+
+        self.reset()
+        flagged: Dict[int, List[TemporalFlag]] = {}
+        for record in store.sorted_by_time():
+            flags = self.observe(
+                record.request.fingerprint,
+                cookie=record.cookie,
+                ip_address=record.request.ip_address,
+            )
+            if flags:
+                flagged[record.request.request_id] = flags
+        return flagged
+
+    def flagged_request_ids(self, store: RequestStore) -> Set[int]:
+        """The request ids flagged when evaluating *store*."""
+
+        return set(self.evaluate_store(store))

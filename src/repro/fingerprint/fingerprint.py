@@ -1,0 +1,191 @@
+"""The :class:`Fingerprint` record and its hashing.
+
+A fingerprint is the set of attribute values collected for one request by
+the honey site's FingerprintJS-style collector plus the values derived from
+the transport layer (IP geolocation, ASN).  Fingerprints are immutable
+mappings from :class:`~repro.fingerprint.attributes.Attribute` to values;
+the bot strategies produce *altered* copies via :meth:`Fingerprint.replace`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
+
+from repro.fingerprint.attributes import (
+    Attribute,
+    coerce_value,
+    format_resolution,
+)
+from repro.fingerprint.useragent import ParsedUserAgent, parse_user_agent
+
+
+class Fingerprint(Mapping[Attribute, Any]):
+    """An immutable collection of fingerprint attribute values.
+
+    Parameters
+    ----------
+    values:
+        Mapping from :class:`Attribute` (or its string value) to the raw
+        attribute value.  Values are coerced to their canonical types.
+
+    Notes
+    -----
+    * Missing attributes read as ``None``.
+    * ``Fingerprint`` is hashable: two fingerprints with the same attribute
+      values share the same :meth:`stable_hash`, mirroring how the paper
+      counts "unique fingerprints" in Figure 9.
+    """
+
+    __slots__ = ("_values", "_hash")
+
+    def __init__(self, values: Mapping[Any, Any]):
+        coerced: Dict[Attribute, Any] = {}
+        for key, value in values.items():
+            attribute = key if isinstance(key, Attribute) else Attribute(str(key))
+            coerced_value = coerce_value(attribute, value)
+            if isinstance(coerced_value, list):
+                coerced_value = tuple(coerced_value)
+            coerced[attribute] = coerced_value
+        self._values: Dict[Attribute, Any] = coerced
+        self._hash: Optional[str] = None
+
+    # -- Mapping protocol ----------------------------------------------------
+
+    def __getitem__(self, key: Attribute) -> Any:
+        return self._values[key]
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._values
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Fingerprint):
+            return NotImplemented
+        return self._values == other._values
+
+    def __hash__(self) -> int:
+        return hash(self.stable_hash())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        device = self.get(Attribute.UA_DEVICE, "?")
+        return f"Fingerprint(device={device!r}, hash={self.stable_hash()[:12]})"
+
+    # -- convenience accessors -------------------------------------------------
+
+    def get(self, key: Attribute, default: Any = None) -> Any:
+        return self._values.get(key, default)
+
+    @property
+    def parsed_user_agent(self) -> ParsedUserAgent:
+        """Parse the raw ``User-Agent`` carried by this fingerprint."""
+
+        return parse_user_agent(self.get(Attribute.USER_AGENT))
+
+    def value_for_grouping(self, attribute: Attribute) -> Any:
+        """Return a hashable, human-readable value used by grouping code.
+
+        Screen resolutions become ``"WxH"`` strings and attribute lists
+        become comma-joined strings so that grouping keys are printable in
+        tables exactly as the paper renders them.
+        """
+
+        value = self.get(attribute)
+        if value is None:
+            return None
+        if attribute is Attribute.SCREEN_RESOLUTION:
+            return format_resolution(value)
+        if isinstance(value, tuple):
+            return ", ".join(str(item) for item in value) or "(none)"
+        return value
+
+    # -- derivation -------------------------------------------------------------
+
+    def replace(self, **changes: Any) -> "Fingerprint":
+        """Return a copy with attribute values replaced.
+
+        Keyword names are the snake_case attribute keys (``Attribute``
+        member values), e.g. ``fp.replace(hardware_concurrency=4)``.
+        """
+
+        updated: Dict[Any, Any] = dict(self._values)
+        for key, value in changes.items():
+            updated[Attribute(key)] = value
+        return Fingerprint(updated)
+
+    def without(self, *attributes: Attribute) -> "Fingerprint":
+        """Return a copy with *attributes* removed."""
+
+        remaining = {
+            key: value for key, value in self._values.items() if key not in attributes
+        }
+        return Fingerprint(remaining)
+
+    # -- serialisation ------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialise to a plain dictionary keyed by attribute name."""
+
+        result: Dict[str, Any] = {}
+        for attribute, value in self._values.items():
+            if isinstance(value, tuple):
+                value = list(value)
+            result[attribute.value] = value
+        return result
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Fingerprint":
+        """Reconstruct a fingerprint from :meth:`to_dict` output."""
+
+        return cls(data)
+
+    def stable_hash(self) -> str:
+        """A deterministic hex digest of the attribute values.
+
+        This plays the role of the FingerprintJS ``visitorId``: requests
+        whose collected attributes are identical hash to the same value.
+        Transport-level attributes (IP address, geolocation, ASN) are
+        excluded, matching FingerprintJS which only hashes browser-side
+        signals.
+        """
+
+        if self._hash is None:
+            browser_side = {
+                attribute.value: value
+                for attribute, value in self._values.items()
+                if attribute
+                not in (
+                    Attribute.IP_ADDRESS,
+                    Attribute.IP_COUNTRY,
+                    Attribute.IP_REGION,
+                    Attribute.ASN,
+                )
+            }
+            payload = json.dumps(
+                browser_side, sort_keys=True, default=_json_default, separators=(",", ":")
+            )
+            self._hash = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        return self._hash
+
+
+def _json_default(value: Any) -> Any:
+    if isinstance(value, tuple):
+        return list(value)
+    return str(value)
+
+
+def fingerprint_distance(left: Fingerprint, right: Fingerprint) -> int:
+    """Number of attributes whose values differ between two fingerprints.
+
+    Attributes missing from either side count as differing unless missing
+    from both.  Used by tests and by the analysis of fingerprint churn.
+    """
+
+    keys = set(left) | set(right)
+    return sum(1 for key in keys if left.get(key) != right.get(key))

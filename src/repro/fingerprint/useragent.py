@@ -1,0 +1,251 @@
+"""User-Agent synthesis and parsing.
+
+The paper derives three attributes from the ``User-Agent`` header —
+*UA Device*, *UA OS* and *UA Browser* — and uses them heavily in the
+spatial inconsistency analysis (e.g. an ``iPhone`` User-Agent paired with a
+``Win32`` platform).  Real parsers such as ``ua-parser`` are not available
+offline, so this module implements a compact parser covering the device
+families that appear in the paper's dataset (Table 6) plus a synthesiser
+used by the device catalogue and the bot strategies.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ParsedUserAgent:
+    """Device, operating system and browser family parsed from a User-Agent."""
+
+    device: str
+    os: str
+    browser: str
+
+    def as_tuple(self) -> tuple:
+        return (self.device, self.os, self.browser)
+
+
+_MODEL_PATTERN = re.compile(r"Android [\d.]+; ([^);]+)")
+_CRIOS_PATTERN = re.compile(r"CriOS/([\d.]+)")
+_CHROME_PATTERN = re.compile(r"Chrome/([\d.]+)")
+_FIREFOX_PATTERN = re.compile(r"Firefox/([\d.]+)")
+
+
+def parse_user_agent(user_agent: Optional[str]) -> ParsedUserAgent:
+    """Parse *user_agent* into coarse device / OS / browser families.
+
+    The granularity matches what the paper reports: device values such as
+    ``iPhone``, ``iPad``, ``Mac``, ``Windows PC`` or an Android model
+    string; OS values such as ``iOS``, ``Mac OS X``, ``Windows``,
+    ``Android``, ``Linux``; browser values such as ``Mobile Safari``,
+    ``Chrome``, ``Chrome Mobile``, ``Chrome Mobile iOS``, ``Firefox``,
+    ``Samsung Internet``, ``MiuiBrowser``.
+    """
+
+    if not user_agent:
+        return ParsedUserAgent(device="Other", os="Other", browser="Other")
+
+    ua = user_agent
+
+    device = _parse_device(ua)
+    os_family = _parse_os(ua)
+    browser = _parse_browser(ua, device)
+    return ParsedUserAgent(device=device, os=os_family, browser=browser)
+
+
+def _parse_device(ua: str) -> str:
+    if "iPhone" in ua:
+        return "iPhone"
+    if "iPad" in ua:
+        return "iPad"
+    if "Macintosh" in ua or "Mac OS X" in ua and "like Mac OS X" not in ua:
+        return "Mac"
+    if "Android" in ua:
+        match = _MODEL_PATTERN.search(ua)
+        if match:
+            model = match.group(1).strip()
+            # Strip build identifiers, e.g. "SM-A515F Build/RP1A" -> "SM-A515F".
+            model = model.split(" Build")[0].strip()
+            if model and model.lower() not in ("mobile", "tablet"):
+                return model
+        return "Android Device"
+    if "Windows" in ua:
+        return "Windows PC"
+    if "CrOS" in ua:
+        return "Chromebook"
+    if "Linux" in ua or "X11" in ua:
+        return "Linux PC"
+    return "Other"
+
+
+def _parse_os(ua: str) -> str:
+    if "iPhone" in ua or "iPad" in ua or "like Mac OS X" in ua:
+        return "iOS"
+    if "Macintosh" in ua or "Mac OS X" in ua:
+        return "Mac OS X"
+    if "Android" in ua:
+        return "Android"
+    if "Windows" in ua:
+        return "Windows"
+    if "CrOS" in ua:
+        return "Chrome OS"
+    if "Linux" in ua or "X11" in ua:
+        return "Linux"
+    return "Other"
+
+
+def _parse_browser(ua: str, device: str) -> str:
+    if "SamsungBrowser" in ua:
+        return "Samsung Internet"
+    if "MiuiBrowser" in ua:
+        return "MiuiBrowser"
+    if "Edg/" in ua or "EdgA/" in ua or "EdgiOS/" in ua:
+        return "Edge"
+    if "OPR/" in ua or "Opera" in ua:
+        return "Opera"
+    if "CriOS" in ua:
+        return "Chrome Mobile iOS"
+    if "FxiOS" in ua:
+        return "Firefox iOS"
+    if "Firefox/" in ua:
+        return "Firefox"
+    if "Chrome/" in ua:
+        if "Mobile" in ua:
+            return "Chrome Mobile"
+        return "Chrome"
+    if "Safari/" in ua:
+        if device in ("iPhone", "iPad") or "Mobile" in ua:
+            return "Mobile Safari"
+        return "Safari"
+    if "HeadlessChrome" in ua:
+        return "Headless Chrome"
+    return "Other"
+
+
+# ---------------------------------------------------------------------------
+# Synthesis
+# ---------------------------------------------------------------------------
+
+_CHROME_VERSION = "118.0.0.0"
+_SAFARI_WEBKIT = "605.1.15"
+_FIREFOX_VERSION = "118.0"
+
+
+def build_user_agent(
+    device: str,
+    os_family: str,
+    browser: str,
+    os_version: str = "",
+    model: str = "",
+) -> str:
+    """Synthesise a plausible User-Agent string for the given families.
+
+    The synthesiser is the inverse of :func:`parse_user_agent` for the
+    device families used by the device catalogue and bot strategies; it is
+    intentionally conservative so that ``parse_user_agent(build_user_agent(
+    d, o, b)) == (d, o, b)`` for catalogue entries (a property the test
+    suite checks).
+    """
+
+    if device == "iPhone":
+        version = os_version or "16_6"
+        if browser == "Chrome Mobile iOS":
+            return (
+                f"Mozilla/5.0 (iPhone; CPU iPhone OS {version} like Mac OS X) "
+                f"AppleWebKit/{_SAFARI_WEBKIT} (KHTML, like Gecko) "
+                f"CriOS/{_CHROME_VERSION} Mobile/15E148 Safari/604.1"
+            )
+        return (
+            f"Mozilla/5.0 (iPhone; CPU iPhone OS {version} like Mac OS X) "
+            f"AppleWebKit/{_SAFARI_WEBKIT} (KHTML, like Gecko) "
+            f"Version/16.6 Mobile/15E148 Safari/604.1"
+        )
+    if device == "iPad":
+        version = os_version or "16_6"
+        return (
+            f"Mozilla/5.0 (iPad; CPU OS {version} like Mac OS X) "
+            f"AppleWebKit/{_SAFARI_WEBKIT} (KHTML, like Gecko) "
+            f"Version/16.6 Mobile/15E148 Safari/604.1"
+        )
+    if device == "Mac":
+        version = os_version or "10_15_7"
+        if browser == "Safari":
+            return (
+                f"Mozilla/5.0 (Macintosh; Intel Mac OS X {version}) "
+                f"AppleWebKit/{_SAFARI_WEBKIT} (KHTML, like Gecko) "
+                f"Version/16.6 Safari/{_SAFARI_WEBKIT}"
+            )
+        if browser == "Firefox":
+            return (
+                f"Mozilla/5.0 (Macintosh; Intel Mac OS X {version}; rv:{_FIREFOX_VERSION}) "
+                f"Gecko/20100101 Firefox/{_FIREFOX_VERSION}"
+            )
+        return (
+            f"Mozilla/5.0 (Macintosh; Intel Mac OS X {version}) "
+            f"AppleWebKit/537.36 (KHTML, like Gecko) "
+            f"Chrome/{_CHROME_VERSION} Safari/537.36"
+        )
+    if device == "Windows PC":
+        if browser == "Firefox":
+            return (
+                f"Mozilla/5.0 (Windows NT 10.0; Win64; x64; rv:{_FIREFOX_VERSION}) "
+                f"Gecko/20100101 Firefox/{_FIREFOX_VERSION}"
+            )
+        if browser == "Edge":
+            return (
+                "Mozilla/5.0 (Windows NT 10.0; Win64; x64) "
+                f"AppleWebKit/537.36 (KHTML, like Gecko) Chrome/{_CHROME_VERSION} "
+                f"Safari/537.36 Edg/{_CHROME_VERSION}"
+            )
+        return (
+            "Mozilla/5.0 (Windows NT 10.0; Win64; x64) "
+            f"AppleWebKit/537.36 (KHTML, like Gecko) Chrome/{_CHROME_VERSION} Safari/537.36"
+        )
+    if device == "Linux PC":
+        if browser == "Firefox":
+            return (
+                f"Mozilla/5.0 (X11; Linux x86_64; rv:{_FIREFOX_VERSION}) "
+                f"Gecko/20100101 Firefox/{_FIREFOX_VERSION}"
+            )
+        return (
+            "Mozilla/5.0 (X11; Linux x86_64) "
+            f"AppleWebKit/537.36 (KHTML, like Gecko) Chrome/{_CHROME_VERSION} Safari/537.36"
+        )
+    if os_family == "Android":
+        model_text = model or device
+        android_version = os_version or "13"
+        if browser == "Samsung Internet":
+            return (
+                f"Mozilla/5.0 (Linux; Android {android_version}; {model_text}) "
+                f"AppleWebKit/537.36 (KHTML, like Gecko) SamsungBrowser/22.0 "
+                f"Chrome/{_CHROME_VERSION} Mobile Safari/537.36"
+            )
+        if browser == "MiuiBrowser":
+            return (
+                f"Mozilla/5.0 (Linux; U; Android {android_version}; {model_text}) "
+                f"AppleWebKit/537.36 (KHTML, like Gecko) Version/4.0 "
+                f"Chrome/{_CHROME_VERSION} Mobile Safari/537.36 "
+                f"XiaoMi/MiuiBrowser/13.5"
+            )
+        return (
+            f"Mozilla/5.0 (Linux; Android {android_version}; {model_text}) "
+            f"AppleWebKit/537.36 (KHTML, like Gecko) Chrome/{_CHROME_VERSION} "
+            f"Mobile Safari/537.36"
+        )
+    # Fallback: a generic desktop Chrome UA.
+    return (
+        "Mozilla/5.0 (X11; Linux x86_64) "
+        f"AppleWebKit/537.36 (KHTML, like Gecko) Chrome/{_CHROME_VERSION} Safari/537.36"
+    )
+
+
+def headless_user_agent() -> str:
+    """User-Agent advertised by an unmodified headless Chromium."""
+
+    return (
+        "Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36 (KHTML, like Gecko) "
+        f"HeadlessChrome/{_CHROME_VERSION} Safari/537.36"
+    )

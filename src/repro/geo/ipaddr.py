@@ -1,0 +1,179 @@
+"""Synthetic IPv4 address space.
+
+The reproduction needs a deterministic way to hand out IP addresses whose
+geolocation and ASN can later be looked up (the honey site stores hashed
+addresses, but the analyses in Sections 5.1 and 6.2 rely on the mapping
+address → country / region / timezone / ASN).  Address space is organised
+as /16 blocks, each owned by one autonomous system and located in one
+region, mirroring how GeoLite2 maps prefixes to locations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.geo.asn import AsnKind, ASN_REGISTRY
+
+
+@dataclass(frozen=True)
+class GeoRegion:
+    """A sub-national region with its primary IANA timezone."""
+
+    country: str
+    region: str
+    timezone: str
+
+
+#: Regions used by the traffic generators; the Table 6 location examples
+#: (France/Hauts-de-France, Germany/Sachsen, US/California, ...) all appear.
+GEO_REGIONS: Tuple[GeoRegion, ...] = (
+    GeoRegion("United States of America", "California", "America/Los_Angeles"),
+    GeoRegion("United States of America", "Virginia", "America/New_York"),
+    GeoRegion("United States of America", "Texas", "America/Chicago"),
+    GeoRegion("United States of America", "Oregon", "America/Los_Angeles"),
+    GeoRegion("United States of America", "New York", "America/New_York"),
+    GeoRegion("Canada", "Ontario", "America/Toronto"),
+    GeoRegion("Canada", "British Columbia", "America/Vancouver"),
+    GeoRegion("Canada", "Quebec", "America/Toronto"),
+    GeoRegion("France", "Hauts-de-France", "Europe/Paris"),
+    GeoRegion("France", "Île-de-France", "Europe/Paris"),
+    GeoRegion("Germany", "Sachsen", "Europe/Berlin"),
+    GeoRegion("Germany", "Hessen", "Europe/Berlin"),
+    GeoRegion("United Kingdom", "England", "Europe/London"),
+    GeoRegion("Netherlands", "North Holland", "Europe/Amsterdam"),
+    GeoRegion("Spain", "Madrid", "Europe/Madrid"),
+    GeoRegion("Italy", "Lombardy", "Europe/Rome"),
+    GeoRegion("Poland", "Mazovia", "Europe/Warsaw"),
+    GeoRegion("Ukraine", "Kyiv", "Europe/Kyiv"),
+    GeoRegion("Russia", "Moscow", "Europe/Moscow"),
+    GeoRegion("Mexico", "Mexico City", "America/Mexico_City"),
+    GeoRegion("Brazil", "São Paulo", "America/Sao_Paulo"),
+    GeoRegion("China", "Shanghai", "Asia/Shanghai"),
+    GeoRegion("Singapore", "Singapore", "Asia/Singapore"),
+    GeoRegion("Japan", "Tokyo", "Asia/Tokyo"),
+    GeoRegion("India", "Maharashtra", "Asia/Kolkata"),
+    GeoRegion("Pakistan", "Sindh", "Asia/Karachi"),
+    GeoRegion("United Arab Emirates", "Dubai", "Asia/Dubai"),
+    GeoRegion("Australia", "New South Wales", "Australia/Sydney"),
+    GeoRegion("New Zealand", "Auckland", "Pacific/Auckland"),
+)
+
+_REGIONS_BY_COUNTRY: Dict[str, Tuple[GeoRegion, ...]] = {}
+for _region in GEO_REGIONS:
+    _REGIONS_BY_COUNTRY.setdefault(_region.country, ())
+    _REGIONS_BY_COUNTRY[_region.country] = _REGIONS_BY_COUNTRY[_region.country] + (_region,)
+
+
+def regions_of_country(country: str) -> Tuple[GeoRegion, ...]:
+    """Regions registered for *country* (empty tuple when unknown)."""
+
+    return _REGIONS_BY_COUNTRY.get(country, ())
+
+
+@dataclass(frozen=True)
+class PrefixAssignment:
+    """One /16 prefix with its owner ASN and location."""
+
+    first_octet: int
+    second_octet: int
+    asn: int
+    region: GeoRegion
+
+    @property
+    def prefix(self) -> str:
+        return f"{self.first_octet}.{self.second_octet}.0.0/16"
+
+
+def format_ipv4(first: int, second: int, third: int, fourth: int) -> str:
+    """Format four octets as a dotted-quad string."""
+
+    return f"{first}.{second}.{third}.{fourth}"
+
+
+def parse_ipv4(address: str) -> Tuple[int, int, int, int]:
+    """Parse a dotted-quad IPv4 address into its octets.
+
+    Raises
+    ------
+    ValueError
+        If *address* is not a valid IPv4 dotted quad.
+    """
+
+    parts = address.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"invalid IPv4 address {address!r}")
+    octets = []
+    for part in parts:
+        value = int(part)
+        if not 0 <= value <= 255:
+            raise ValueError(f"invalid IPv4 address {address!r}")
+        octets.append(value)
+    return octets[0], octets[1], octets[2], octets[3]
+
+
+class IpAddressSpace:
+    """Deterministic allocator of synthetic IPv4 addresses.
+
+    The space assigns a distinct /16 to every (ASN, region) combination as
+    blocks are requested, starting from disjoint first-octet ranges for
+    residential (``100.x``), mobile (``110.x``), cloud (``34.x``) and
+    hosting (``45.x``) address space so that block kinds never collide.
+    """
+
+    _KIND_FIRST_OCTET = {
+        AsnKind.RESIDENTIAL_ISP: 100,
+        AsnKind.MOBILE_CARRIER: 110,
+        AsnKind.CLOUD_PROVIDER: 34,
+        AsnKind.HOSTING_PROVIDER: 45,
+    }
+
+    def __init__(self) -> None:
+        self._assignments: Dict[Tuple[int, str, str], PrefixAssignment] = {}
+        self._by_prefix: Dict[Tuple[int, int], PrefixAssignment] = {}
+        self._next_second_octet: Dict[int, int] = {}
+
+    @property
+    def assignments(self) -> List[PrefixAssignment]:
+        return list(self._by_prefix.values())
+
+    def assignment_for(self, asn: int, region: GeoRegion) -> PrefixAssignment:
+        """Return (allocating if needed) the /16 owned by *asn* in *region*."""
+
+        key = (asn, region.country, region.region)
+        existing = self._assignments.get(key)
+        if existing is not None:
+            return existing
+        record = ASN_REGISTRY.get(asn)
+        if record is None:
+            raise KeyError(f"ASN {asn} is not in the registry")
+        first_octet = self._KIND_FIRST_OCTET[record.kind]
+        second_octet = self._next_second_octet.get(first_octet, 0)
+        if second_octet > 255:
+            raise RuntimeError("address space for this ASN kind is exhausted")
+        self._next_second_octet[first_octet] = second_octet + 1
+        assignment = PrefixAssignment(
+            first_octet=first_octet,
+            second_octet=second_octet,
+            asn=asn,
+            region=region,
+        )
+        self._assignments[key] = assignment
+        self._by_prefix[(first_octet, second_octet)] = assignment
+        return assignment
+
+    def allocate(self, asn: int, region: GeoRegion, rng: np.random.Generator) -> str:
+        """Allocate a random host address inside the (asn, region) block."""
+
+        assignment = self.assignment_for(asn, region)
+        third = int(rng.integers(0, 256))
+        fourth = int(rng.integers(1, 255))
+        return format_ipv4(assignment.first_octet, assignment.second_octet, third, fourth)
+
+    def lookup_prefix(self, address: str) -> Optional[PrefixAssignment]:
+        """Find the /16 assignment containing *address* (``None`` if outside)."""
+
+        first, second, _third, _fourth = parse_ipv4(address)
+        return self._by_prefix.get((first, second))

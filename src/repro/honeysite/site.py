@@ -1,0 +1,116 @@
+"""The honey site.
+
+Ties the pieces of Section 4 together: versioned URLs provide ground-truth
+attribution, a first-party cookie identifies devices across requests, the
+fingerprint collector validates submissions, and both anti-bot services are
+consulted for every attributed request.  Requests whose URL path is unknown
+are dropped (never recorded), exactly as the paper's design dictates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+import numpy as np
+
+from repro.antibot.base import BotDetector
+from repro.antibot.botd import BotDModel
+from repro.antibot.datadome import DataDomeModel
+from repro.geo.geolite import GeoDatabase
+from repro.honeysite.collector import FingerprintCollector
+from repro.honeysite.storage import RecordedRequest, RequestStore
+from repro.honeysite.urls import UrlRegistry
+from repro.network.cookies import CookieIssuer
+from repro.network.request import WebRequest
+
+
+class HoneySite:
+    """A honey site instance with versioned URLs and two anti-bot services.
+
+    Parameters
+    ----------
+    geo:
+        IP-intelligence database shared with the DataDome model (and the
+        downstream analyses).  A fresh one is created when omitted.
+    rng:
+        Source of randomness for URL tokens and cookie values.
+    datadome, botd:
+        Detector overrides, mainly for tests; defaults build the standard
+        models.
+    """
+
+    def __init__(
+        self,
+        *,
+        geo: Optional[GeoDatabase] = None,
+        rng: Optional[np.random.Generator] = None,
+        datadome: Optional[BotDetector] = None,
+        botd: Optional[BotDetector] = None,
+    ):
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self.geo = geo if geo is not None else GeoDatabase()
+        self.urls = UrlRegistry(np.random.default_rng(self._rng.integers(0, 2 ** 32)))
+        self.cookies = CookieIssuer(np.random.default_rng(self._rng.integers(0, 2 ** 32)))
+        self.collector = FingerprintCollector()
+        self.store = RequestStore()
+        self.datadome = datadome if datadome is not None else DataDomeModel(self.geo)
+        self.botd = botd if botd is not None else BotDModel(self.geo)
+        self._dropped = 0
+
+    # -- source management ----------------------------------------------------
+
+    def register_source(self, source: str) -> str:
+        """Register a traffic source and return its versioned URL path."""
+
+        return self.urls.register(source)
+
+    @property
+    def dropped_requests(self) -> int:
+        """Requests received on unknown paths (real users / stray crawlers)."""
+
+        return self._dropped
+
+    # -- request handling -------------------------------------------------------
+
+    def handle(self, request: WebRequest) -> Optional[RecordedRequest]:
+        """Process one incoming request.
+
+        Returns the stored :class:`RecordedRequest`, or ``None`` when the
+        request's URL path carries no known version string (such requests
+        are dropped without recording, per Section 4.1).  The cookie the
+        server set (new or echoed) is available on the returned record so
+        the client model can persist it.
+        """
+
+        source = self.urls.source_of(request.url_path)
+        if source is None:
+            self._dropped += 1
+            return None
+
+        collected = self.collector.collect(request.fingerprint)
+        cookie = self.cookies.ensure(request.cookie)
+        datadome_decision = self.datadome.evaluate(request)
+        botd_decision = self.botd.evaluate(request)
+
+        # Enrich the stored fingerprint with the server-side IP intelligence
+        # (country, region, ASN) the analyses of Sections 5.1 and 6.2 use.
+        geo_record = self.geo.lookup(request.ip_address)
+        stored_request = request
+        if geo_record is not None:
+            enriched = collected.fingerprint.replace(
+                ip_country=geo_record.country,
+                ip_region=geo_record.region,
+                asn=geo_record.asn,
+            )
+            stored_request = replace(request, fingerprint=enriched)
+
+        record = RecordedRequest(
+            request=stored_request,
+            source=source,
+            cookie=cookie,
+            datadome=datadome_decision,
+            botd=botd_decision,
+        )
+        self.store.add(record)
+        return record

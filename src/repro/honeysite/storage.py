@@ -1,0 +1,285 @@
+"""Recorded requests and the request store.
+
+Every request the honey site attributes to a known source is stored as a
+:class:`RecordedRequest`: the raw request, the source label, the cookie
+value after issuance and the decisions of both anti-bot services (mirroring
+Figure 3 — "decisions from DataDome and BotD are stored in the database
+alongside other request data").  The :class:`RequestStore` is the query
+surface every analysis in Sections 5–7 runs against.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.antibot.base import Decision
+from repro.fingerprint.attributes import Attribute
+from repro.network.request import WebRequest
+
+SECONDS_PER_DAY = 86_400.0
+
+
+@dataclass(frozen=True)
+class RecordedRequest:
+    """One attributed request with both detector decisions."""
+
+    request: WebRequest
+    source: str
+    cookie: str
+    datadome: Decision
+    botd: Decision
+
+    @property
+    def timestamp(self) -> float:
+        return self.request.timestamp
+
+    @property
+    def day(self) -> int:
+        """Day index (0-based) within the measurement campaign."""
+
+        return int(self.request.timestamp // SECONDS_PER_DAY)
+
+    def decision_for(self, detector: str) -> Decision:
+        """Decision of *detector* ("DataDome" or "BotD")."""
+
+        if detector == "DataDome":
+            return self.datadome
+        if detector == "BotD":
+            return self.botd
+        raise KeyError(f"unknown detector {detector!r}")
+
+    def evaded(self, detector: str) -> bool:
+        """Whether the request evaded *detector*."""
+
+        return self.decision_for(detector).evaded
+
+    def attribute(self, attribute: Attribute, default=None):
+        """Convenience accessor for a fingerprint attribute."""
+
+        return self.request.fingerprint.get(attribute, default)
+
+    def to_dict(self) -> Dict:
+        """Serialise for the JSONL persistence layer."""
+
+        return {
+            "request": self.request.to_dict(),
+            "source": self.source,
+            "cookie": self.cookie,
+            "datadome": {
+                "is_bot": self.datadome.is_bot,
+                "score": self.datadome.score,
+                "signals": list(self.datadome.signals),
+            },
+            "botd": {
+                "is_bot": self.botd.is_bot,
+                "score": self.botd.score,
+                "signals": list(self.botd.signals),
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "RecordedRequest":
+        """Reconstruct a record serialised by :meth:`to_dict`."""
+
+        return cls(
+            request=WebRequest.from_dict(data["request"]),
+            source=str(data["source"]),
+            cookie=str(data["cookie"]),
+            datadome=Decision(
+                detector="DataDome",
+                is_bot=bool(data["datadome"]["is_bot"]),
+                score=float(data["datadome"]["score"]),
+                signals=tuple(data["datadome"].get("signals", ())),
+            ),
+            botd=Decision(
+                detector="BotD",
+                is_bot=bool(data["botd"]["is_bot"]),
+                score=float(data["botd"]["score"]),
+                signals=tuple(data["botd"].get("signals", ())),
+            ),
+        )
+
+
+class RequestStore:
+    """In-memory store of recorded requests with the query helpers the
+    analyses need, plus JSONL persistence."""
+
+    def __init__(self, records: Optional[Iterable[RecordedRequest]] = None):
+        self._records: List[RecordedRequest] = list(records) if records is not None else []
+
+    # -- collection protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[RecordedRequest]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> RecordedRequest:
+        return self._records[index]
+
+    def add(self, record: RecordedRequest) -> None:
+        """Append one record."""
+
+        self._records.append(record)
+
+    def extend(self, records: Iterable[RecordedRequest]) -> None:
+        """Append many records."""
+
+        self._records.extend(records)
+
+    @property
+    def records(self) -> Tuple[RecordedRequest, ...]:
+        return tuple(self._records)
+
+    # -- filtering ---------------------------------------------------------------
+
+    def filter(self, predicate: Callable[[RecordedRequest], bool]) -> "RequestStore":
+        """New store containing the records satisfying *predicate*."""
+
+        return RequestStore(record for record in self._records if predicate(record))
+
+    def by_source(self, source: str) -> "RequestStore":
+        """Records attributed to *source*."""
+
+        return self.filter(lambda record: record.source == source)
+
+    def sources(self) -> Tuple[str, ...]:
+        """Source labels present, ordered by descending request count."""
+
+        counts: Dict[str, int] = {}
+        for record in self._records:
+            counts[record.source] = counts.get(record.source, 0) + 1
+        return tuple(sorted(counts, key=lambda source: counts[source], reverse=True))
+
+    def evading(self, detector: str) -> "RequestStore":
+        """Records that evaded *detector*."""
+
+        return self.filter(lambda record: record.evaded(detector))
+
+    def detected_by(self, detector: str) -> "RequestStore":
+        """Records flagged by *detector*."""
+
+        return self.filter(lambda record: not record.evaded(detector))
+
+    # -- aggregate statistics -------------------------------------------------------
+
+    def evasion_rate(self, detector: str) -> float:
+        """Fraction of records that evaded *detector* (0 when empty)."""
+
+        if not self._records:
+            return 0.0
+        return sum(1 for record in self._records if record.evaded(detector)) / len(self._records)
+
+    def detection_rate(self, detector: str) -> float:
+        """Fraction of records flagged by *detector* (0 when empty)."""
+
+        if not self._records:
+            return 0.0
+        return 1.0 - self.evasion_rate(detector)
+
+    def unique_values(self, attribute: Attribute) -> Dict[object, int]:
+        """Histogram of grouping values of *attribute* across the store."""
+
+        histogram: Dict[object, int] = {}
+        for record in self._records:
+            value = record.request.fingerprint.value_for_grouping(attribute)
+            histogram[value] = histogram.get(value, 0) + 1
+        return histogram
+
+    def unique_ips(self) -> int:
+        """Number of distinct source IP addresses."""
+
+        return len({record.request.ip_address for record in self._records})
+
+    def unique_cookies(self) -> int:
+        """Number of distinct first-party cookie values."""
+
+        return len({record.cookie for record in self._records})
+
+    def unique_fingerprints(self) -> int:
+        """Number of distinct fingerprint hashes."""
+
+        return len({record.request.fingerprint.stable_hash() for record in self._records})
+
+    def daily_series(self) -> Dict[int, Dict[str, int]]:
+        """Per-day counts backing Figure 9.
+
+        Returns ``{day: {"requests", "unique_ips", "unique_cookies",
+        "unique_fingerprints"}}`` keyed by day index.
+        """
+
+        per_day: Dict[int, List[RecordedRequest]] = {}
+        for record in self._records:
+            per_day.setdefault(record.day, []).append(record)
+        series: Dict[int, Dict[str, int]] = {}
+        for day, records in sorted(per_day.items()):
+            series[day] = {
+                "requests": len(records),
+                "unique_ips": len({r.request.ip_address for r in records}),
+                "unique_cookies": len({r.cookie for r in records}),
+                "unique_fingerprints": len(
+                    {r.request.fingerprint.stable_hash() for r in records}
+                ),
+            }
+        return series
+
+    def group_by_cookie(self) -> Dict[str, List[RecordedRequest]]:
+        """Records grouped by first-party cookie value."""
+
+        groups: Dict[str, List[RecordedRequest]] = {}
+        for record in self._records:
+            groups.setdefault(record.cookie, []).append(record)
+        return groups
+
+    def group_by_ip(self) -> Dict[str, List[RecordedRequest]]:
+        """Records grouped by source IP address."""
+
+        groups: Dict[str, List[RecordedRequest]] = {}
+        for record in self._records:
+            groups.setdefault(record.request.ip_address, []).append(record)
+        return groups
+
+    def sorted_by_time(self) -> "RequestStore":
+        """New store with records ordered by timestamp."""
+
+        return RequestStore(sorted(self._records, key=lambda record: record.timestamp))
+
+    def split(
+        self, fraction: float, rng
+    ) -> Tuple["RequestStore", "RequestStore"]:
+        """Random split into two stores of sizes ``fraction`` / ``1-fraction``."""
+
+        if not 0.0 < fraction < 1.0:
+            raise ValueError("fraction must be in (0, 1)")
+        indices = rng.permutation(len(self._records))
+        cut = int(round(len(self._records) * fraction))
+        first = RequestStore(self._records[int(i)] for i in indices[:cut])
+        second = RequestStore(self._records[int(i)] for i in indices[cut:])
+        return first, second
+
+    # -- persistence -------------------------------------------------------------------
+
+    def save_jsonl(self, path) -> None:
+        """Write the store to *path* as one JSON object per line."""
+
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as handle:
+            for record in self._records:
+                handle.write(json.dumps(record.to_dict()) + "\n")
+
+    @classmethod
+    def load_jsonl(cls, path) -> "RequestStore":
+        """Load a store written by :meth:`save_jsonl`."""
+
+        path = Path(path)
+        records = []
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    records.append(RecordedRequest.from_dict(json.loads(line)))
+        return cls(records)

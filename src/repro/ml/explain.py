@@ -1,0 +1,88 @@
+"""Model explainability.
+
+The paper uses SHAP over its XGBoost classifiers to rank the fingerprint
+attributes that drive evasion (Table 2).  SHAP itself is not available
+offline; we provide the two standard substitutes whose rankings agree with
+SHAP's on tree ensembles in practice:
+
+* **gain importance** — total impurity reduction contributed by each
+  feature across the ensemble (XGBoost's ``total_gain``), and
+* **permutation importance** — accuracy drop when one feature column is
+  shuffled, which like SHAP measures each feature's marginal contribution
+  to the fitted model's output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.ml.metrics import accuracy_score
+
+
+@dataclass(frozen=True)
+class FeatureImportance:
+    """Importance of one feature under one attribution method."""
+
+    feature: str
+    importance: float
+
+
+def rank_importances(names: Sequence[str], scores: Sequence[float]) -> List[FeatureImportance]:
+    """Pair feature names with scores and sort by decreasing importance."""
+
+    if len(names) != len(scores):
+        raise ValueError("names and scores must have equal length")
+    pairs = [FeatureImportance(str(name), float(score)) for name, score in zip(names, scores)]
+    pairs.sort(key=lambda item: item.importance, reverse=True)
+    return pairs
+
+
+def gain_importance(model, feature_names: Sequence[str]) -> List[FeatureImportance]:
+    """Split-gain importances of a fitted tree ensemble, ranked."""
+
+    scores = model.feature_importances()
+    return rank_importances(feature_names, scores)
+
+
+def permutation_importance(
+    model,
+    features: np.ndarray,
+    labels: np.ndarray,
+    feature_names: Sequence[str],
+    *,
+    n_repeats: int = 3,
+    rng: np.random.Generator = None,
+) -> List[FeatureImportance]:
+    """Permutation importances on held-out data, ranked.
+
+    For each feature, the column is shuffled ``n_repeats`` times and the
+    mean accuracy drop relative to the unshuffled baseline is reported.
+    """
+
+    if rng is None:
+        rng = np.random.default_rng(0)
+    features = np.asarray(features, dtype=float)
+    labels = np.asarray(labels)
+    if features.shape[1] != len(feature_names):
+        raise ValueError("feature_names length must match the feature matrix width")
+    baseline = accuracy_score(labels, model.predict(features))
+    scores = np.zeros(features.shape[1], dtype=float)
+    for column in range(features.shape[1]):
+        drops = []
+        for _ in range(n_repeats):
+            shuffled = features.copy()
+            shuffled[:, column] = rng.permutation(shuffled[:, column])
+            drops.append(baseline - accuracy_score(labels, model.predict(shuffled)))
+        scores[column] = float(np.mean(drops))
+    return rank_importances(feature_names, scores)
+
+
+def top_features(importances: Sequence[FeatureImportance], count: int = 5) -> List[str]:
+    """The *count* most important feature names (Table 2 shape)."""
+
+    if count < 0:
+        raise ValueError("count cannot be negative")
+    return [item.feature for item in importances[:count]]

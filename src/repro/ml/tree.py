@@ -1,0 +1,328 @@
+"""Histogram-based CART decision trees.
+
+The paper trains XGBoost random-forest classifiers to separate detected
+from evasive requests (Section 5.2.1).  Neither XGBoost nor scikit-learn is
+available offline, so this module implements a compact, vectorised CART
+learner on numpy.  Splits are found on binned features (the same trick
+XGBoost's ``hist`` method uses), which keeps training on hundreds of
+thousands of rows fast while preserving the quantities the paper consumes:
+accuracy and per-feature split gains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+_EPS = 1e-12
+
+
+@dataclass
+class _Node:
+    """One node of a fitted tree (internal representation)."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: int = -1
+    right: int = -1
+    value: float = 0.0
+    n_samples: int = 0
+    gain: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature < 0
+
+
+def _bin_edges(column: np.ndarray, max_bins: int) -> np.ndarray:
+    """Candidate thresholds for *column*: midpoints of quantile bin edges."""
+
+    unique = np.unique(column)
+    if unique.size <= 1:
+        return np.empty(0)
+    if unique.size <= max_bins:
+        return (unique[:-1] + unique[1:]) / 2.0
+    quantiles = np.linspace(0.0, 1.0, max_bins + 1)[1:-1]
+    edges = np.unique(np.quantile(column, quantiles))
+    return edges
+
+
+class DecisionTree:
+    """CART tree supporting gini classification and MSE regression.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (root is depth 0).
+    min_samples_split:
+        Minimum number of rows required to attempt a split.
+    min_samples_leaf:
+        Minimum number of rows in each child for a split to be accepted.
+    max_features:
+        Number of features examined per split (``None`` → all).  Random
+        forests pass ``sqrt(n_features)``.
+    max_bins:
+        Maximum number of candidate thresholds per feature.
+    task:
+        ``"classification"`` (gini, binary labels) or ``"regression"``
+        (mean-squared error, continuous targets — used by gradient
+        boosting).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_depth: int = 8,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: Optional[int] = None,
+        max_bins: int = 32,
+        task: str = "classification",
+        random_state: Optional[np.random.Generator] = None,
+    ):
+        if task not in ("classification", "regression"):
+            raise ValueError("task must be 'classification' or 'regression'")
+        if max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        self.max_depth = max_depth
+        self.min_samples_split = max(2, min_samples_split)
+        self.min_samples_leaf = max(1, min_samples_leaf)
+        self.max_features = max_features
+        self.max_bins = max_bins
+        self.task = task
+        self._rng = random_state if random_state is not None else np.random.default_rng(0)
+        self._nodes: List[_Node] = []
+        self.n_features_: int = 0
+
+    # -- fitting ------------------------------------------------------------
+
+    def fit(self, features: np.ndarray, targets: np.ndarray, sample_weight: Optional[np.ndarray] = None) -> "DecisionTree":
+        """Fit the tree on *features* (n × d) and *targets* (n,)."""
+
+        features = np.asarray(features, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        if features.ndim != 2:
+            raise ValueError("features must be a 2-D array")
+        if features.shape[0] != targets.shape[0]:
+            raise ValueError("features and targets must have the same number of rows")
+        if features.shape[0] == 0:
+            raise ValueError("cannot fit a tree on zero rows")
+        if sample_weight is None:
+            sample_weight = np.ones(features.shape[0], dtype=float)
+        else:
+            sample_weight = np.asarray(sample_weight, dtype=float)
+        self.n_features_ = features.shape[1]
+        self._nodes = []
+        self._grow(features, targets, sample_weight, np.arange(features.shape[0]), depth=0)
+        return self
+
+    def _leaf_value(self, targets: np.ndarray, weights: np.ndarray) -> float:
+        total = weights.sum()
+        if total <= 0:
+            return 0.0
+        return float(np.dot(targets, weights) / total)
+
+    def _impurity(self, targets: np.ndarray, weights: np.ndarray) -> float:
+        total = weights.sum()
+        if total <= 0:
+            return 0.0
+        mean = np.dot(targets, weights) / total
+        if self.task == "classification":
+            return float(2.0 * mean * (1.0 - mean))
+        return float(np.dot(weights, (targets - mean) ** 2) / total)
+
+    def _grow(
+        self,
+        features: np.ndarray,
+        targets: np.ndarray,
+        weights: np.ndarray,
+        index: np.ndarray,
+        depth: int,
+    ) -> int:
+        node_id = len(self._nodes)
+        node_targets = targets[index]
+        node_weights = weights[index]
+        node = _Node(value=self._leaf_value(node_targets, node_weights), n_samples=index.size)
+        self._nodes.append(node)
+
+        if depth >= self.max_depth or index.size < self.min_samples_split:
+            return node_id
+        impurity = self._impurity(node_targets, node_weights)
+        if impurity <= _EPS:
+            return node_id
+
+        best = self._best_split(features, targets, weights, index, impurity)
+        if best is None:
+            return node_id
+        feature, threshold, gain = best
+        column = features[index, feature]
+        left_mask = column <= threshold
+        left_index = index[left_mask]
+        right_index = index[~left_mask]
+        if left_index.size < self.min_samples_leaf or right_index.size < self.min_samples_leaf:
+            return node_id
+
+        node.feature = feature
+        node.threshold = threshold
+        node.gain = gain
+        node.left = self._grow(features, targets, weights, left_index, depth + 1)
+        node.right = self._grow(features, targets, weights, right_index, depth + 1)
+        return node_id
+
+    def _best_split(
+        self,
+        features: np.ndarray,
+        targets: np.ndarray,
+        weights: np.ndarray,
+        index: np.ndarray,
+        parent_impurity: float,
+    ) -> Optional[Tuple[int, float, float]]:
+        n_features = features.shape[1]
+        if self.max_features is not None and self.max_features < n_features:
+            candidates = self._rng.choice(n_features, size=self.max_features, replace=False)
+        else:
+            candidates = np.arange(n_features)
+
+        node_targets = targets[index]
+        node_weights = weights[index]
+        total_weight = node_weights.sum()
+        best_gain = _EPS
+        best: Optional[Tuple[int, float, float]] = None
+
+        for feature in candidates:
+            column = features[index, feature]
+            thresholds = _bin_edges(column, self.max_bins)
+            if thresholds.size == 0:
+                continue
+            # Vectorised evaluation: for every threshold compute the weighted
+            # impurity of both children using cumulative sums over sorted rows.
+            order = np.argsort(column, kind="stable")
+            sorted_column = column[order]
+            sorted_targets = node_targets[order]
+            sorted_weights = node_weights[order]
+            cum_weight = np.cumsum(sorted_weights)
+            cum_weighted_target = np.cumsum(sorted_targets * sorted_weights)
+            cum_weighted_sq = np.cumsum((sorted_targets ** 2) * sorted_weights)
+            positions = np.searchsorted(sorted_column, thresholds, side="right")
+            valid = (positions >= self.min_samples_leaf) & (
+                positions <= index.size - self.min_samples_leaf
+            )
+            if not np.any(valid):
+                continue
+            positions = positions[valid]
+            thresholds = thresholds[valid]
+            left_weight = cum_weight[positions - 1]
+            right_weight = total_weight - left_weight
+            left_sum = cum_weighted_target[positions - 1]
+            right_sum = cum_weighted_target[-1] - left_sum
+            with np.errstate(divide="ignore", invalid="ignore"):
+                left_mean = np.where(left_weight > 0, left_sum / left_weight, 0.0)
+                right_mean = np.where(right_weight > 0, right_sum / right_weight, 0.0)
+                if self.task == "classification":
+                    left_impurity = 2.0 * left_mean * (1.0 - left_mean)
+                    right_impurity = 2.0 * right_mean * (1.0 - right_mean)
+                else:
+                    left_sq = cum_weighted_sq[positions - 1]
+                    right_sq = cum_weighted_sq[-1] - left_sq
+                    left_impurity = np.where(
+                        left_weight > 0, left_sq / left_weight - left_mean ** 2, 0.0
+                    )
+                    right_impurity = np.where(
+                        right_weight > 0, right_sq / right_weight - right_mean ** 2, 0.0
+                    )
+            weighted_child = (
+                left_weight * left_impurity + right_weight * right_impurity
+            ) / total_weight
+            gains = parent_impurity - weighted_child
+            best_local = int(np.argmax(gains))
+            if gains[best_local] > best_gain:
+                best_gain = float(gains[best_local])
+                best = (int(feature), float(thresholds[best_local]), best_gain)
+        return best
+
+    # -- prediction --------------------------------------------------------
+
+    def _check_fitted(self) -> None:
+        if not self._nodes:
+            raise RuntimeError("tree has not been fitted")
+
+    def predict_value(self, features: np.ndarray) -> np.ndarray:
+        """Raw leaf values (class-1 probability or regression output)."""
+
+        self._check_fitted()
+        features = np.asarray(features, dtype=float)
+        if features.ndim == 1:
+            features = features.reshape(1, -1)
+        output = np.empty(features.shape[0], dtype=float)
+        for row in range(features.shape[0]):
+            node = self._nodes[0]
+            while not node.is_leaf:
+                if features[row, node.feature] <= node.threshold:
+                    node = self._nodes[node.left]
+                else:
+                    node = self._nodes[node.right]
+            output[row] = node.value
+        return output
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Class-1 probability per row (classification trees only)."""
+
+        if self.task != "classification":
+            raise RuntimeError("predict_proba is only defined for classification trees")
+        return self.predict_value(features)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predicted class labels (classification) or values (regression)."""
+
+        values = self.predict_value(features)
+        if self.task == "classification":
+            return (values >= 0.5).astype(int)
+        return values
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+
+        self._check_fitted()
+
+        def _depth(node_id: int) -> int:
+            node = self._nodes[node_id]
+            if node.is_leaf:
+                return 0
+            return 1 + max(_depth(node.left), _depth(node.right))
+
+        return _depth(0)
+
+    def feature_importances(self) -> np.ndarray:
+        """Total split gain per feature, normalised to sum to one."""
+
+        self._check_fitted()
+        importances = np.zeros(self.n_features_, dtype=float)
+        for node in self._nodes:
+            if not node.is_leaf:
+                importances[node.feature] += node.gain * node.n_samples
+        total = importances.sum()
+        if total > 0:
+            importances /= total
+        return importances
+
+    def decision_path(self, row: np.ndarray) -> List[Tuple[int, float, bool]]:
+        """Return the (feature, threshold, went_left) path for one row."""
+
+        self._check_fitted()
+        row = np.asarray(row, dtype=float).ravel()
+        path: List[Tuple[int, float, bool]] = []
+        node = self._nodes[0]
+        while not node.is_leaf:
+            went_left = row[node.feature] <= node.threshold
+            path.append((node.feature, node.threshold, bool(went_left)))
+            node = self._nodes[node.left] if went_left else self._nodes[node.right]
+        return path

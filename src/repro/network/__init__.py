@@ -1,0 +1,15 @@
+"""Web request, header and cookie models."""
+
+from repro.network.cookies import COOKIE_NAME, ClientCookieStore, CookieIssuer
+from repro.network.headers import accept_language_for, build_headers, parse_accept_language
+from repro.network.request import WebRequest
+
+__all__ = [
+    "COOKIE_NAME",
+    "ClientCookieStore",
+    "CookieIssuer",
+    "WebRequest",
+    "accept_language_for",
+    "build_headers",
+    "parse_accept_language",
+]

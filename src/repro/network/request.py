@@ -1,0 +1,110 @@
+"""Web request model.
+
+A :class:`WebRequest` is the unit stored by the honey site: one page load
+carrying HTTP headers, the source IP address, the first-party cookie (if
+the device retained one) and the browser fingerprint collected client-side.
+Timestamps are seconds since the start of the measurement campaign so that
+the temporal analyses (Figure 9, Section 7.2) can order requests without
+depending on wall-clock time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Mapping, Optional
+
+from repro.fingerprint.attributes import Attribute
+from repro.fingerprint.fingerprint import Fingerprint
+
+_request_counter = itertools.count(1)
+
+
+def _next_request_id() -> int:
+    return next(_request_counter)
+
+
+@dataclass(frozen=True)
+class WebRequest:
+    """One request recorded by the honey site.
+
+    Attributes
+    ----------
+    url_path:
+        The path component of the requested URL, e.g. ``"/Byxxodkxn3"``.
+        The honey site uses it to attribute the request to a traffic source.
+    timestamp:
+        Seconds since the start of the measurement campaign.
+    ip_address:
+        Source address of the connection.
+    cookie:
+        Value of the honey site's first-party identifier cookie, or ``None``
+        when the client presented no cookie.
+    fingerprint:
+        Browser fingerprint collected by the client-side script.
+    headers:
+        HTTP request headers.
+    request_id:
+        Monotonically increasing identifier assigned at construction.
+    """
+
+    url_path: str
+    timestamp: float
+    ip_address: str
+    fingerprint: Fingerprint
+    cookie: Optional[str] = None
+    headers: Mapping[str, str] = field(default_factory=dict)
+    request_id: int = field(default_factory=_next_request_id)
+
+    def __post_init__(self) -> None:
+        if not self.url_path.startswith("/"):
+            raise ValueError(f"url_path must start with '/', got {self.url_path!r}")
+        if self.timestamp < 0:
+            raise ValueError("timestamp cannot be negative")
+
+    @property
+    def user_agent(self) -> Optional[str]:
+        """The User-Agent header (falling back to the fingerprint value)."""
+
+        header = self.headers.get("User-Agent") if self.headers else None
+        if header:
+            return header
+        value = self.fingerprint.get(Attribute.USER_AGENT)
+        return str(value) if value is not None else None
+
+    def attribute(self, attribute: Attribute, default: Any = None) -> Any:
+        """Convenience accessor for a fingerprint attribute."""
+
+        return self.fingerprint.get(attribute, default)
+
+    def with_cookie(self, cookie: Optional[str]) -> "WebRequest":
+        """Return a copy of the request with the cookie replaced."""
+
+        return replace(self, cookie=cookie)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialise the request (used by the persistent request store)."""
+
+        return {
+            "request_id": self.request_id,
+            "url_path": self.url_path,
+            "timestamp": self.timestamp,
+            "ip_address": self.ip_address,
+            "cookie": self.cookie,
+            "headers": dict(self.headers),
+            "fingerprint": self.fingerprint.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WebRequest":
+        """Reconstruct a request from :meth:`to_dict` output."""
+
+        return cls(
+            url_path=str(data["url_path"]),
+            timestamp=float(data["timestamp"]),
+            ip_address=str(data["ip_address"]),
+            cookie=data.get("cookie"),
+            headers=dict(data.get("headers", {})),
+            fingerprint=Fingerprint.from_dict(data["fingerprint"]),
+            request_id=int(data.get("request_id", _next_request_id())),
+        )

@@ -1,0 +1,12 @@
+"""Text tables, ASCII charts and CSV export."""
+
+from repro.reporting.figures import ascii_bar_chart, cdf_table, series_to_csv
+from repro.reporting.tables import format_percent, format_table
+
+__all__ = [
+    "ascii_bar_chart",
+    "cdf_table",
+    "format_percent",
+    "format_table",
+    "series_to_csv",
+]

@@ -1,0 +1,142 @@
+"""Real-user traffic generator.
+
+Section 7.4 evaluates FP-Inconsistent's false-positive behaviour on 2,206
+requests from students who were given a dedicated honey-site URL.  This
+module generates the equivalent traffic: each simulated user owns one real
+device from the catalogue, keeps a stable, mutually consistent fingerprint,
+connects from residential address space near the university, and retains
+the first-party cookie across visits.
+
+A small fraction of users run a User-Agent spoofer extension (the paper
+attributes its handful of false positives to students experimenting with
+exactly that), which rewrites the User-Agent while leaving every other
+attribute untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.devices.catalog import DeviceCatalog
+from repro.devices.profiles import DeviceProfile
+from repro.fingerprint.attributes import Attribute
+from repro.fingerprint.fingerprint import Fingerprint
+from repro.fingerprint.useragent import build_user_agent
+from repro.honeysite.site import HoneySite
+from repro.honeysite.storage import SECONDS_PER_DAY
+from repro.network.cookies import ClientCookieStore
+from repro.network.headers import build_headers
+from repro.network.request import WebRequest
+
+#: Default source label under which real-user traffic is recorded.
+REAL_USER_SOURCE = "real_users"
+
+#: User-Agents installed by the "User-Agent switcher" extensions some
+#: students experimented with: desktop users masquerading as other devices.
+_SPOOFER_TARGETS: Tuple[Tuple[str, str, str], ...] = (
+    ("iPhone", "iOS", "Mobile Safari"),
+    ("iPad", "iOS", "Mobile Safari"),
+    ("Windows PC", "Windows", "Chrome"),
+    ("Mac", "Mac OS X", "Safari"),
+)
+
+
+@dataclass
+class _User:
+    profile: DeviceProfile
+    fingerprint: Fingerprint
+    cookies: ClientCookieStore
+    ip_address: str
+    ua_spoofer: bool
+
+
+class RealUserTrafficGenerator:
+    """Generates consistent human traffic toward a dedicated URL."""
+
+    def __init__(
+        self,
+        site: HoneySite,
+        *,
+        catalog: Optional[DeviceCatalog] = None,
+        rng: Optional[np.random.Generator] = None,
+        home_country: str = "United States of America",
+        home_region: str = "California",
+        home_timezone: str = "America/Los_Angeles",
+        ua_spoofer_rate: float = 0.03,
+    ):
+        if not 0.0 <= ua_spoofer_rate <= 1.0:
+            raise ValueError("ua_spoofer_rate must be within [0, 1]")
+        self._site = site
+        self._catalog = catalog if catalog is not None else DeviceCatalog()
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._home_country = home_country
+        self._home_region = home_region
+        self._home_timezone = home_timezone
+        self._ua_spoofer_rate = ua_spoofer_rate
+
+    def _make_user(self, rng: np.random.Generator) -> _User:
+        profile, fingerprint = self._catalog.sample_fingerprint(rng, timezone=self._home_timezone)
+        ip_address = self._site.geo.allocate_address(
+            rng,
+            country=self._home_country,
+            datacenter=False,
+            region_name=self._home_region,
+        )
+        ua_spoofer = rng.random() < self._ua_spoofer_rate
+        if ua_spoofer:
+            target_device, target_os, target_browser = _SPOOFER_TARGETS[
+                int(rng.integers(len(_SPOOFER_TARGETS)))
+            ]
+            fingerprint = fingerprint.replace(
+                user_agent=build_user_agent(target_device, target_os, target_browser),
+                ua_device=target_device,
+                ua_os=target_os,
+                ua_browser=target_browser,
+            )
+        return _User(
+            profile=profile,
+            fingerprint=fingerprint,
+            cookies=ClientCookieStore(retention=1.0, rng=np.random.default_rng(rng.integers(0, 2 ** 32))),
+            ip_address=ip_address,
+            ua_spoofer=ua_spoofer,
+        )
+
+    def run(
+        self,
+        *,
+        num_requests: int = 2206,
+        num_users: int = 350,
+        campaign_days: int = 30,
+        source: str = REAL_USER_SOURCE,
+    ) -> int:
+        """Generate *num_requests* real-user requests.
+
+        Returns the number of requests recorded by the honey site.
+        """
+
+        if num_requests < 1 or num_users < 1:
+            raise ValueError("num_requests and num_users must be positive")
+        rng = np.random.default_rng(self._rng.integers(0, 2 ** 32))
+        url_path = self._site.register_source(source)
+        users = [self._make_user(rng) for _ in range(num_users)]
+
+        recorded = 0
+        timestamps = np.sort(rng.random(num_requests)) * campaign_days * SECONDS_PER_DAY
+        for timestamp in timestamps:
+            user = users[int(rng.integers(len(users)))]
+            request = WebRequest(
+                url_path=url_path,
+                timestamp=float(timestamp),
+                ip_address=user.ip_address,
+                fingerprint=user.fingerprint,
+                cookie=user.cookies.outgoing(),
+                headers=build_headers(user.fingerprint),
+            )
+            record = self._site.handle(request)
+            if record is not None:
+                user.cookies.receive(record.cookie)
+                recorded += 1
+        return recorded

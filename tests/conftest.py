@@ -1,0 +1,56 @@
+"""Shared fixtures.
+
+A small-scale corpus (including real users and the privacy experiment) is
+built once per session and reused by the analysis and integration tests so
+the suite stays fast while still exercising the full pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.corpus import build_corpus
+from repro.core.pipeline import FPInconsistentPipeline
+from repro.devices.catalog import DeviceCatalog
+from repro.geo.geolite import GeoDatabase
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def catalog() -> DeviceCatalog:
+    return DeviceCatalog()
+
+
+@pytest.fixture
+def geo() -> GeoDatabase:
+    return GeoDatabase()
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    """A ~4k-request corpus with bots, real users and privacy traffic."""
+
+    return build_corpus(
+        seed=11,
+        scale=0.008,
+        include_real_users=True,
+        include_privacy=True,
+        real_user_requests=600,
+        privacy_requests_each=40,
+    )
+
+
+@pytest.fixture(scope="session")
+def pipeline_result(small_corpus):
+    """FP-Inconsistent mined and evaluated on the shared corpus."""
+
+    pipeline = FPInconsistentPipeline()
+    return pipeline.run(
+        small_corpus.bot_store,
+        real_user_store=small_corpus.real_user_store,
+    )

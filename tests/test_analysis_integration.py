@@ -1,0 +1,306 @@
+"""Integration tests: full corpus → analyses → FP-Inconsistent evaluation.
+
+These tests exercise the same code paths as the benchmarks, on the shared
+small-scale corpus, and assert the *shape* of the paper's results (who
+wins, direction of effects), not exact percentages.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.attributes import appendix_c_combination, train_evasion_classifier
+from repro.analysis.evasion import (
+    cohort_comparison,
+    dual_evader_summary,
+    overall_detection_rates,
+    table1_rows,
+    top_and_bottom_services,
+)
+from repro.analysis.figures import (
+    figure4_plugin_evasion,
+    figure5_core_cdfs,
+    figure6_device_evasion,
+    figure7_iphone_resolutions,
+    figure8_location_histograms,
+    figure9_daily_series,
+    figure10_platform_spread,
+    section62_geo_match,
+)
+from repro.analysis.ip_analysis import analyze_asn_blocklist, analyze_ip_blocklist
+from repro.analysis.privacy_eval import evaluate_privacy_technologies
+from repro.core.detector import FPInconsistent
+from repro.core.evaluation import evaluate_generalization
+from repro.reporting.figures import ascii_bar_chart, series_to_csv
+from repro.reporting.tables import format_percent, format_table
+from repro.users.privacy import PrivacyTechnology
+
+
+# -- corpus shape -----------------------------------------------------------------
+
+
+def test_corpus_has_all_sources(small_corpus):
+    sources = set(small_corpus.store.sources())
+    assert {f"S{i}" for i in range(1, 21)} <= sources
+    assert "real_users" in sources
+    assert any(source.startswith("privacy:") for source in sources)
+
+
+def test_corpus_volumes_scale_with_table1(small_corpus):
+    rows = {row.service: row for row in table1_rows(small_corpus.bot_store)}
+    assert rows["S1"].num_requests > rows["S20"].num_requests
+    assert rows["S1"].num_requests == pytest.approx(121_500 * small_corpus.scale, rel=0.05)
+
+
+def test_overall_detection_rates_match_paper_shape(small_corpus):
+    rates = overall_detection_rates(small_corpus.bot_store)
+    # Paper: DataDome detects 55.44%, BotD 47.07% — DataDome detects more,
+    # and both sit in the 35–70% band.
+    assert rates["DataDome"] > rates["BotD"]
+    assert 0.35 < rates["BotD"] < 0.7
+    assert 0.4 < rates["DataDome"] < 0.7
+
+
+def test_per_service_evasion_targets_are_tracked(small_corpus):
+    rows = {row.service: row for row in table1_rows(small_corpus.bot_store)}
+    profiles = {profile.name: profile for profile in small_corpus.bot_profiles}
+    for name in ("S1", "S3", "S8", "S15"):
+        observed = rows[name]
+        target = profiles[name]
+        # Session-based generation clusters draws, so the tolerance is
+        # generous at the small test scale; the benchmarks use larger
+        # corpora where the rates converge to the Table 1 targets.
+        assert observed.datadome_evasion_rate == pytest.approx(
+            target.datadome_evasion_target, abs=0.12
+        )
+        assert observed.botd_evasion_rate == pytest.approx(target.botd_evasion_target, abs=0.12)
+
+
+def test_top_bottom_cohorts_match_paper(small_corpus):
+    rows = table1_rows(small_corpus.bot_store)
+    top, bottom = top_and_bottom_services(rows, "BotD")
+    assert set(top) <= {"S15", "S18", "S19", "S20", "S14"}
+    top_dd, _ = top_and_bottom_services(rows, "DataDome")
+    assert set(top_dd) <= {"S8", "S9", "S17", "S14", "S20", "S3"}
+
+
+# -- section 5.1 ------------------------------------------------------------------------
+
+
+def test_asn_blocklist_analysis(small_corpus):
+    result = analyze_asn_blocklist(small_corpus.bot_store, small_corpus.site.geo)
+    # Most bot traffic comes from flagged address space, yet a large share
+    # of it still evades (Takeaway 2).
+    assert result.flagged_fraction > 0.6
+    assert result.flagged_datadome_evasion > 0.25
+    assert result.flagged_botd_evasion > 0.25
+
+
+def test_ip_blocklist_analysis(small_corpus):
+    result = analyze_ip_blocklist(small_corpus.bot_store, coverage=0.16, seed=1)
+    assert result.coverage < 0.5  # partial coverage by construction
+    assert result.covered_requests <= result.total_requests
+
+
+# -- section 5.2 / 5.3 ----------------------------------------------------------------------
+
+
+def test_evasion_classifier_accuracy_and_importance(small_corpus):
+    result = train_evasion_classifier(
+        small_corpus.bot_store, "BotD", max_samples=4000, seed=0
+    )
+    # Paper: BotD classifier reaches ~97% accuracy; the blind-spot
+    # attributes dominate the importance ranking.
+    assert result.test_accuracy > 0.9
+    top = result.top_attributes(5)
+    assert "Plugins" in top or "Touch Support" in top
+
+
+def test_datadome_classifier_finds_hardware_concurrency(small_corpus):
+    result = train_evasion_classifier(
+        small_corpus.bot_store, "DataDome", max_samples=4000, seed=0
+    )
+    assert result.test_accuracy > 0.7
+    assert "Hardware Concurrency" in result.top_attributes(5)
+
+
+def test_cohort_comparison_botd_plugins(small_corpus):
+    comparison = cohort_comparison(small_corpus.bot_store, "BotD")
+    assert comparison.top_evasion_rate > comparison.bottom_evasion_rate
+    assert comparison.top_with_plugins + comparison.top_with_touch > comparison.bottom_with_plugins
+
+
+def test_cohort_comparison_datadome_cores(small_corpus):
+    comparison = cohort_comparison(small_corpus.bot_store, "DataDome")
+    # Section 5.3.2: the high-evasion cohort reports fewer cores.
+    assert comparison.top_low_cores > comparison.bottom_low_cores
+
+
+def test_dual_evaders_exploit_touch(small_corpus):
+    summary = dual_evader_summary(small_corpus.bot_store)
+    assert set(summary.services) <= {"S14", "S20"}
+    assert summary.touch_support_fraction > 0.5
+    assert summary.no_plugins_fraction > 0.5
+    assert summary.low_cores_fraction > 0.5
+
+
+def test_appendix_c_combination_rule(small_corpus):
+    result = appendix_c_combination(small_corpus.bot_store)
+    assert result.matching_requests > 0
+    assert result.matching_datadome_evasion > result.overall_datadome_evasion
+
+
+# -- figures ------------------------------------------------------------------------------------
+
+
+def test_figure4_any_plugin_nearly_guarantees_botd_evasion(small_corpus):
+    points = figure4_plugin_evasion(small_corpus.bot_store)
+    assert points
+    for point in points:
+        if point.requests >= 20:
+            assert point.evasion_probability > 0.95
+
+
+def test_figure5_low_cores_dominate_high_evasion_cohort(small_corpus):
+    rows = table1_rows(small_corpus.bot_store)
+    top, bottom = top_and_bottom_services(rows, "DataDome")
+    high, low = figure5_core_cdfs(small_corpus.bot_store, top, bottom)
+    assert high.fraction_below(8) > low.fraction_below(8)
+    assert high.fraction_below(8) > 0.6
+
+
+def test_figure6_popular_devices_have_high_evasion(small_corpus):
+    points = figure6_device_evasion(small_corpus.bot_store, min_requests=30)
+    assert points
+    devices = {point.device for point in points}
+    assert devices & {"iPhone", "iPad", "Mac", "Windows PC"}
+    assert all(0.0 <= point.evasion_probability <= 1.0 for point in points)
+
+
+def test_figure7_most_top_iphone_resolutions_do_not_exist(small_corpus):
+    analysis = figure7_iphone_resolutions(small_corpus.bot_store, min_requests=5)
+    assert analysis.unique_resolutions > 12  # far more than real iPhones have
+    assert len(analysis.top_points) > 0
+    assert analysis.nonexistent_in_top >= len(analysis.top_points) * 0.6
+
+
+def test_section62_ip_matches_better_than_timezone(small_corpus):
+    services_with_regions = {
+        profile.name: profile.advertised_region
+        for profile in small_corpus.bot_profiles
+        if profile.advertised_region
+    }
+    summaries = section62_geo_match(small_corpus.bot_store, services_with_regions)
+    assert summaries
+    for summary in summaries:
+        assert summary.ip_match_rate > 0.8
+        assert summary.timezone_match_rate <= summary.ip_match_rate + 0.05
+
+
+def test_figure8_histograms_cover_both_views(small_corpus):
+    by_timezone, by_ip = figure8_location_histograms(small_corpus.bot_store)
+    assert sum(by_ip.values()) == len(small_corpus.bot_store)
+    assert set(by_timezone) != set()
+    # The two inference methods disagree on the geographic spread.
+    assert by_timezone != by_ip
+
+
+def test_figure9_series_consistency(small_corpus):
+    series = figure9_daily_series(small_corpus.bot_store)
+    assert sum(series.requests) == len(small_corpus.bot_store)
+    assert len(series.days) == len(series.unique_ips) == len(series.unique_cookies)
+    for day_requests, day_fps in zip(series.requests, series.unique_fingerprints):
+        assert day_fps <= day_requests
+
+
+def test_figure10_platform_spread_shows_rotation(small_corpus):
+    spread = figure10_platform_spread(small_corpus.bot_store)
+    assert spread is not None
+    assert spread.requests >= 2
+    assert abs(sum(spread.platform_percentages.values()) - 100.0) < 1e-6
+
+
+# -- FP-Inconsistent evaluation --------------------------------------------------------------------
+
+
+def test_pipeline_rules_are_nonempty_and_serializable(pipeline_result, tmp_path):
+    assert len(pipeline_result.filter_list) > 20
+    path = tmp_path / "rules.json"
+    pipeline_result.filter_list.save(path)
+    assert path.exists()
+
+
+def test_table4_shape(pipeline_result):
+    for rates in pipeline_result.table4.values():
+        assert rates.with_spatial >= rates.baseline
+        assert rates.with_temporal >= rates.baseline
+        assert rates.with_combined >= rates.with_spatial
+        assert rates.with_combined >= rates.with_temporal
+        # Spatial rules contribute far more than temporal ones (Table 4).
+        assert rates.with_spatial - rates.baseline > rates.with_temporal - rates.baseline
+        # Headline: combined rules remove a large share of evading traffic.
+        assert 0.25 < rates.evasion_reduction < 0.85
+
+
+def test_table3_every_service_improves(pipeline_result):
+    assert len(pipeline_result.table3) == 20
+    for row in pipeline_result.table3:
+        assert row.datadome_improved >= row.datadome_baseline
+        assert row.botd_improved >= row.botd_baseline
+
+
+def test_real_user_true_negative_rate(pipeline_result):
+    # Paper reports 96.84%; the reproduction stays in the same band.
+    assert pipeline_result.real_user_tnr is not None
+    assert pipeline_result.real_user_tnr > 0.93
+
+
+def test_generalization_drop_is_small(small_corpus):
+    results = evaluate_generalization(small_corpus.bot_store, seed=0)
+    for result in results.values():
+        assert abs(result.accuracy_drop) < 0.05
+
+
+def test_privacy_technologies_match_section75(small_corpus, pipeline_result):
+    detector = FPInconsistent(filter_list=pipeline_result.filter_list)
+    stores = {
+        technology: small_corpus.privacy_store(technology)
+        for technology in PrivacyTechnology
+        if len(small_corpus.privacy_store(technology)) > 0
+    }
+    results = {result.technology: result for result in evaluate_privacy_technologies(stores, detector)}
+    # Tor: spatial location inconsistencies on every request.
+    assert results[PrivacyTechnology.TOR].fp_spatial_rate > 0.9
+    # Brave: no spatial inconsistencies, only temporal ones.
+    assert results[PrivacyTechnology.BRAVE].fp_spatial_rate < 0.1
+    assert results[PrivacyTechnology.BRAVE].fp_temporal_rate > 0.15
+    # Safari and the blockers trigger nothing.
+    for technology in (PrivacyTechnology.SAFARI, PrivacyTechnology.UBLOCK_ORIGIN, PrivacyTechnology.ADBLOCK_PLUS):
+        assert results[technology].fp_inconsistent_rate == 0.0
+
+
+# -- reporting helpers --------------------------------------------------------------------------------
+
+
+def test_reporting_renders_table1(small_corpus):
+    rows = table1_rows(small_corpus.bot_store)
+    table = format_table(
+        ["Service", "Requests", "DataDome evasion", "BotD evasion"],
+        [
+            (row.service, row.num_requests, format_percent(row.datadome_evasion_rate), format_percent(row.botd_evasion_rate))
+            for row in rows
+        ],
+        title="Table 1",
+    )
+    assert "S1" in table and "%" in table
+
+
+def test_reporting_chart_and_csv(small_corpus, tmp_path):
+    points = figure4_plugin_evasion(small_corpus.bot_store)
+    chart = ascii_bar_chart({point.plugin: point.evasion_probability for point in points})
+    assert "#" in chart
+    series = figure9_daily_series(small_corpus.bot_store)
+    csv_text = series_to_csv(
+        {"day": series.days, "requests": series.requests}, tmp_path / "fig9.csv"
+    )
+    assert (tmp_path / "fig9.csv").exists()
+    assert csv_text.splitlines()[0] == "day,requests"

@@ -1,0 +1,268 @@
+"""Unit tests for the ML substrate (trees, ensembles, encoding, metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.fingerprint.attributes import Attribute
+from repro.fingerprint.fingerprint import Fingerprint
+from repro.ml.encoding import FingerprintEncoder, display_name
+from repro.ml.explain import gain_importance, permutation_importance, rank_importances, top_features
+from repro.ml.forest import GradientBoostingClassifier, RandomForestClassifier
+from repro.ml.metrics import ConfusionMatrix, accuracy_score, confusion_matrix, train_test_split
+from repro.ml.tree import DecisionTree
+
+
+def _separable_dataset(n=400, seed=0):
+    """Two clusters separable on feature 0; feature 1 is noise."""
+
+    rng = np.random.default_rng(seed)
+    x0 = np.concatenate([rng.normal(-2.0, 0.5, n // 2), rng.normal(2.0, 0.5, n // 2)])
+    x1 = rng.normal(0.0, 1.0, n)
+    features = np.column_stack([x0, x1])
+    labels = np.concatenate([np.zeros(n // 2), np.ones(n // 2)])
+    permutation = rng.permutation(n)
+    return features[permutation], labels[permutation]
+
+
+# -- metrics -------------------------------------------------------------------
+
+
+def test_confusion_matrix_counts():
+    matrix = confusion_matrix([1, 1, 0, 0, 1], [1, 0, 0, 1, 1])
+    assert matrix.true_positive == 2
+    assert matrix.false_negative == 1
+    assert matrix.false_positive == 1
+    assert matrix.true_negative == 1
+    assert matrix.total == 5
+
+
+def test_confusion_matrix_rates():
+    matrix = ConfusionMatrix(true_positive=8, false_positive=2, true_negative=18, false_negative=2)
+    assert matrix.accuracy == pytest.approx(26 / 30)
+    assert matrix.precision == pytest.approx(0.8)
+    assert matrix.recall == pytest.approx(0.8)
+    assert matrix.true_negative_rate == pytest.approx(0.9)
+    assert matrix.false_positive_rate == pytest.approx(0.1)
+    assert 0.0 < matrix.f1 <= 1.0
+
+
+def test_confusion_matrix_empty():
+    matrix = ConfusionMatrix(0, 0, 0, 0)
+    assert matrix.accuracy == 0.0
+    assert matrix.precision == 0.0
+    assert matrix.f1 == 0.0
+
+
+def test_accuracy_score():
+    assert accuracy_score([1, 0, 1], [1, 1, 1]) == pytest.approx(2 / 3)
+    with pytest.raises(ValueError):
+        accuracy_score([1, 0], [1])
+
+
+def test_train_test_split_shapes(rng):
+    features = np.arange(100).reshape(50, 2)
+    labels = np.arange(50)
+    train_x, test_x, train_y, test_y = train_test_split(features, labels, test_fraction=0.2, rng=rng)
+    assert train_x.shape[0] == 40 and test_x.shape[0] == 10
+    assert set(np.concatenate([train_y, test_y])) == set(labels)
+    with pytest.raises(ValueError):
+        train_test_split(features, labels, test_fraction=1.5, rng=rng)
+
+
+# -- decision tree -----------------------------------------------------------------
+
+
+def test_tree_learns_separable_data():
+    features, labels = _separable_dataset()
+    tree = DecisionTree(max_depth=3).fit(features, labels)
+    assert accuracy_score(labels, tree.predict(features)) > 0.95
+    assert tree.depth >= 1
+    assert tree.node_count >= 3
+
+
+def test_tree_feature_importance_identifies_signal():
+    features, labels = _separable_dataset()
+    tree = DecisionTree(max_depth=3).fit(features, labels)
+    importances = tree.feature_importances()
+    assert importances[0] > importances[1]
+    assert importances.sum() == pytest.approx(1.0)
+
+
+def test_tree_predict_proba_bounds():
+    features, labels = _separable_dataset()
+    tree = DecisionTree(max_depth=4).fit(features, labels)
+    proba = tree.predict_proba(features)
+    assert np.all(proba >= 0.0) and np.all(proba <= 1.0)
+
+
+def test_tree_pure_node_stops_splitting():
+    features = np.zeros((30, 2))
+    labels = np.zeros(30)
+    tree = DecisionTree(max_depth=5).fit(features, labels)
+    assert tree.node_count == 1
+    assert np.all(tree.predict(features) == 0)
+
+
+def test_tree_regression_mode():
+    rng = np.random.default_rng(0)
+    features = rng.random((300, 1))
+    targets = 3.0 * features[:, 0]
+    tree = DecisionTree(max_depth=6, task="regression").fit(features, targets)
+    predictions = tree.predict(features)
+    assert np.mean((predictions - targets) ** 2) < 0.05
+
+
+def test_tree_validation_errors():
+    with pytest.raises(ValueError):
+        DecisionTree(task="clustering")
+    with pytest.raises(ValueError):
+        DecisionTree(max_depth=0)
+    tree = DecisionTree()
+    with pytest.raises(ValueError):
+        tree.fit(np.zeros((0, 2)), np.zeros(0))
+    with pytest.raises(RuntimeError):
+        tree.predict(np.zeros((1, 2)))
+
+
+def test_tree_decision_path():
+    features, labels = _separable_dataset()
+    tree = DecisionTree(max_depth=3).fit(features, labels)
+    path = tree.decision_path(features[0])
+    assert path and all(len(step) == 3 for step in path)
+
+
+# -- ensembles --------------------------------------------------------------------
+
+
+def test_random_forest_accuracy_and_importance():
+    features, labels = _separable_dataset(600)
+    forest = RandomForestClassifier(n_estimators=8, max_depth=4, random_state=1).fit(features, labels)
+    assert accuracy_score(labels, forest.predict(features)) > 0.95
+    importances = forest.feature_importances()
+    assert importances[0] > importances[1]
+
+
+def test_random_forest_proba_bounds():
+    features, labels = _separable_dataset(200)
+    forest = RandomForestClassifier(n_estimators=5, max_depth=3).fit(features, labels)
+    proba = forest.predict_proba(features)
+    assert np.all((proba >= 0.0) & (proba <= 1.0))
+
+
+def test_random_forest_unfitted_raises():
+    with pytest.raises(RuntimeError):
+        RandomForestClassifier().predict(np.zeros((1, 2)))
+    with pytest.raises(ValueError):
+        RandomForestClassifier(n_estimators=0)
+
+
+def test_gradient_boosting_accuracy():
+    features, labels = _separable_dataset(600)
+    model = GradientBoostingClassifier(n_estimators=15, max_depth=3, random_state=1).fit(features, labels)
+    assert accuracy_score(labels, model.predict(features)) > 0.95
+    importances = model.feature_importances()
+    assert importances[0] > importances[1]
+
+
+def test_gradient_boosting_validation():
+    with pytest.raises(ValueError):
+        GradientBoostingClassifier(learning_rate=0.0)
+    with pytest.raises(RuntimeError):
+        GradientBoostingClassifier().predict_proba(np.zeros((1, 2)))
+
+
+# -- explainability ----------------------------------------------------------------------
+
+
+def test_rank_importances_sorted():
+    ranked = rank_importances(["a", "b", "c"], [0.1, 0.7, 0.2])
+    assert [item.feature for item in ranked] == ["b", "c", "a"]
+    assert top_features(ranked, 2) == ["b", "c"]
+    with pytest.raises(ValueError):
+        rank_importances(["a"], [0.1, 0.2])
+
+
+def test_permutation_importance_finds_signal_feature():
+    features, labels = _separable_dataset(400)
+    forest = RandomForestClassifier(n_estimators=6, max_depth=4).fit(features, labels)
+    ranked = permutation_importance(
+        forest, features, labels, ["signal", "noise"], rng=np.random.default_rng(0)
+    )
+    assert ranked[0].feature == "signal"
+
+
+def test_gain_importance_names_match():
+    features, labels = _separable_dataset(200)
+    forest = RandomForestClassifier(n_estimators=4, max_depth=3).fit(features, labels)
+    ranked = gain_importance(forest, ["signal", "noise"])
+    assert {item.feature for item in ranked} == {"signal", "noise"}
+
+
+# -- encoding -------------------------------------------------------------------------------
+
+
+def _fingerprints():
+    return [
+        Fingerprint(
+            {
+                Attribute.UA_DEVICE: "iPhone",
+                Attribute.VENDOR: "Apple Computer, Inc.",
+                Attribute.HARDWARE_CONCURRENCY: 4,
+                Attribute.FORCED_COLORS: False,
+                Attribute.SCREEN_RESOLUTION: (390, 844),
+                Attribute.PLUGINS: (),
+            }
+        ),
+        Fingerprint(
+            {
+                Attribute.UA_DEVICE: "Windows PC",
+                Attribute.VENDOR: "Google Inc.",
+                Attribute.HARDWARE_CONCURRENCY: 16,
+                Attribute.FORCED_COLORS: True,
+                Attribute.SCREEN_RESOLUTION: (1920, 1080),
+                Attribute.PLUGINS: ("Chrome PDF Viewer",),
+            }
+        ),
+    ]
+
+
+def test_encoder_shape_and_names():
+    encoder = FingerprintEncoder()
+    matrix = encoder.fit_transform(_fingerprints())
+    assert matrix.shape == (2, len(encoder.attributes))
+    assert "Hardware Concurrency" in encoder.feature_names
+
+
+def test_encoder_numeric_and_boolean_passthrough():
+    encoder = FingerprintEncoder(attributes=(Attribute.HARDWARE_CONCURRENCY, Attribute.FORCED_COLORS))
+    matrix = encoder.fit_transform(_fingerprints())
+    assert matrix[0, 0] == 4 and matrix[1, 0] == 16
+    assert matrix[0, 1] == 0.0 and matrix[1, 1] == 1.0
+
+
+def test_encoder_categorical_codes_stable():
+    encoder = FingerprintEncoder(attributes=(Attribute.UA_DEVICE,))
+    matrix = encoder.fit_transform(_fingerprints())
+    assert matrix[0, 0] != matrix[1, 0]
+    codes = encoder.categories_of(Attribute.UA_DEVICE)
+    assert set(codes) == {"iPhone", "Windows PC"}
+
+
+def test_encoder_unseen_category_is_minus_one():
+    encoder = FingerprintEncoder(attributes=(Attribute.UA_DEVICE,))
+    encoder.fit(_fingerprints())
+    unseen = Fingerprint({Attribute.UA_DEVICE: "Mac"})
+    assert encoder.transform([unseen])[0, 0] == -1.0
+
+
+def test_encoder_requires_fit():
+    encoder = FingerprintEncoder()
+    with pytest.raises(RuntimeError):
+        encoder.transform(_fingerprints())
+    with pytest.raises(ValueError):
+        encoder.fit([])
+
+
+def test_display_name_known_and_fallback():
+    assert display_name(Attribute.VENDOR_FLAVORS) == "Vendor Flavors"
+    assert display_name(Attribute.CANVAS) == "Canvas"

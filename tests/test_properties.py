@@ -1,0 +1,178 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.rules import FilterList, InconsistencyRule
+from repro.core.temporal import TemporalInconsistencyDetector
+from repro.fingerprint.attributes import Attribute, format_resolution, parse_resolution
+from repro.fingerprint.categories import AttributeCategory
+from repro.fingerprint.fingerprint import Fingerprint, fingerprint_distance
+from repro.ml.metrics import accuracy_score, confusion_matrix
+from repro.network.headers import accept_language_for, parse_accept_language
+from repro.reporting.tables import format_percent, format_table
+
+# -- strategies --------------------------------------------------------------------
+
+_resolutions = st.tuples(st.integers(1, 8000), st.integers(1, 8000))
+
+_attribute_values = st.fixed_dictionaries(
+    {},
+    optional={
+        Attribute.UA_DEVICE: st.sampled_from(["iPhone", "iPad", "Mac", "Windows PC", "SM-A515F"]),
+        Attribute.PLATFORM: st.sampled_from(["Win32", "MacIntel", "iPhone", "Linux x86_64", "Linux armv8l"]),
+        Attribute.HARDWARE_CONCURRENCY: st.integers(1, 64),
+        Attribute.DEVICE_MEMORY: st.sampled_from([0.5, 1.0, 2.0, 4.0, 8.0]),
+        Attribute.SCREEN_RESOLUTION: _resolutions,
+        Attribute.TOUCH_SUPPORT: st.sampled_from(["None", "touchEvent/touchStart"]),
+        Attribute.MAX_TOUCH_POINTS: st.integers(0, 10),
+        Attribute.WEBDRIVER: st.booleans(),
+        Attribute.PLUGINS: st.lists(
+            st.sampled_from(["PDF Viewer", "Chrome PDF Viewer", "WebKit built-in PDF"]),
+            max_size=3,
+            unique=True,
+        ).map(tuple),
+        Attribute.TIMEZONE: st.sampled_from(["America/Los_Angeles", "Europe/Paris", "Asia/Shanghai", "UTC"]),
+    },
+)
+
+_fingerprints = _attribute_values.map(Fingerprint)
+
+
+# -- Fingerprint invariants -----------------------------------------------------------
+
+
+@given(_fingerprints)
+def test_fingerprint_round_trip(fingerprint):
+    rebuilt = Fingerprint.from_dict(fingerprint.to_dict())
+    assert rebuilt == fingerprint
+    assert rebuilt.stable_hash() == fingerprint.stable_hash()
+
+
+@given(_fingerprints)
+def test_fingerprint_distance_to_self_is_zero(fingerprint):
+    assert fingerprint_distance(fingerprint, fingerprint) == 0
+
+
+@given(_fingerprints, _fingerprints)
+def test_fingerprint_distance_is_symmetric(left, right):
+    assert fingerprint_distance(left, right) == fingerprint_distance(right, left)
+
+
+@given(_fingerprints, st.integers(1, 64))
+def test_fingerprint_replace_changes_one_attribute(fingerprint, cores):
+    altered = fingerprint.replace(hardware_concurrency=cores)
+    assert altered[Attribute.HARDWARE_CONCURRENCY] == cores
+    assert fingerprint_distance(fingerprint, altered) <= 1
+
+
+@given(_resolutions)
+def test_resolution_format_parse_round_trip(resolution):
+    assert parse_resolution(format_resolution(resolution)) == resolution
+
+
+# -- filter-list invariants --------------------------------------------------------------
+
+
+_rules = st.builds(
+    InconsistencyRule,
+    category=st.sampled_from(list(AttributeCategory)),
+    attribute_a=st.sampled_from([Attribute.UA_DEVICE, Attribute.PLATFORM, Attribute.UA_BROWSER]),
+    value_a=st.sampled_from(["iPhone", "Win32", "Mobile Safari", "Mac"]),
+    attribute_b=st.sampled_from([Attribute.SCREEN_RESOLUTION, Attribute.VENDOR, Attribute.MAX_TOUCH_POINTS]),
+    value_b=st.sampled_from(["1920x1080", "Google Inc.", 0, 10]),
+    support=st.integers(0, 1000),
+)
+
+
+@given(st.lists(_rules, max_size=30))
+def test_filter_list_deduplicates_by_key(rules):
+    filter_list = FilterList(rules)
+    assert len(filter_list) == len({rule.key for rule in rules})
+
+
+@given(st.lists(_rules, max_size=20), _fingerprints)
+def test_filter_list_matches_agrees_with_any_rule(rules, fingerprint):
+    filter_list = FilterList(rules)
+    expected = any(rule.matches(fingerprint) for rule in rules)
+    assert filter_list.matches(fingerprint) == expected
+
+
+@given(_rules)
+def test_rule_serialisation_round_trip(rule):
+    assert InconsistencyRule.from_dict(rule.to_dict()) == rule
+
+
+@given(st.lists(_rules, max_size=20))
+def test_filter_list_json_round_trip(rules):
+    filter_list = FilterList(rules)
+    loaded = FilterList.from_json(filter_list.to_json())
+    assert {rule.key for rule in loaded} == {rule.key for rule in filter_list}
+
+
+# -- temporal detector invariants --------------------------------------------------------------
+
+
+@given(st.lists(st.sampled_from(["Win32", "MacIntel", "Linux x86_64"]), min_size=1, max_size=20))
+def test_temporal_detector_flags_at_most_changes(platforms):
+    detector = TemporalInconsistencyDetector()
+    flags = 0
+    for platform in platforms:
+        flags += len(
+            detector.observe(Fingerprint({Attribute.PLATFORM: platform}), cookie="c", ip_address=None)
+        )
+    distinct = len(set(platforms))
+    assert flags == max(0, distinct - 1)
+
+
+@given(st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=30))
+def test_temporal_detector_never_flags_constant_stream(keys):
+    detector = TemporalInconsistencyDetector()
+    fingerprint = Fingerprint({Attribute.PLATFORM: "Win32", Attribute.HARDWARE_CONCURRENCY: 8})
+    for key in keys:
+        assert detector.observe(fingerprint, cookie=key, ip_address=None) == []
+
+
+# -- metrics invariants ------------------------------------------------------------------------
+
+
+@given(st.lists(st.integers(0, 1), min_size=1, max_size=200))
+def test_accuracy_of_perfect_prediction_is_one(labels):
+    assert accuracy_score(labels, labels) == 1.0
+
+
+@given(
+    st.lists(st.tuples(st.integers(0, 1), st.integers(0, 1)), min_size=1, max_size=200)
+)
+def test_confusion_matrix_totals_and_accuracy(pairs):
+    y_true = [true for true, _pred in pairs]
+    y_pred = [pred for _true, pred in pairs]
+    matrix = confusion_matrix(y_true, y_pred)
+    assert matrix.total == len(pairs)
+    assert matrix.accuracy == accuracy_score(y_true, y_pred)
+    assert 0.0 <= matrix.precision <= 1.0
+    assert 0.0 <= matrix.recall <= 1.0
+
+
+# -- header / reporting invariants ----------------------------------------------------------------
+
+
+@given(st.lists(st.sampled_from(["en-US", "en", "fr-FR", "de-DE", "es-MX"]), min_size=1, max_size=5, unique=True))
+def test_accept_language_round_trip(languages):
+    assert parse_accept_language(accept_language_for(tuple(languages))) == tuple(languages)
+
+
+@given(st.floats(0.0, 1.0))
+def test_format_percent_bounds(value):
+    text = format_percent(value)
+    assert text.endswith("%")
+    assert 0.0 <= float(text[:-1]) <= 100.0
+
+
+@given(
+    st.lists(st.tuples(st.text(max_size=8), st.integers(0, 10 ** 6)), min_size=1, max_size=10)
+)
+def test_format_table_has_row_per_entry(rows):
+    table = format_table(["name", "count"], rows)
+    # header + separator + one line per row
+    assert len(table.splitlines()) == 2 + len(rows)
