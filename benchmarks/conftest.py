@@ -1,10 +1,15 @@
 """Shared fixtures for the benchmark harness.
 
-One corpus (bots + real users + privacy technologies) is generated per
+One corpus (bots + real users + privacy technologies) is used per
 benchmark session at the scale given by ``REPRO_SCALE`` (default 0.05,
 i.e. ~25k bot requests; set ``REPRO_SCALE=1.0`` to regenerate the paper's
 full 507,080-request campaign).  Each benchmark regenerates one table or
 figure of the paper and prints it alongside the paper's reference numbers.
+
+The corpus comes from the sharded engine via the on-disk cache when the
+``REPRO_CORPUS_CACHE`` / ``REPRO_WORKERS`` knobs are set (as in CI, where
+the warm run must hit the cache); with neither set it falls back to the
+legacy serial build.
 """
 
 from __future__ import annotations
@@ -21,7 +26,12 @@ def pytest_configure(config):
 
 @pytest.fixture(scope="session")
 def corpus():
-    """The measurement corpus shared by every benchmark."""
+    """The measurement corpus shared by every benchmark.
+
+    ``build_corpus`` engages the sharded engine and the on-disk cache when
+    ``REPRO_WORKERS`` / ``REPRO_CORPUS_CACHE`` are set (as in CI) and
+    falls back to the legacy serial build otherwise.
+    """
 
     return build_corpus(
         seed=7,

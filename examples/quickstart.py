@@ -7,7 +7,6 @@ claims to be an iPhone while exposing desktop attributes.
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
 
 from repro.analysis.corpus import build_corpus
 from repro.core import FPInconsistent

@@ -8,7 +8,7 @@ paper quotes, and ranks the fingerprint attributes that drive evasion.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 

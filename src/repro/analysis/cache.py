@@ -1,0 +1,243 @@
+"""Content-addressed on-disk corpus cache.
+
+Benchmarks and CI used to regenerate the whole corpus from scratch every
+session.  This module persists a built :class:`~repro.analysis.corpus.Corpus`
+under a key derived from everything that determines its content — master
+seed, scale, inclusion flags, request budgets, campaign length and the
+on-disk format version — so an unchanged configuration is a cache hit and
+any change (different seed, different scale, bumped format) is a rebuild.
+
+Layout, one directory per key under the cache root::
+
+    <root>/<key>/meta.json        corpus metadata + URL map + geo assignments
+    <root>/<key>/store.jsonl.gz   the request store (versioned gzip JSONL)
+
+Writes go through a temporary directory renamed into place, so a crashed
+build never leaves a half-written entry behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.analysis.corpus import Corpus
+from repro.bots.marketplace import build_marketplace
+from repro.geo.geolite import GeoDatabase
+from repro.geo.ipaddr import GeoRegion, IpAddressSpace, PrefixAssignment
+from repro.honeysite.site import HoneySite
+from repro.honeysite.storage import CORPUS_FORMAT_VERSION, RequestStore, StoreFormatError
+from repro.users.privacy import PrivacyTechnology
+
+#: Environment variable pointing at the cache root directory.  Unset means
+#: caching is disabled.
+CACHE_ENV_VAR = "REPRO_CORPUS_CACHE"
+
+
+def default_cache_dir() -> Optional[Path]:
+    """Cache root requested through ``REPRO_CORPUS_CACHE`` (``None`` if unset)."""
+
+    raw = os.environ.get(CACHE_ENV_VAR)
+    if not raw:
+        return None
+    return Path(raw).expanduser()
+
+
+def corpus_cache_key(
+    *,
+    seed: int,
+    scale: float,
+    include_real_users: bool,
+    include_privacy: bool,
+    real_user_requests: int,
+    privacy_requests_each: int,
+    campaign_days: int,
+    format_version: int = CORPUS_FORMAT_VERSION,
+) -> str:
+    """Content-address for one corpus configuration.
+
+    Worker count and executor kind are deliberately absent: the sharded
+    engine produces identical corpora for any parallelism, so they must
+    share one cache entry.
+    """
+
+    payload = json.dumps(
+        {
+            "format_version": int(format_version),
+            "seed": int(seed),
+            "scale": float(scale),
+            "include_real_users": bool(include_real_users),
+            "include_privacy": bool(include_privacy),
+            "real_user_requests": int(real_user_requests),
+            "privacy_requests_each": int(privacy_requests_each),
+            "campaign_days": int(campaign_days),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
+
+
+def save_corpus(corpus: Corpus, directory) -> Path:
+    """Write *corpus* (store + metadata) into *directory*; returns the path."""
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    corpus.store.save_jsonl(directory / "store.jsonl.gz")
+    meta = {
+        "format_version": CORPUS_FORMAT_VERSION,
+        "seed": corpus.seed,
+        "scale": corpus.scale,
+        "service_volumes": dict(corpus.service_volumes),
+        "real_user_requests": corpus.real_user_requests,
+        "privacy_requests": {
+            technology.value: count for technology, count in corpus.privacy_requests.items()
+        },
+        "sources": {
+            source: corpus.site.urls.path_of(source) for source in corpus.site.urls.sources()
+        },
+        "assignments": [
+            {
+                "first_octet": assignment.first_octet,
+                "second_octet": assignment.second_octet,
+                "asn": assignment.asn,
+                "country": assignment.region.country,
+                "region": assignment.region.region,
+                "timezone": assignment.region.timezone,
+            }
+            for assignment in corpus.site.geo.space.assignments
+        ],
+    }
+    with (directory / "meta.json").open("w", encoding="utf-8") as handle:
+        json.dump(meta, handle, indent=1, sort_keys=True)
+    return directory
+
+
+def load_corpus(directory) -> Corpus:
+    """Reconstruct a corpus saved by :func:`save_corpus`.
+
+    Rebuilds the honey site around the persisted store: the URL registry
+    carries the original source → path map and the geo database re-adopts
+    every /16 assignment, so downstream analyses (IP intelligence, Table 6
+    locations, DataDome re-evaluation) behave exactly as on the freshly
+    built corpus.
+    """
+
+    directory = Path(directory)
+    with (directory / "meta.json").open("r", encoding="utf-8") as handle:
+        meta = json.load(handle)
+    version = int(meta.get("format_version", 0))
+    if version > CORPUS_FORMAT_VERSION:
+        raise StoreFormatError(
+            f"corpus archive {directory} has format version {version}; "
+            f"this build reads up to {CORPUS_FORMAT_VERSION}"
+        )
+
+    space = IpAddressSpace()
+    for entry in meta.get("assignments", ()):
+        space.adopt(
+            PrefixAssignment(
+                first_octet=int(entry["first_octet"]),
+                second_octet=int(entry["second_octet"]),
+                asn=int(entry["asn"]),
+                region=GeoRegion(
+                    country=str(entry["country"]),
+                    region=str(entry["region"]),
+                    timezone=str(entry["timezone"]),
+                ),
+            )
+        )
+    site = HoneySite(geo=GeoDatabase(space), rng=np.random.default_rng(0))
+    for source, path in meta.get("sources", {}).items():
+        site.urls.adopt(source, path)
+    site.store.extend(RequestStore.load_jsonl(directory / "store.jsonl.gz"))
+
+    corpus = Corpus(
+        site=site,
+        scale=float(meta["scale"]),
+        seed=int(meta["seed"]),
+        bot_profiles=build_marketplace(),
+        service_volumes={
+            str(name): int(count) for name, count in meta.get("service_volumes", {}).items()
+        },
+        real_user_requests=int(meta.get("real_user_requests", 0)),
+        privacy_requests={
+            PrivacyTechnology(name): int(count)
+            for name, count in meta.get("privacy_requests", {}).items()
+        },
+    )
+    return corpus
+
+
+class CorpusCache:
+    """Directory of content-addressed corpus archives."""
+
+    def __init__(self, root):
+        self.root = Path(root).expanduser()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key
+
+    def has(self, key: str) -> bool:
+        entry = self.path_for(key)
+        return (entry / "meta.json").is_file() and (entry / "store.jsonl.gz").is_file()
+
+    def load(self, key: str) -> Optional[Corpus]:
+        """Load the corpus stored under *key*, or ``None`` on miss.
+
+        A corrupt or format-incompatible entry counts as a miss and is
+        evicted so the caller rebuilds it.
+        """
+
+        if not self.has(key):
+            return None
+        try:
+            return load_corpus(self.path_for(key))
+        except (StoreFormatError, KeyError, ValueError, json.JSONDecodeError, OSError):
+            self.evict(key)
+            return None
+
+    def store(self, key: str, corpus: Corpus) -> Path:
+        """Persist *corpus* under *key* (atomically) and return its path."""
+
+        self.root.mkdir(parents=True, exist_ok=True)
+        final = self.path_for(key)
+        staging = Path(tempfile.mkdtemp(prefix=f".{key}.", dir=self.root))
+        try:
+            save_corpus(corpus, staging)
+            if final.exists():
+                shutil.rmtree(final)
+            staging.rename(final)
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        return final
+
+    def evict(self, key: str) -> None:
+        """Remove the entry stored under *key* (no-op when absent)."""
+
+        entry = self.path_for(key)
+        if entry.exists():
+            shutil.rmtree(entry)
+
+    def keys(self) -> Dict[str, Path]:
+        """Mapping of present cache keys to their directories.
+
+        Dot-prefixed entries are in-flight (or orphaned) staging
+        directories from :meth:`store`, never published keys; skip them.
+        """
+
+        if not self.root.is_dir():
+            return {}
+        return {
+            entry.name: entry
+            for entry in sorted(self.root.iterdir())
+            if not entry.name.startswith(".") and (entry / "meta.json").is_file()
+        }

@@ -96,6 +96,9 @@ def build_corpus(
     real_user_requests: int = 2206,
     privacy_requests_each: int = 60,
     campaign_days: int = 90,
+    workers: Optional[int] = None,
+    executor: Optional[str] = None,
+    cache=None,
 ) -> Corpus:
     """Build the full measurement corpus.
 
@@ -109,6 +112,69 @@ def build_corpus(
         requests).
     include_real_users / include_privacy:
         Whether to also generate the Section 7.4 and 7.5 traffic.
+    workers / executor / cache:
+        Parallelism and caching knobs.  When *workers* is given (or the
+        ``REPRO_WORKERS`` environment variable is set), or a cache is
+        configured (*cache* argument or ``REPRO_CORPUS_CACHE``), generation
+        is delegated to the sharded engine
+        (:mod:`repro.analysis.engine`): per-source shards with spawned
+        seeds, fanned out over a ``"process"`` or ``"thread"`` executor,
+        byte-identical for any worker count.  Otherwise this runs the
+        legacy single-stream serial path, which reproduces the historical
+        corpora bit for bit.
+    """
+
+    from repro.analysis import engine as _engine
+    from repro.analysis.cache import default_cache_dir
+
+    if workers is None:
+        workers = _engine.default_workers()
+    # cache=False means "no caching", not "engage the engine": only an
+    # actual cache (argument or environment) or a worker request switches
+    # away from the legacy serial path.
+    cache_requested = cache is not None and cache is not False
+    if workers is not None or cache_requested or (cache is None and default_cache_dir() is not None):
+        corpus, _status = _engine.build_or_load_corpus(
+            seed=seed,
+            scale=scale,
+            include_real_users=include_real_users,
+            include_privacy=include_privacy,
+            real_user_requests=real_user_requests,
+            privacy_requests_each=privacy_requests_each,
+            campaign_days=campaign_days,
+            workers=workers,
+            executor=executor,
+            cache=cache,
+        )
+        return corpus
+
+    return build_corpus_serial(
+        seed=seed,
+        scale=scale,
+        include_real_users=include_real_users,
+        include_privacy=include_privacy,
+        real_user_requests=real_user_requests,
+        privacy_requests_each=privacy_requests_each,
+        campaign_days=campaign_days,
+    )
+
+
+def build_corpus_serial(
+    *,
+    seed: int = 7,
+    scale: Optional[float] = None,
+    include_real_users: bool = True,
+    include_privacy: bool = False,
+    real_user_requests: int = 2206,
+    privacy_requests_each: int = 60,
+    campaign_days: int = 90,
+) -> Corpus:
+    """The legacy single-process, single-stream corpus build.
+
+    Every generator's stream is drawn sequentially from one master ``rng``,
+    exactly as the original reproduction did, so historical corpora stay
+    bit-reproducible.  The scaling benchmark uses this as its serial
+    baseline; new code should go through :func:`build_corpus`.
     """
 
     if scale is None:

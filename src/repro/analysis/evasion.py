@@ -63,9 +63,11 @@ def top_and_bottom_services(
     """
 
     if detector == "DataDome":
-        key = lambda row: row.datadome_evasion_rate
+        def key(row):
+            return row.datadome_evasion_rate
     elif detector == "BotD":
-        key = lambda row: row.botd_evasion_rate
+        def key(row):
+            return row.botd_evasion_rate
     else:
         raise KeyError(f"unknown detector {detector!r}")
     ordered = sorted(rows, key=key)

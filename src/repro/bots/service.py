@@ -16,8 +16,8 @@ generated traffic, not injected.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from dataclasses import dataclass
+from typing import Optional
 
 
 class BotDEvasionFlavor(str, enum.Enum):

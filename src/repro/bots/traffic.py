@@ -19,7 +19,7 @@ Section 6.3.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -44,6 +44,7 @@ from repro.honeysite.site import HoneySite
 from repro.honeysite.storage import SECONDS_PER_DAY
 from repro.network.headers import build_headers
 from repro.network.request import WebRequest
+from repro.seeding import derive_rng
 
 #: Country mix used when a service makes no geographic promise.  Weighted
 #: toward the United States, where most commodity bot infrastructure sits.
@@ -70,6 +71,10 @@ DEFAULT_RENEWAL_DAYS: Tuple[int, ...] = (0, 30, 60)
 
 _BASE_TIMEZONE = "America/Los_Angeles"
 
+_COUNTRY_MIX_NAMES: Tuple[str, ...] = tuple(name for name, _weight in DEFAULT_COUNTRY_MIX)
+_COUNTRY_MIX_WEIGHTS: np.ndarray = np.array([weight for _name, weight in DEFAULT_COUNTRY_MIX])
+_COUNTRY_MIX_WEIGHTS /= _COUNTRY_MIX_WEIGHTS.sum()
+
 
 @dataclass
 class _Worker:
@@ -82,11 +87,15 @@ class _Worker:
 
 
 class BotTrafficGenerator:
-    """Generates and submits bot traffic for one or more services."""
+    """Generates and submits bot traffic for one or more services.
 
-    def __init__(self, site: HoneySite, rng: Optional[np.random.Generator] = None):
+    ``rng`` accepts a ``numpy.random.Generator``, a plain seed or a
+    ``SeedSequence`` (the sharded engine passes spawned sequences).
+    """
+
+    def __init__(self, site: HoneySite, rng=None):
         self._site = site
-        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._rng = derive_rng(rng if rng is not None else 0)
 
     # -- campaign scheduling --------------------------------------------------
 
@@ -121,10 +130,7 @@ class BotTrafficGenerator:
             region_countries = sorted(ADVERTISED_REGIONS[profile.advertised_region])
             if rng.random() < profile.ip_region_match_rate:
                 return region_countries[int(rng.integers(len(region_countries)))]
-        names = [name for name, _weight in DEFAULT_COUNTRY_MIX]
-        weights = np.array([weight for _name, weight in DEFAULT_COUNTRY_MIX])
-        weights /= weights.sum()
-        return names[int(rng.choice(len(names), p=weights))]
+        return _COUNTRY_MIX_NAMES[int(rng.choice(len(_COUNTRY_MIX_NAMES), p=_COUNTRY_MIX_WEIGHTS))]
 
     def _choose_timezone(
         self, profile: BotServiceProfile, ip_country: str, rng: np.random.Generator

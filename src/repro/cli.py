@@ -1,0 +1,346 @@
+"""The ``repro`` command line interface.
+
+Three subcommands cover the reproduction workflow end to end::
+
+    repro corpus    build (or load from cache) a measurement corpus
+    repro pipeline  build a corpus and run the FP-Inconsistent evaluation
+    repro bench     measure serial vs. sharded corpus-build throughput
+
+Installed as a console script by ``setup.py``; also runnable without
+installing via ``PYTHONPATH=src python -m repro ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import List, Optional
+
+from repro.analysis.cache import CACHE_ENV_VAR
+from repro.analysis.corpus import Corpus, build_corpus_serial
+from repro.analysis.engine import (
+    EXECUTOR_ENV_VAR,
+    WORKERS_ENV_VAR,
+    build_or_load_corpus,
+    default_executor,
+)
+
+
+def _add_corpus_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("corpus")
+    group.add_argument("--seed", type=int, default=7, help="master seed (default 7)")
+    group.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="fraction of the paper's volumes (default: REPRO_SCALE or 0.05; 1.0 = 507,080 requests)",
+    )
+    group.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=f"shard worker count (default: {WORKERS_ENV_VAR} or 1)",
+    )
+    group.add_argument(
+        "--executor",
+        choices=("process", "thread"),
+        default=None,
+        help=f"pool kind for workers > 1 (default: {EXECUTOR_ENV_VAR} or process)",
+    )
+    group.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help=f"corpus cache directory (default: {CACHE_ENV_VAR}; see also --no-cache)",
+    )
+    group.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the corpus cache even when configured",
+    )
+    group.add_argument(
+        "--no-real-users",
+        action="store_true",
+        help="skip the Section 7.4 real-user traffic",
+    )
+    group.add_argument(
+        "--include-privacy",
+        action="store_true",
+        help="also generate the Section 7.5 privacy-technology traffic",
+    )
+    group.add_argument(
+        "--real-user-requests", type=int, default=2206, help="real-user volume (default 2206)"
+    )
+    group.add_argument(
+        "--privacy-requests", type=int, default=60, help="requests per privacy technology (default 60)"
+    )
+    group.add_argument(
+        "--campaign-days", type=int, default=90, help="campaign length in days (default 90)"
+    )
+
+
+def _build_from_args(args: argparse.Namespace) -> Corpus:
+    if args.no_cache:
+        cache = False
+    elif args.cache:
+        cache = args.cache
+    else:
+        cache = None  # build_or_load_corpus falls back to REPRO_CORPUS_CACHE
+    started = time.perf_counter()
+    corpus, status = build_or_load_corpus(
+        seed=args.seed,
+        scale=args.scale,
+        include_real_users=not args.no_real_users,
+        include_privacy=args.include_privacy,
+        real_user_requests=args.real_user_requests,
+        privacy_requests_each=args.privacy_requests,
+        campaign_days=args.campaign_days,
+        workers=args.workers,
+        executor=args.executor,
+        cache=cache,
+    )
+    elapsed = time.perf_counter() - started
+    label = {"hit": "cache hit", "miss": "cache miss (stored)", "uncached": "uncached build"}[status]
+    print(f"corpus: {label} in {elapsed:.2f}s — {len(corpus.store)} records", file=sys.stderr)
+    return corpus
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    corpus = _build_from_args(args)
+    summary = {
+        "seed": corpus.seed,
+        "scale": corpus.scale,
+        "records": len(corpus.store),
+        "bot_requests": sum(corpus.service_volumes.values()),
+        "real_user_requests": corpus.real_user_requests,
+        "privacy_requests": {
+            str(technology): count for technology, count in corpus.privacy_requests.items()
+        },
+        "unique_ips": corpus.store.unique_ips(),
+        "unique_cookies": corpus.store.unique_cookies(),
+        "sources": len(corpus.service_volumes)
+        + (1 if corpus.real_user_requests else 0)
+        + len(corpus.privacy_requests),
+    }
+    if args.out:
+        corpus.store.save_jsonl(args.out)
+        summary["saved_to"] = str(args.out)
+    json.dump(summary, sys.stdout, indent=1, sort_keys=True)
+    print()
+    return 0
+
+
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    from repro.core.pipeline import FPInconsistentPipeline
+
+    corpus = _build_from_args(args)
+    started = time.perf_counter()
+    result = FPInconsistentPipeline().run(
+        corpus.bot_store,
+        real_user_store=corpus.real_user_store if not args.no_real_users else None,
+        check_generalization=args.generalization,
+    )
+    elapsed = time.perf_counter() - started
+    print(f"pipeline: evaluated in {elapsed:.2f}s", file=sys.stderr)
+
+    summary = {
+        "rules": len(result.filter_list),
+        "evasion_reduction": {
+            name: round(value, 4) for name, value in result.evasion_reductions.items()
+        },
+        "real_user_tnr": None
+        if result.real_user_tnr is None
+        else round(result.real_user_tnr, 4),
+    }
+    if result.generalization is not None:
+        summary["generalization"] = {
+            name: round(entry.test_detection_rate, 4)
+            for name, entry in result.generalization.items()
+        }
+    json.dump(summary, sys.stdout, indent=1, sort_keys=True)
+    print()
+    return 0
+
+
+def _parse_float_list(raw: str) -> List[float]:
+    values = [float(part) for part in raw.split(",") if part.strip()]
+    if not values:
+        raise argparse.ArgumentTypeError("expected a comma-separated list of numbers")
+    return values
+
+
+def _parse_int_list(raw: str) -> List[int]:
+    values = [int(part) for part in raw.split(",") if part.strip()]
+    if not values:
+        raise argparse.ArgumentTypeError("expected a comma-separated list of integers")
+    return values
+
+
+def run_scaling_benchmark(
+    *,
+    scales: List[float],
+    worker_counts: List[int],
+    seed: int = 7,
+    executor: Optional[str] = None,
+) -> dict:
+    """Measure serial-vs-sharded corpus build throughput.
+
+    For every scale, times the legacy serial path
+    (:func:`~repro.analysis.corpus.build_corpus_serial`) and the sharded
+    engine at each worker count, recording requests/second and the speedup
+    over serial.  Returns the result document written to
+    ``BENCH_corpus_scaling.json``.
+    """
+
+    from repro.analysis.engine import build_corpus_sharded
+
+    document = {
+        "benchmark": "corpus_scaling",
+        "seed": seed,
+        "cpu_count": os.cpu_count(),
+        "executor": executor or default_executor(),
+        "scales": [],
+    }
+    for scale in scales:
+        started = time.perf_counter()
+        serial = build_corpus_serial(seed=seed, scale=scale, include_real_users=True)
+        serial_seconds = time.perf_counter() - started
+        entry = {
+            "scale": scale,
+            "records": len(serial.store),
+            "serial_seconds": round(serial_seconds, 3),
+            "serial_rps": round(len(serial.store) / serial_seconds, 1),
+            "engine": [],
+        }
+        for workers in worker_counts:
+            started = time.perf_counter()
+            corpus = build_corpus_sharded(
+                seed=seed, scale=scale, include_real_users=True, workers=workers, executor=executor
+            )
+            seconds = time.perf_counter() - started
+            entry["engine"].append(
+                {
+                    "workers": workers,
+                    "seconds": round(seconds, 3),
+                    "rps": round(len(corpus.store) / seconds, 1),
+                    "speedup_vs_serial": round(serial_seconds / seconds, 2),
+                }
+            )
+        document["scales"].append(entry)
+        print(
+            f"scale {scale}: serial {serial_seconds:.2f}s; "
+            + "; ".join(
+                f"{run['workers']}w {run['seconds']:.2f}s ({run['speedup_vs_serial']}x)"
+                for run in entry["engine"]
+            ),
+            file=sys.stderr,
+        )
+    return document
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    document = run_scaling_benchmark(
+        scales=args.scales,
+        worker_counts=args.workers_list,
+        seed=args.seed,
+        executor=args.executor,
+    )
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"bench: wrote {args.output}", file=sys.stderr)
+
+    if args.check_speedup is not None:
+        best = max(
+            run["speedup_vs_serial"]
+            for entry in document["scales"]
+            for run in entry["engine"]
+        )
+        if best < args.check_speedup:
+            print(
+                f"bench: FAIL — best speedup {best}x is below the "
+                f"required {args.check_speedup}x",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"bench: best speedup {best}x >= {args.check_speedup}x", file=sys.stderr)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction toolkit: corpus generation, evaluation pipeline, benchmarks.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    corpus_parser = subparsers.add_parser(
+        "corpus", help="build (or load from cache) a measurement corpus"
+    )
+    _add_corpus_arguments(corpus_parser)
+    corpus_parser.add_argument(
+        "--out", default=None, metavar="PATH", help="also save the store as JSONL (.gz supported)"
+    )
+    corpus_parser.set_defaults(func=_cmd_corpus)
+
+    pipeline_parser = subparsers.add_parser(
+        "pipeline", help="build a corpus and run the FP-Inconsistent evaluation"
+    )
+    _add_corpus_arguments(pipeline_parser)
+    pipeline_parser.add_argument(
+        "--generalization",
+        action="store_true",
+        help="also run the Section 7.3 80/20 train/test check",
+    )
+    pipeline_parser.set_defaults(func=_cmd_pipeline)
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="measure serial vs. sharded corpus-build throughput"
+    )
+    bench_parser.add_argument("--seed", type=int, default=7)
+    bench_parser.add_argument(
+        "--scales",
+        type=_parse_float_list,
+        default=[0.01, 0.05],
+        help="comma-separated corpus scales (default 0.01,0.05)",
+    )
+    bench_parser.add_argument(
+        "--workers-list",
+        type=_parse_int_list,
+        default=[1, 4],
+        help="comma-separated worker counts (default 1,4)",
+    )
+    bench_parser.add_argument("--executor", choices=("process", "thread"), default=None)
+    bench_parser.add_argument(
+        "--output", default="BENCH_corpus_scaling.json", help="result file (JSON)"
+    )
+    bench_parser.add_argument(
+        "--check-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit non-zero unless some engine run is at least X times faster than serial",
+    )
+    bench_parser.set_defaults(func=_cmd_bench)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, OSError) as exc:
+        # Bad configuration (scale/seed/env values) or unwritable paths:
+        # report like a CLI, not with a traceback.  Set REPRO_DEBUG=1 to
+        # re-raise so genuine internal errors keep their stack.
+        if os.environ.get("REPRO_DEBUG"):
+            raise
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

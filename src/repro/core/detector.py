@@ -14,14 +14,14 @@ runs server-side keyed on the first-party cookie and source address.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.rules import FilterList, InconsistencyRule
-from repro.core.spatial import SpatialInconsistencyMiner, SpatialMinerConfig
+from repro.core.spatial import SpatialInconsistencyMiner
 from repro.core.temporal import TemporalFlag, TemporalInconsistencyDetector
 from repro.fingerprint.fingerprint import Fingerprint
-from repro.honeysite.storage import RecordedRequest, RequestStore
+from repro.honeysite.storage import RequestStore
 
 
 @dataclass(frozen=True)

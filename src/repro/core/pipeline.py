@@ -8,7 +8,7 @@ and the quickstart example are thin wrappers around this module.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.core.detector import FPInconsistent, InconsistencyVerdict

@@ -10,9 +10,9 @@ services (Section 8.3) and are what the paper open-sources.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.fingerprint.attributes import Attribute
 from repro.fingerprint.categories import AttributeCategory

@@ -20,12 +20,12 @@ inconsistent".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.fingerprint.attributes import Attribute
 from repro.fingerprint.fingerprint import Fingerprint
-from repro.honeysite.storage import RecordedRequest, RequestStore
+from repro.honeysite.storage import RequestStore
 
 #: Immutable attributes tracked per cookie by default (Section 7.2 names
 #: hardware concurrency, device memory and the platform example of §6.3).

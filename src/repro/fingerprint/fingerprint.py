@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import Any, Dict, Iterator, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterator, Mapping, Optional
 
 from repro.fingerprint.attributes import (
     Attribute,
@@ -50,6 +50,21 @@ class Fingerprint(Mapping[Attribute, Any]):
             coerced[attribute] = coerced_value
         self._values: Dict[Attribute, Any] = coerced
         self._hash: Optional[str] = None
+
+    @classmethod
+    def _from_coerced(cls, values: Dict[Attribute, Any]) -> "Fingerprint":
+        """Wrap a dict whose values are already canonical, skipping coercion.
+
+        Only for internal use by :meth:`replace` / :meth:`without`, whose
+        inputs come from an existing fingerprint (coercion is idempotent on
+        canonical values, so re-running it is pure overhead — and it
+        dominated corpus-generation profiles).
+        """
+
+        instance = cls.__new__(cls)
+        instance._values = values
+        instance._hash = None
+        return instance
 
     # -- Mapping protocol ----------------------------------------------------
 
@@ -114,10 +129,14 @@ class Fingerprint(Mapping[Attribute, Any]):
         member values), e.g. ``fp.replace(hardware_concurrency=4)``.
         """
 
-        updated: Dict[Any, Any] = dict(self._values)
+        updated: Dict[Attribute, Any] = dict(self._values)
         for key, value in changes.items():
-            updated[Attribute(key)] = value
-        return Fingerprint(updated)
+            attribute = Attribute(key)
+            coerced = coerce_value(attribute, value)
+            if isinstance(coerced, list):
+                coerced = tuple(coerced)
+            updated[attribute] = coerced
+        return Fingerprint._from_coerced(updated)
 
     def without(self, *attributes: Attribute) -> "Fingerprint":
         """Return a copy with *attributes* removed."""
@@ -125,7 +144,7 @@ class Fingerprint(Mapping[Attribute, Any]):
         remaining = {
             key: value for key, value in self._values.items() if key not in attributes
         }
-        return Fingerprint(remaining)
+        return Fingerprint._from_coerced(remaining)
 
     # -- serialisation ------------------------------------------------------------
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
 
 
@@ -120,8 +121,13 @@ def is_datacenter_asn(number: int) -> bool:
     return record.is_datacenter if record else False
 
 
+@lru_cache(maxsize=None)
 def residential_asns(country: Optional[str] = None) -> Tuple[int, ...]:
-    """Residential / mobile ASNs, optionally filtered by *country*."""
+    """Residential / mobile ASNs, optionally filtered by *country*.
+
+    Cached: the registry is a module constant and the traffic generators
+    call this once per session reset.
+    """
 
     return tuple(
         number
@@ -130,8 +136,13 @@ def residential_asns(country: Optional[str] = None) -> Tuple[int, ...]:
     )
 
 
+@lru_cache(maxsize=None)
 def datacenter_asns(country: Optional[str] = None) -> Tuple[int, ...]:
-    """Cloud / hosting ASNs, optionally filtered by *country*."""
+    """Cloud / hosting ASNs, optionally filtered by *country*.
+
+    Cached: the registry is a module constant and the traffic generators
+    call this once per session reset.
+    """
 
     return tuple(
         number

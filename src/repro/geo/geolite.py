@@ -16,12 +16,10 @@ import numpy as np
 
 from repro.geo.asn import (
     AsnBlocklist,
-    AsnKind,
     ASN_REGISTRY,
     IpBlocklist,
     TOR_EXIT_ASNS,
     datacenter_asns,
-    is_datacenter_asn,
     residential_asns,
 )
 from repro.geo.ipaddr import GeoRegion, IpAddressSpace, regions_of_country

@@ -11,7 +11,7 @@ region, mirroring how GeoLite2 maps prefixes to locations.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -119,25 +119,52 @@ class IpAddressSpace:
 
     The space assigns a distinct /16 to every (ASN, region) combination as
     blocks are requested, starting from disjoint first-octet ranges for
-    residential (``100.x``), mobile (``110.x``), cloud (``34.x``) and
-    hosting (``45.x``) address space so that block kinds never collide.
+    residential (``100.x``–``109.x``), mobile (``110.x``–``119.x``), cloud
+    (``34.x``–``44.x``) and hosting (``45.x``–``54.x``) address space so
+    that block kinds never collide.
+
+    Parameters
+    ----------
+    partition:
+        ``(index, count)`` pair carving the per-kind block sequence into
+        ``count`` disjoint interleaved slices.  Shard *index* of a sharded
+        corpus build allocates blocks ``index, index + count, ...`` so that
+        independently generated shards can later be merged (via
+        :meth:`adopt`) into one space without prefix collisions.  The
+        default ``(0, 1)`` reproduces the legacy demand-ordered sequence.
     """
 
-    _KIND_FIRST_OCTET = {
-        AsnKind.RESIDENTIAL_ISP: 100,
-        AsnKind.MOBILE_CARRIER: 110,
-        AsnKind.CLOUD_PROVIDER: 34,
-        AsnKind.HOSTING_PROVIDER: 45,
+    _KIND_OCTET_RANGES = {
+        AsnKind.RESIDENTIAL_ISP: (100, 10),
+        AsnKind.MOBILE_CARRIER: (110, 10),
+        AsnKind.CLOUD_PROVIDER: (34, 11),
+        AsnKind.HOSTING_PROVIDER: (45, 10),
     }
 
-    def __init__(self) -> None:
+    def __init__(self, partition: Tuple[int, int] = (0, 1)) -> None:
+        index, count = int(partition[0]), int(partition[1])
+        if count < 1 or not 0 <= index < count:
+            raise ValueError(f"invalid partition {partition!r}; need 0 <= index < count")
+        self._partition = (index, count)
         self._assignments: Dict[Tuple[int, str, str], PrefixAssignment] = {}
         self._by_prefix: Dict[Tuple[int, int], PrefixAssignment] = {}
-        self._next_second_octet: Dict[int, int] = {}
+        #: per-kind count of blocks this partition has allocated so far
+        self._allocated: Dict[AsnKind, int] = {}
+
+    @property
+    def partition(self) -> Tuple[int, int]:
+        return self._partition
 
     @property
     def assignments(self) -> List[PrefixAssignment]:
         return list(self._by_prefix.values())
+
+    def _block_octets(self, kind: AsnKind, global_index: int) -> Tuple[int, int]:
+        base, span = self._KIND_OCTET_RANGES[kind]
+        first = base + global_index // 256
+        if first >= base + span:
+            raise RuntimeError("address space for this ASN kind is exhausted")
+        return first, global_index % 256
 
     def assignment_for(self, asn: int, region: GeoRegion) -> PrefixAssignment:
         """Return (allocating if needed) the /16 owned by *asn* in *region*."""
@@ -149,11 +176,15 @@ class IpAddressSpace:
         record = ASN_REGISTRY.get(asn)
         if record is None:
             raise KeyError(f"ASN {asn} is not in the registry")
-        first_octet = self._KIND_FIRST_OCTET[record.kind]
-        second_octet = self._next_second_octet.get(first_octet, 0)
-        if second_octet > 255:
-            raise RuntimeError("address space for this ASN kind is exhausted")
-        self._next_second_octet[first_octet] = second_octet + 1
+        index, count = self._partition
+        ordinal = self._allocated.get(record.kind, 0)
+        # Skip over blocks already taken by adopted foreign assignments.
+        while True:
+            first_octet, second_octet = self._block_octets(record.kind, index + ordinal * count)
+            ordinal += 1
+            if (first_octet, second_octet) not in self._by_prefix:
+                break
+        self._allocated[record.kind] = ordinal
         assignment = PrefixAssignment(
             first_octet=first_octet,
             second_octet=second_octet,
@@ -163,6 +194,24 @@ class IpAddressSpace:
         self._assignments[key] = assignment
         self._by_prefix[(first_octet, second_octet)] = assignment
         return assignment
+
+    def adopt(self, assignment: PrefixAssignment) -> None:
+        """Import an assignment allocated by another (shard) space.
+
+        Adopting the same assignment twice is a no-op; adopting a different
+        assignment for an already-claimed prefix raises ``ValueError``.
+        Several adopted prefixes may share one (ASN, region) pair — shards
+        allocate independently, and real autonomous systems announce many
+        prefixes per region — so lookups stay prefix-keyed while local
+        allocation reuses the first block adopted for a pair.
+        """
+
+        key = (assignment.asn, assignment.region.country, assignment.region.region)
+        prefix = (assignment.first_octet, assignment.second_octet)
+        if self._by_prefix.get(prefix, assignment) != assignment:
+            raise ValueError(f"prefix {assignment.prefix} already assigned differently")
+        self._assignments.setdefault(key, assignment)
+        self._by_prefix[prefix] = assignment
 
     def allocate(self, asn: int, region: GeoRegion, rng: np.random.Generator) -> str:
         """Allocate a random host address inside the (asn, region) block."""

@@ -10,16 +10,37 @@ surface every analysis in Sections 5–7 runs against.
 
 from __future__ import annotations
 
+import gzip
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.antibot.base import Decision
 from repro.fingerprint.attributes import Attribute
 from repro.network.request import WebRequest
 
 SECONDS_PER_DAY = 86_400.0
+
+#: Version of the on-disk request-store / corpus archive format.  Bump on
+#: any change to the serialised record layout; the corpus cache keys on it
+#: so stale archives are rebuilt rather than mis-parsed.
+CORPUS_FORMAT_VERSION = 1
+
+#: Marker identifying the header line of a versioned store file.
+_STORE_HEADER_MARKER = "repro-request-store"
+
+
+class StoreFormatError(ValueError):
+    """Raised when a persisted store cannot be read back."""
+
+
+def _open_text(path: Path, mode: str):
+    """Open *path* for text I/O, transparently gzipped for ``.gz`` files."""
+
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return path.open(mode, encoding="utf-8")
 
 
 @dataclass(frozen=True)
@@ -264,22 +285,59 @@ class RequestStore:
     # -- persistence -------------------------------------------------------------------
 
     def save_jsonl(self, path) -> None:
-        """Write the store to *path* as one JSON object per line."""
+        """Write the store to *path* as one JSON object per line.
+
+        Paths ending in ``.gz`` are gzip-compressed.  The first line is a
+        version header so readers can reject archives written by an
+        incompatible format revision.
+        """
 
         path = Path(path)
-        with path.open("w", encoding="utf-8") as handle:
+        with _open_text(path, "w") as handle:
+            handle.write(
+                json.dumps(
+                    {
+                        "format": _STORE_HEADER_MARKER,
+                        "version": CORPUS_FORMAT_VERSION,
+                        "count": len(self._records),
+                    }
+                )
+                + "\n"
+            )
             for record in self._records:
                 handle.write(json.dumps(record.to_dict()) + "\n")
 
     @classmethod
     def load_jsonl(cls, path) -> "RequestStore":
-        """Load a store written by :meth:`save_jsonl`."""
+        """Load a store written by :meth:`save_jsonl`.
+
+        Accepts gzip-compressed files (``.gz`` suffix) and tolerates legacy
+        header-less files; a header from a newer format version raises
+        :class:`StoreFormatError`.
+        """
 
         path = Path(path)
         records = []
-        with path.open("r", encoding="utf-8") as handle:
+        expected: Optional[int] = None
+        with _open_text(path, "r") as handle:
             for line in handle:
                 line = line.strip()
-                if line:
-                    records.append(RecordedRequest.from_dict(json.loads(line)))
+                if not line:
+                    continue
+                data = json.loads(line)
+                if data.get("format") == _STORE_HEADER_MARKER:
+                    version = int(data.get("version", 0))
+                    if version > CORPUS_FORMAT_VERSION:
+                        raise StoreFormatError(
+                            f"store {path} has format version {version}; "
+                            f"this build reads up to {CORPUS_FORMAT_VERSION}"
+                        )
+                    expected = data.get("count")
+                    continue
+                records.append(RecordedRequest.from_dict(data))
+        if expected is not None and expected != len(records):
+            raise StoreFormatError(
+                f"store {path} is truncated: header promises {expected} records, "
+                f"found {len(records)}"
+            )
         return cls(records)

@@ -55,6 +55,30 @@ class UrlRegistry:
         self._source_by_path[path] = source
         return path
 
+    def adopt(self, source: str, path: str) -> str:
+        """Register *source* under a pre-generated *path*.
+
+        The sharded corpus engine mints every source's URL token up front in
+        the coordinating process, then hands each shard its ``(source,
+        path)`` pair so that shard-local records and the merged registry
+        agree.  Adopting an existing identical mapping is a no-op; trying to
+        remap either side raises ``ValueError``.
+        """
+
+        if not path.startswith("/"):
+            raise ValueError(f"URL path must start with '/', got {path!r}")
+        existing_path = self._path_by_source.get(source)
+        if existing_path is not None:
+            if existing_path != path:
+                raise ValueError(f"source {source!r} already registered at {existing_path!r}")
+            return existing_path
+        existing_source = self._source_by_path.get(path)
+        if existing_source is not None and existing_source != source:
+            raise ValueError(f"path {path!r} already owned by {existing_source!r}")
+        self._path_by_source[source] = path
+        self._source_by_path[path] = source
+        return path
+
     def path_of(self, source: str) -> Optional[str]:
         """The URL path registered for *source*, or ``None``."""
 

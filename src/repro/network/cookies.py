@@ -10,7 +10,7 @@ Brave retains them even while randomising other attributes (Section 7.5).
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
 import numpy as np
 

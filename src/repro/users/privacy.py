@@ -22,7 +22,6 @@ alterations the technology actually performs:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -33,12 +32,13 @@ from repro.fingerprint.attributes import Attribute
 from repro.fingerprint.fingerprint import Fingerprint
 from repro.fingerprint.useragent import build_user_agent
 from repro.geo.asn import TOR_EXIT_ASNS
-from repro.geo.ipaddr import GeoRegion, regions_of_country
+from repro.geo.ipaddr import regions_of_country
 from repro.honeysite.site import HoneySite
 from repro.honeysite.storage import SECONDS_PER_DAY
 from repro.network.cookies import ClientCookieStore
 from repro.network.headers import build_headers
 from repro.network.request import WebRequest
+from repro.seeding import derive_rng
 
 
 class PrivacyTechnology(str, enum.Enum):
@@ -153,13 +153,13 @@ class PrivacyTrafficGenerator:
         site: HoneySite,
         *,
         catalog: Optional[DeviceCatalog] = None,
-        rng: Optional[np.random.Generator] = None,
+        rng=None,
         home_country: str = "United States of America",
         home_timezone: str = "America/Los_Angeles",
     ):
         self._site = site
         self._catalog = catalog if catalog is not None else DeviceCatalog()
-        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._rng = derive_rng(rng if rng is not None else 0)
         self._home_country = home_country
         self._home_timezone = home_timezone
 

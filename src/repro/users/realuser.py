@@ -16,13 +16,12 @@ attribute untouched.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.devices.catalog import DeviceCatalog
 from repro.devices.profiles import DeviceProfile
-from repro.fingerprint.attributes import Attribute
 from repro.fingerprint.fingerprint import Fingerprint
 from repro.fingerprint.useragent import build_user_agent
 from repro.honeysite.site import HoneySite
@@ -30,6 +29,7 @@ from repro.honeysite.storage import SECONDS_PER_DAY
 from repro.network.cookies import ClientCookieStore
 from repro.network.headers import build_headers
 from repro.network.request import WebRequest
+from repro.seeding import derive_rng
 
 #: Default source label under which real-user traffic is recorded.
 REAL_USER_SOURCE = "real_users"
@@ -61,7 +61,7 @@ class RealUserTrafficGenerator:
         site: HoneySite,
         *,
         catalog: Optional[DeviceCatalog] = None,
-        rng: Optional[np.random.Generator] = None,
+        rng=None,
         home_country: str = "United States of America",
         home_region: str = "California",
         home_timezone: str = "America/Los_Angeles",
@@ -71,7 +71,7 @@ class RealUserTrafficGenerator:
             raise ValueError("ua_spoofer_rate must be within [0, 1]")
         self._site = site
         self._catalog = catalog if catalog is not None else DeviceCatalog()
-        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._rng = derive_rng(rng if rng is not None else 0)
         self._home_country = home_country
         self._home_region = home_region
         self._home_timezone = home_timezone

@@ -5,7 +5,6 @@ small-scale corpus, and assert the *shape* of the paper's results (who
 wins, direction of effects), not exact percentages.
 """
 
-import numpy as np
 import pytest
 
 from repro.analysis.attributes import appendix_c_combination, train_evasion_classifier

@@ -1,6 +1,5 @@
 """Unit tests for the DataDome and BotD detector models."""
 
-import numpy as np
 import pytest
 
 from repro.antibot.botd import BotDModel

@@ -1,6 +1,5 @@
 """Unit tests for evasion strategies, service profiles and the marketplace."""
 
-import numpy as np
 import pytest
 
 from repro.bots.marketplace import TOTAL_REQUESTS, build_marketplace, marketplace_by_name

@@ -1,0 +1,102 @@
+"""Tests for the ``repro`` command line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_corpus_summary(capsys, tmp_path):
+    out_path = tmp_path / "store.jsonl.gz"
+    code, out, err = run_cli(
+        capsys,
+        "corpus",
+        "--seed", "5",
+        "--scale", "0.002",
+        "--no-real-users",
+        "--no-cache",
+        "--out", str(out_path),
+    )
+    assert code == 0
+    assert "uncached build" in err
+    summary = json.loads(out)
+    assert summary["seed"] == 5
+    assert summary["records"] == summary["bot_requests"] > 0
+    assert out_path.is_file()
+
+
+def test_corpus_cache_miss_then_hit(capsys, tmp_path):
+    argv = (
+        "corpus",
+        "--seed", "5",
+        "--scale", "0.002",
+        "--no-real-users",
+        "--cache", str(tmp_path),
+    )
+    code, out, err = run_cli(capsys, *argv)
+    assert code == 0 and "cache miss" in err
+    code, out2, err = run_cli(capsys, *argv)
+    assert code == 0 and "cache hit" in err
+    assert json.loads(out) == json.loads(out2)
+
+
+def test_pipeline_summary(capsys):
+    code, out, err = run_cli(
+        capsys,
+        "pipeline",
+        "--seed", "5",
+        "--scale", "0.003",
+        "--no-cache",
+        "--workers", "2",
+        "--executor", "thread",
+    )
+    assert code == 0
+    summary = json.loads(out)
+    assert set(summary["evasion_reduction"]) == {"DataDome", "BotD"}
+    assert summary["rules"] > 0
+    assert 0.0 <= summary["real_user_tnr"] <= 1.0
+
+
+def test_bench_writes_document(capsys, tmp_path):
+    output = tmp_path / "bench.json"
+    code, out, err = run_cli(
+        capsys,
+        "bench",
+        "--scales", "0.002",
+        "--workers-list", "1,2",
+        "--executor", "thread",
+        "--output", str(output),
+    )
+    assert code == 0
+    document = json.loads(output.read_text())
+    assert document["benchmark"] == "corpus_scaling"
+    assert document["scales"][0]["engine"][0]["workers"] == 1
+    assert document["scales"][0]["serial_seconds"] > 0
+
+
+def test_bench_check_speedup_can_fail(capsys, tmp_path):
+    code, _out, err = run_cli(
+        capsys,
+        "bench",
+        "--scales", "0.002",
+        "--workers-list", "1",
+        "--executor", "thread",
+        "--output", str(tmp_path / "bench.json"),
+        "--check-speedup", "1000",
+    )
+    assert code == 1
+    assert "FAIL" in err
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["no-such-command"])

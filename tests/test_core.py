@@ -1,6 +1,5 @@
 """Unit tests for FP-Inconsistent: knowledge base, rules, miners, detector."""
 
-import numpy as np
 import pytest
 
 from repro.core.detector import FPInconsistent

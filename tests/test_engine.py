@@ -1,0 +1,282 @@
+"""Tests for the sharded corpus engine, persistence layer and cache."""
+
+from __future__ import annotations
+
+import gzip
+import json
+
+import pytest
+
+from repro.analysis.cache import (
+    CorpusCache,
+    corpus_cache_key,
+    load_corpus,
+    save_corpus,
+)
+from repro.analysis.corpus import build_corpus, build_corpus_serial
+from repro.analysis.engine import (
+    CorpusEngine,
+    build_corpus_sharded,
+    build_or_load_corpus,
+    run_shard,
+)
+from repro.fingerprint.attributes import Attribute
+from repro.geo.ipaddr import GeoRegion, IpAddressSpace, PrefixAssignment
+from repro.honeysite.storage import CORPUS_FORMAT_VERSION, RequestStore, StoreFormatError
+from repro.users.privacy import PrivacyTechnology
+
+TINY = dict(
+    seed=29,
+    scale=0.004,
+    include_real_users=True,
+    include_privacy=True,
+    real_user_requests=120,
+    privacy_requests_each=12,
+)
+
+
+def store_bytes(corpus) -> bytes:
+    """Canonical serialisation of a corpus store, for equality checks."""
+
+    return "\n".join(
+        json.dumps(record.to_dict(), sort_keys=True) for record in corpus.store
+    ).encode()
+
+
+@pytest.fixture(scope="module")
+def tiny_engine_corpus():
+    return build_corpus_sharded(**TINY, workers=1)
+
+
+# -- determinism ----------------------------------------------------------------
+
+
+def test_same_seed_identical_for_one_and_four_workers(tiny_engine_corpus):
+    parallel = build_corpus_sharded(**TINY, workers=4, executor="process")
+    assert store_bytes(tiny_engine_corpus) == store_bytes(parallel)
+
+
+def test_thread_executor_matches_process_and_serial(tiny_engine_corpus):
+    threaded = build_corpus_sharded(**TINY, workers=3, executor="thread")
+    assert store_bytes(tiny_engine_corpus) == store_bytes(threaded)
+
+
+def test_different_seed_differs(tiny_engine_corpus):
+    other = build_corpus_sharded(**{**TINY, "seed": 30}, workers=1)
+    assert store_bytes(tiny_engine_corpus) != store_bytes(other)
+
+
+def test_request_ids_are_sequential(tiny_engine_corpus):
+    ids = [record.request.request_id for record in tiny_engine_corpus.store]
+    assert ids == list(range(1, len(ids) + 1))
+
+
+def test_engine_corpus_supports_analyses(tiny_engine_corpus):
+    corpus = tiny_engine_corpus
+    assert len(corpus.bot_store) == sum(corpus.service_volumes.values())
+    assert len(corpus.real_user_store) == corpus.real_user_requests
+    assert set(corpus.privacy_requests) == {
+        PrivacyTechnology.SAFARI,
+        PrivacyTechnology.BRAVE,
+        PrivacyTechnology.TOR,
+        PrivacyTechnology.UBLOCK_ORIGIN,
+        PrivacyTechnology.ADBLOCK_PLUS,
+    }
+    # The merged geo database must resolve every shard-allocated address and
+    # agree with the IP enrichment stamped at collection time.
+    for record in corpus.store:
+        geo = corpus.site.geo.lookup(record.request.ip_address)
+        assert geo is not None
+        assert geo.country == record.attribute(Attribute.IP_COUNTRY)
+
+
+def test_shards_cover_all_sources():
+    specs = CorpusEngine(**TINY).plan()
+    kinds = [spec.kind for spec in specs]
+    assert kinds.count("bots") == 20
+    assert kinds.count("real_users") == 1
+    assert kinds.count("privacy") == 5
+    assert len({spec.url_path for spec in specs}) == len(specs)
+    assert len({spec.seed.spawn_key for spec in specs}) == len(specs)
+
+
+def test_run_shard_is_self_contained():
+    spec = CorpusEngine(**TINY).plan()[3]
+    first = run_shard(spec)
+    second = run_shard(spec)
+    assert first.recorded == second.recorded
+    assert [r.request.ip_address for r in first.records] == [
+        r.request.ip_address for r in second.records
+    ]
+
+
+def test_cache_false_does_not_engage_engine(monkeypatch):
+    # cache=False means "no caching", not "switch generation paths": with
+    # no engine knob set it must return the same stream as the default.
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    monkeypatch.delenv("REPRO_CORPUS_CACHE", raising=False)
+    default = build_corpus(seed=37, scale=0.002, include_real_users=False)
+    no_cache = build_corpus(seed=37, scale=0.002, include_real_users=False, cache=False)
+    assert [r.request.ip_address for r in default.store] == [
+        r.request.ip_address for r in no_cache.store
+    ]
+
+
+def test_legacy_serial_path_unchanged_by_facade(monkeypatch):
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    monkeypatch.delenv("REPRO_CORPUS_CACHE", raising=False)
+    legacy = build_corpus_serial(seed=31, scale=0.003, include_real_users=False)
+    facade = build_corpus(seed=31, scale=0.003, include_real_users=False)
+
+    def without_ids(corpus):
+        # The legacy path numbers requests from a process-global counter, so
+        # absolute ids depend on what ran earlier in the process; compare
+        # everything else.
+        records = []
+        for record in corpus.store:
+            data = record.to_dict()
+            data["request"].pop("request_id")
+            records.append(data)
+        return records
+
+    assert without_ids(legacy) == without_ids(facade)
+
+
+# -- partitioned address space -------------------------------------------------
+
+
+def test_partitioned_spaces_are_disjoint():
+    region = GeoRegion("United States of America", "California", "America/Los_Angeles")
+    spaces = [IpAddressSpace(partition=(index, 3)) for index in range(3)]
+    prefixes = set()
+    for space in spaces:
+        for asn in (7922, 701, 16509):
+            assignment = space.assignment_for(asn, region)
+            assert (assignment.first_octet, assignment.second_octet) not in prefixes
+            prefixes.add((assignment.first_octet, assignment.second_octet))
+
+
+def test_partition_validation():
+    with pytest.raises(ValueError):
+        IpAddressSpace(partition=(3, 3))
+    with pytest.raises(ValueError):
+        IpAddressSpace(partition=(0, 0))
+
+
+def test_adopt_rejects_conflicting_prefix():
+    region_a = GeoRegion("United States of America", "California", "America/Los_Angeles")
+    region_b = GeoRegion("United States of America", "Texas", "America/Chicago")
+    space = IpAddressSpace()
+    taken = space.assignment_for(7922, region_a)
+    conflicting = PrefixAssignment(
+        first_octet=taken.first_octet,
+        second_octet=taken.second_octet,
+        asn=701,
+        region=region_b,
+    )
+    with pytest.raises(ValueError):
+        space.adopt(conflicting)
+    space.adopt(taken)  # re-adopting the identical assignment is a no-op
+
+
+# -- persistence ---------------------------------------------------------------
+
+
+def test_store_roundtrip_gzip_with_decision_fidelity(tiny_engine_corpus, tmp_path):
+    path = tmp_path / "store.jsonl.gz"
+    tiny_engine_corpus.store.save_jsonl(path)
+    with gzip.open(path, "rt", encoding="utf-8") as handle:
+        header = json.loads(handle.readline())
+    assert header["version"] == CORPUS_FORMAT_VERSION
+    assert header["count"] == len(tiny_engine_corpus.store)
+
+    loaded = RequestStore.load_jsonl(path)
+    assert len(loaded) == len(tiny_engine_corpus.store)
+    for original, restored in zip(tiny_engine_corpus.store, loaded):
+        assert original.to_dict() == restored.to_dict()
+        assert restored.datadome.detector == "DataDome"
+        assert restored.botd.detector == "BotD"
+        assert restored.datadome.is_bot == original.datadome.is_bot
+        assert restored.datadome.signals == original.datadome.signals
+        assert restored.request.fingerprint == original.request.fingerprint
+
+
+def test_load_rejects_newer_format(tmp_path):
+    path = tmp_path / "future.jsonl"
+    path.write_text(
+        json.dumps({"format": "repro-request-store", "version": CORPUS_FORMAT_VERSION + 1})
+        + "\n"
+    )
+    with pytest.raises(StoreFormatError):
+        RequestStore.load_jsonl(path)
+
+
+def test_load_rejects_truncated_store(tiny_engine_corpus, tmp_path):
+    path = tmp_path / "store.jsonl"
+    tiny_engine_corpus.store.save_jsonl(path)
+    lines = path.read_text().splitlines()
+    path.write_text("\n".join(lines[:-1]) + "\n")
+    with pytest.raises(StoreFormatError):
+        RequestStore.load_jsonl(path)
+
+
+def test_corpus_archive_roundtrip(tiny_engine_corpus, tmp_path):
+    save_corpus(tiny_engine_corpus, tmp_path / "archive")
+    restored = load_corpus(tmp_path / "archive")
+    assert store_bytes(restored) == store_bytes(tiny_engine_corpus)
+    assert restored.seed == tiny_engine_corpus.seed
+    assert restored.scale == tiny_engine_corpus.scale
+    assert restored.service_volumes == tiny_engine_corpus.service_volumes
+    assert restored.privacy_requests == tiny_engine_corpus.privacy_requests
+    # restored geo + URL registry keep working
+    assert len(restored.bot_store) == len(tiny_engine_corpus.bot_store)
+    record = restored.store[0]
+    assert restored.site.geo.lookup(record.request.ip_address) is not None
+    assert restored.site.urls.source_of(record.request.url_path) == record.source
+
+
+# -- cache ---------------------------------------------------------------------
+
+
+def test_cache_miss_then_hit(tmp_path):
+    cold, cold_status = build_or_load_corpus(**TINY, workers=2, executor="thread", cache=tmp_path)
+    warm, warm_status = build_or_load_corpus(**TINY, workers=1, cache=tmp_path)
+    assert (cold_status, warm_status) == ("miss", "hit")
+    assert store_bytes(cold) == store_bytes(warm)
+
+
+def test_cache_invalidation_on_key_inputs(tmp_path):
+    cache = CorpusCache(tmp_path)
+    _, first = build_or_load_corpus(**TINY, workers=1, cache=cache)
+    assert first == "miss"
+    _, seed_changed = build_or_load_corpus(**{**TINY, "seed": 99}, workers=1, cache=cache)
+    assert seed_changed == "miss"
+    _, scale_changed = build_or_load_corpus(**{**TINY, "scale": 0.005}, workers=1, cache=cache)
+    assert scale_changed == "miss"
+    assert len(cache.keys()) == 3
+
+
+def test_cache_key_ignores_parallelism_but_not_format_version():
+    base = dict(
+        seed=1,
+        scale=0.01,
+        include_real_users=True,
+        include_privacy=False,
+        real_user_requests=10,
+        privacy_requests_each=5,
+        campaign_days=90,
+    )
+    assert corpus_cache_key(**base) == corpus_cache_key(**base)
+    assert corpus_cache_key(**base) != corpus_cache_key(
+        **base, format_version=CORPUS_FORMAT_VERSION + 1
+    )
+    assert corpus_cache_key(**base) != corpus_cache_key(**{**base, "include_privacy": True})
+
+
+def test_corrupt_cache_entry_is_rebuilt(tmp_path):
+    cache = CorpusCache(tmp_path)
+    _, first = build_or_load_corpus(**TINY, workers=1, cache=cache)
+    key = next(iter(cache.keys()))
+    (cache.path_for(key) / "store.jsonl.gz").write_bytes(b"not gzip at all")
+    _, second = build_or_load_corpus(**TINY, workers=1, cache=cache)
+    assert (first, second) == ("miss", "miss")

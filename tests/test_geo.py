@@ -1,6 +1,5 @@
 """Unit tests for the geo substrate (ASNs, IP space, lookups, timezones)."""
 
-import numpy as np
 import pytest
 
 from repro.geo.asn import (
@@ -14,7 +13,7 @@ from repro.geo.asn import (
     is_datacenter_asn,
     residential_asns,
 )
-from repro.geo.geolite import GeoDatabase, build_ip_blocklist
+from repro.geo.geolite import build_ip_blocklist
 from repro.geo.ipaddr import IpAddressSpace, format_ipv4, parse_ipv4, regions_of_country
 from repro.geo.timezones import (
     ADVERTISED_REGIONS,

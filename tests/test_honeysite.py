@@ -7,7 +7,7 @@ from repro.bots.strategies import base_bot_fingerprint
 from repro.fingerprint.attributes import Attribute
 from repro.honeysite.collector import CollectionError, FingerprintCollector
 from repro.honeysite.site import HoneySite
-from repro.honeysite.storage import RecordedRequest, RequestStore, SECONDS_PER_DAY
+from repro.honeysite.storage import RequestStore, SECONDS_PER_DAY
 from repro.honeysite.urls import UrlRegistry, generate_url_token
 from repro.network.request import WebRequest
 

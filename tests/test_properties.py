@@ -1,7 +1,6 @@
 """Property-based tests (hypothesis) for core data structures and invariants."""
 
-import numpy as np
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.core.rules import FilterList, InconsistencyRule
 from repro.core.temporal import TemporalInconsistencyDetector
