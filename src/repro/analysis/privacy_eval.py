@@ -26,24 +26,37 @@ class PrivacyTechnologyResult:
 def evaluate_privacy_technologies(
     stores: Dict[PrivacyTechnology, RequestStore],
     detector: FPInconsistent,
+    *,
+    engine: str = "columnar",
+    workers: int = 1,
+    executor=None,
 ) -> Tuple[PrivacyTechnologyResult, ...]:
     """Run the fitted FP-Inconsistent detector over each technology's traffic.
 
     The paper's findings: Safari, uBlock Origin and AdBlock Plus trigger
     nothing; Brave triggers only temporal inconsistencies (it retains
     cookies while randomising attributes); Tor triggers spatial location
-    inconsistencies on every request.
+    inconsistencies on every request.  *engine* / *workers* / *executor*
+    select the detection engine per store, as in
+    :meth:`FPInconsistent.classify_store`.
     """
 
     results = []
     for technology, store in stores.items():
         if len(store) == 0:
             continue
-        verdicts = detector.classify_store(store)
+        verdicts = detector.classify_store(
+            store, engine=engine, workers=workers, executor=executor
+        )
         total = len(store)
-        spatial = sum(1 for verdict in verdicts.values() if verdict.spatially_inconsistent)
-        temporal = sum(1 for verdict in verdicts.values() if verdict.temporally_inconsistent)
-        combined = sum(1 for verdict in verdicts.values() if verdict.is_inconsistent)
+        spatial = temporal = combined = 0
+        for verdict in verdicts.values():
+            if verdict.spatially_inconsistent:
+                spatial += 1
+            if verdict.temporally_inconsistent:
+                temporal += 1
+            if verdict.is_inconsistent:
+                combined += 1
         results.append(
             PrivacyTechnologyResult(
                 technology=technology,

@@ -20,12 +20,13 @@ import time
 from typing import List, Optional
 
 from repro.analysis.cache import CACHE_ENV_VAR
-from repro.analysis.corpus import Corpus, build_corpus_serial
+from repro.analysis.corpus import Corpus, build_corpus_serial, default_scale
 from repro.analysis.engine import (
     EXECUTOR_ENV_VAR,
     WORKERS_ENV_VAR,
     build_or_load_corpus,
     default_executor,
+    default_workers,
 )
 
 
@@ -82,6 +83,37 @@ def _add_corpus_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _validate_corpus_args(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None:
+    """Reject bad knobs up front with a usage error, not a deep traceback.
+
+    Covers both the command-line flags and the environment fallbacks they
+    default to (``REPRO_WORKERS`` / ``REPRO_EXECUTOR`` / ``REPRO_SCALE``),
+    so a typo'd knob fails before minutes of corpus generation start.
+    """
+
+    if args.workers is not None and args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+    if args.scale is not None and args.scale <= 0:
+        parser.error(f"--scale must be positive, got {args.scale}")
+    if args.seed < 0:
+        parser.error(f"--seed must be non-negative, got {args.seed}")
+    if args.real_user_requests < 0:
+        parser.error(f"--real-user-requests cannot be negative, got {args.real_user_requests}")
+    if args.privacy_requests < 0:
+        parser.error(f"--privacy-requests cannot be negative, got {args.privacy_requests}")
+    if args.campaign_days < 1:
+        parser.error(f"--campaign-days must be >= 1, got {args.campaign_days}")
+    try:
+        if args.workers is None:
+            default_workers()
+        if args.executor is None:
+            default_executor()
+        if args.scale is None:
+            default_scale()
+    except ValueError as exc:
+        parser.error(str(exc))
+
+
 def _build_from_args(args: argparse.Namespace) -> Corpus:
     if args.no_cache:
         cache = False
@@ -109,6 +141,7 @@ def _build_from_args(args: argparse.Namespace) -> Corpus:
 
 
 def _cmd_corpus(args: argparse.Namespace) -> int:
+    _validate_corpus_args(args.parser, args)
     corpus = _build_from_args(args)
     summary = {
         "seed": corpus.seed,
@@ -136,17 +169,26 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
 def _cmd_pipeline(args: argparse.Namespace) -> int:
     from repro.core.pipeline import FPInconsistentPipeline
 
+    _validate_corpus_args(args.parser, args)
     corpus = _build_from_args(args)
     started = time.perf_counter()
-    result = FPInconsistentPipeline().run(
+    pipeline = FPInconsistentPipeline(
+        engine=args.engine, workers=args.workers, executor=args.executor
+    )
+    result = pipeline.run(
         corpus.bot_store,
         real_user_store=corpus.real_user_store if not args.no_real_users else None,
         check_generalization=args.generalization,
     )
     elapsed = time.perf_counter() - started
-    print(f"pipeline: evaluated in {elapsed:.2f}s", file=sys.stderr)
+    print(
+        f"pipeline: evaluated in {elapsed:.2f}s ({args.engine} engine, "
+        f"{args.workers or default_workers() or 1} worker(s))",
+        file=sys.stderr,
+    )
 
     summary = {
+        "engine": args.engine,
         "rules": len(result.filter_list),
         "evasion_reduction": {
             name: round(value, 4) for name, value in result.evasion_reductions.items()
@@ -160,6 +202,35 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
             name: round(entry.test_detection_rate, 4)
             for name, entry in result.generalization.items()
         }
+    if args.json:
+        document = dict(summary)
+        document["seconds"] = round(elapsed, 3)
+        document["filter_list"] = [rule.to_dict() for rule in result.filter_list]
+        document["table3"] = [
+            {
+                "service": row.service,
+                "num_requests": row.num_requests,
+                "datadome_baseline": round(row.datadome_baseline, 4),
+                "datadome_improved": round(row.datadome_improved, 4),
+                "botd_baseline": round(row.botd_baseline, 4),
+                "botd_improved": round(row.botd_improved, 4),
+            }
+            for row in result.table3
+        ]
+        document["table4"] = {
+            name: {
+                "baseline": round(rates.baseline, 4),
+                "with_spatial": round(rates.with_spatial, 4),
+                "with_temporal": round(rates.with_temporal, 4),
+                "with_combined": round(rates.with_combined, 4),
+            }
+            for name, rates in result.table4.items()
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        summary["saved_to"] = str(args.json)
+        print(f"pipeline: wrote {args.json}", file=sys.stderr)
     json.dump(summary, sys.stdout, indent=1, sort_keys=True)
     print()
     return 0
@@ -169,6 +240,8 @@ def _parse_float_list(raw: str) -> List[float]:
     values = [float(part) for part in raw.split(",") if part.strip()]
     if not values:
         raise argparse.ArgumentTypeError("expected a comma-separated list of numbers")
+    if any(value <= 0 for value in values):
+        raise argparse.ArgumentTypeError(f"scales must be positive, got {raw!r}")
     return values
 
 
@@ -176,6 +249,8 @@ def _parse_int_list(raw: str) -> List[int]:
     values = [int(part) for part in raw.split(",") if part.strip()]
     if not values:
         raise argparse.ArgumentTypeError("expected a comma-separated list of integers")
+    if any(value < 1 for value in values):
+        raise argparse.ArgumentTypeError(f"worker counts must be >= 1, got {raw!r}")
     return values
 
 
@@ -284,7 +359,7 @@ def build_parser() -> argparse.ArgumentParser:
     corpus_parser.add_argument(
         "--out", default=None, metavar="PATH", help="also save the store as JSONL (.gz supported)"
     )
-    corpus_parser.set_defaults(func=_cmd_corpus)
+    corpus_parser.set_defaults(func=_cmd_corpus, parser=corpus_parser)
 
     pipeline_parser = subparsers.add_parser(
         "pipeline", help="build a corpus and run the FP-Inconsistent evaluation"
@@ -295,7 +370,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also run the Section 7.3 80/20 train/test check",
     )
-    pipeline_parser.set_defaults(func=_cmd_pipeline)
+    pipeline_parser.add_argument(
+        "--engine",
+        choices=("columnar", "legacy"),
+        default="columnar",
+        help="detection engine: vectorized columnar (default) or the "
+        "object-at-a-time legacy reference; results are identical",
+    )
+    pipeline_parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the full result document (filter list, Tables 3/4) as JSON",
+    )
+    pipeline_parser.set_defaults(func=_cmd_pipeline, parser=pipeline_parser)
 
     bench_parser = subparsers.add_parser(
         "bench", help="measure serial vs. sharded corpus-build throughput"

@@ -1,6 +1,7 @@
 """FP-Inconsistent: spatial/temporal inconsistency mining and detection."""
 
-from repro.core.detector import FPInconsistent, InconsistencyVerdict
+from repro.core.columnar import ColumnarTable, partition_rows_by_device
+from repro.core.detector import ENGINES, FPInconsistent, InconsistencyVerdict, validate_engine
 from repro.core.evaluation import (
     DetectionRates,
     GeneralizationResult,
@@ -13,8 +14,14 @@ from repro.core.evaluation import (
 )
 from repro.core.knowledge import DeviceKnowledgeBase
 from repro.core.pipeline import FPInconsistentPipeline, PipelineResult
-from repro.core.rules import FilterList, InconsistencyRule
-from repro.core.spatial import PairStatistics, SpatialInconsistencyMiner, SpatialMinerConfig
+from repro.core.rules import CompiledFilterList, FilterList, InconsistencyRule
+from repro.core.spatial import (
+    PairStatistics,
+    SpatialInconsistencyMiner,
+    SpatialMinerConfig,
+    columnar_pair_statistics,
+    ordered_pair_tasks,
+)
 from repro.core.temporal import (
     DEFAULT_COOKIE_ATTRIBUTES,
     DEFAULT_IP_ATTRIBUTES,
@@ -23,10 +30,13 @@ from repro.core.temporal import (
 )
 
 __all__ = [
+    "ColumnarTable",
+    "CompiledFilterList",
     "DEFAULT_COOKIE_ATTRIBUTES",
     "DEFAULT_IP_ATTRIBUTES",
     "DetectionRates",
     "DeviceKnowledgeBase",
+    "ENGINES",
     "FPInconsistent",
     "FPInconsistentPipeline",
     "FilterList",
@@ -40,9 +50,13 @@ __all__ = [
     "SpatialMinerConfig",
     "TemporalFlag",
     "TemporalInconsistencyDetector",
+    "columnar_pair_statistics",
     "detection_rates",
     "evaluate_generalization",
     "evaluate_table3",
     "evaluate_table4",
+    "ordered_pair_tasks",
+    "partition_rows_by_device",
     "true_negative_rate",
+    "validate_engine",
 ]

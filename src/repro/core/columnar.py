@@ -1,0 +1,364 @@
+"""Columnar fingerprint table: the detection stack's vectorized substrate.
+
+The legacy detection paths walk Python objects once per (attribute pair,
+request): the spatial miner re-extracts every grouping value for every pair
+it examines and the filter list re-reads attributes per rule.  This module
+extracts each :class:`~repro.honeysite.storage.RequestStore` exactly once
+into per-attribute **code columns** (a factorize representation: an
+``int32`` array of value codes per attribute, ``-1`` for missing, plus the
+code → value decode list), after which
+
+* the miner computes all pair co-occurrence statistics with one
+  ``numpy.unique`` pass per pair (:meth:`SpatialInconsistencyMiner.mine_table`),
+* the filter list classifies the whole table with one vectorized lookup per
+  attribute pair (:meth:`FilterList.compile`), and
+* the pipeline shards rows over the worker pool without pickling a single
+  fingerprint — a shard is just slices of these arrays.
+
+Equivalence with the object-at-a-time reference paths is exact, not
+approximate: codes are assigned in first-occurrence order so ties broken by
+dict insertion order in the legacy code break identically here
+(``tests/test_columnar.py`` pins this).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.fingerprint.attributes import Attribute
+from repro.fingerprint.categories import CATEGORY_ATTRIBUTES
+from repro.fingerprint.fingerprint import Fingerprint, grouping_value
+
+
+def default_table_attributes() -> Tuple[Attribute, ...]:
+    """Attributes extracted by default: every Table 7 category member plus
+    the temporally tracked attributes, deduplicated in category order."""
+
+    from repro.core.temporal import DEFAULT_COOKIE_ATTRIBUTES, DEFAULT_IP_ATTRIBUTES
+
+    ordered: Dict[Attribute, None] = {}
+    for members in CATEGORY_ATTRIBUTES.values():
+        for attribute in members:
+            ordered.setdefault(attribute, None)
+    for attribute in DEFAULT_COOKIE_ATTRIBUTES + DEFAULT_IP_ATTRIBUTES:
+        ordered.setdefault(attribute, None)
+    return tuple(ordered)
+
+
+def _factorize(items: Sequence[object]) -> Tuple[np.ndarray, List[object], Dict[object, int]]:
+    """Encode *items* as codes in first-occurrence order (``None`` → ``-1``)."""
+
+    codes = np.empty(len(items), dtype=np.int32)
+    values: List[object] = []
+    index: Dict[object, int] = {}
+    for position, item in enumerate(items):
+        if item is None:
+            codes[position] = -1
+            continue
+        code = index.get(item)
+        if code is None:
+            code = len(values)
+            index[item] = code
+            values.append(item)
+        codes[position] = code
+    return codes, values, index
+
+
+def _extract_column(
+    fingerprints: Sequence[Fingerprint], attribute: Attribute
+) -> Tuple[np.ndarray, List[object], Dict[object, int]]:
+    """Factorized grouping-value column of one attribute.
+
+    Raw attribute values repeat massively across a corpus, so the grouping
+    transformation (resolution formatting, tuple joining) runs once per
+    *distinct raw value*, not once per request: rows are first keyed by the
+    raw value, and only a cache miss formats.  Because a raw value's first
+    occurrence can never follow its grouping value's first occurrence,
+    codes still come out in grouping-value first-occurrence order — the
+    order the per-fingerprint extraction would produce.
+    """
+
+    codes = np.empty(len(fingerprints), dtype=np.int32)
+    values: List[object] = []
+    index: Dict[object, int] = {}
+    raw_codes: Dict[object, int] = {}
+    for position, fingerprint in enumerate(fingerprints):
+        # Direct slot access: one dict.get per (row, attribute) is the
+        # extraction floor, and the bound-method indirection of
+        # ``Fingerprint.get`` measurably widens it at corpus scale.
+        raw = fingerprint._values.get(attribute)
+        if raw is None:
+            codes[position] = -1
+            continue
+        code = raw_codes.get(raw)
+        if code is None:
+            grouped = grouping_value(attribute, raw)
+            code = index.get(grouped)
+            if code is None:
+                code = len(values)
+                index[grouped] = code
+                values.append(grouped)
+            raw_codes[raw] = code
+        codes[position] = code
+    return codes, values, index
+
+
+class ColumnarTable:
+    """Per-attribute grouping-value columns of one request store.
+
+    Every attribute column is a pair of (``int32`` code array, decode list);
+    request metadata needed by classification (ids, timestamps, cookies,
+    source addresses) rides along as parallel arrays so the temporal
+    detector can stream a table without touching the originating store.
+    """
+
+    def __init__(
+        self,
+        *,
+        codes: Dict[Attribute, np.ndarray],
+        values: Dict[Attribute, List[object]],
+        indexes: Dict[Attribute, Dict[object, int]],
+        n_rows: int,
+        request_ids: Optional[np.ndarray] = None,
+        timestamps: Optional[np.ndarray] = None,
+        cookie_codes: Optional[np.ndarray] = None,
+        cookie_values: Optional[List[str]] = None,
+        ip_codes: Optional[np.ndarray] = None,
+        ip_values: Optional[List[str]] = None,
+    ):
+        self._codes = codes
+        self._values = values
+        self._indexes = indexes
+        self._n_rows = n_rows
+        self.request_ids = request_ids
+        self.timestamps = timestamps
+        self.cookie_codes = cookie_codes
+        self.cookie_values = cookie_values
+        self.ip_codes = ip_codes
+        self.ip_values = ip_values
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_fingerprints(
+        cls,
+        fingerprints: Sequence[Fingerprint],
+        attributes: Optional[Iterable[Attribute]] = None,
+    ) -> "ColumnarTable":
+        """Extract grouping-value columns from a fingerprint sequence."""
+
+        attributes = tuple(attributes) if attributes is not None else default_table_attributes()
+        codes: Dict[Attribute, np.ndarray] = {}
+        values: Dict[Attribute, List[object]] = {}
+        indexes: Dict[Attribute, Dict[object, int]] = {}
+        for attribute in attributes:
+            codes[attribute], values[attribute], indexes[attribute] = _extract_column(
+                fingerprints, attribute
+            )
+        return cls(codes=codes, values=values, indexes=indexes, n_rows=len(fingerprints))
+
+    @classmethod
+    def from_store(
+        cls,
+        store,
+        attributes: Optional[Iterable[Attribute]] = None,
+        extra_attributes: Iterable[Attribute] = (),
+    ) -> "ColumnarTable":
+        """Extract a :class:`~repro.honeysite.storage.RequestStore` once.
+
+        *extra_attributes* extends the default attribute set (used when a
+        loaded filter list references attributes outside Table 7).
+        """
+
+        if attributes is None:
+            attributes = default_table_attributes()
+        ordered: Dict[Attribute, None] = {attribute: None for attribute in attributes}
+        for attribute in extra_attributes:
+            ordered.setdefault(attribute, None)
+
+        records = list(store)
+        fingerprints = [record.request.fingerprint for record in records]
+        table = cls.from_fingerprints(fingerprints, tuple(ordered))
+        table.request_ids = np.array(
+            [record.request.request_id for record in records], dtype=np.int64
+        )
+        table.timestamps = np.array([record.timestamp for record in records], dtype=np.float64)
+        cookie_codes, cookie_values, _ = _factorize([record.cookie for record in records])
+        table.cookie_codes, table.cookie_values = cookie_codes, cookie_values
+        ip_codes, ip_values, _ = _factorize([record.request.ip_address for record in records])
+        table.ip_codes, table.ip_values = ip_codes, ip_values
+        return table
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    @property
+    def attributes(self) -> Tuple[Attribute, ...]:
+        return tuple(self._codes)
+
+    def has_attribute(self, attribute: Attribute) -> bool:
+        return attribute in self._codes
+
+    def require_attribute(self, attribute: Attribute, purpose: str) -> None:
+        """Raise loudly when *attribute* has no column.
+
+        A missing column means the table was not extracted for its
+        consumer; silently skipping would quietly weaken detection and
+        diverge from the object-at-a-time reference paths.
+        """
+
+        if attribute not in self._codes:
+            raise ValueError(
+                f"table lacks a column for {purpose} {attribute.value!r}; "
+                f"extract the store with FPInconsistent.extract_table (or "
+                f"include the attribute in the table's attribute set)"
+            )
+
+    def codes_of(self, attribute: Attribute) -> np.ndarray:
+        """The ``int32`` code column of *attribute* (``-1`` = missing)."""
+
+        return self._codes[attribute]
+
+    def values_of(self, attribute: Attribute) -> List[object]:
+        """Decode list of *attribute* (code → grouping value)."""
+
+        return self._values[attribute]
+
+    def code_of(self, attribute: Attribute, value: object) -> Optional[int]:
+        """Code of *value* in *attribute*'s column (``None`` when absent)."""
+
+        index = self._indexes.get(attribute)
+        if index is None:
+            return None
+        try:
+            return index.get(value)
+        except TypeError:  # unhashable values never occur in a column
+            return None
+
+    def value_at(self, attribute: Attribute, row: int):
+        """The grouping value of *attribute* at *row* (``None`` if missing)."""
+
+        code = self._codes[attribute][row]
+        return self._values[attribute][code] if code >= 0 else None
+
+    def cookie_at(self, row: int) -> Optional[str]:
+        code = self.cookie_codes[row]
+        return self.cookie_values[code] if code >= 0 else None
+
+    def ip_at(self, row: int) -> Optional[str]:
+        code = self.ip_codes[row]
+        return self.ip_values[code] if code >= 0 else None
+
+    # -- slicing ---------------------------------------------------------------
+
+    def select(self, attributes: Iterable[Attribute]) -> "ColumnarTable":
+        """Column-subset view sharing the underlying arrays.
+
+        Mining shards use this so a process-pool payload carries only the
+        columns its attribute pairs actually touch (request metadata is
+        dropped too — mining never reads it).
+        """
+
+        attributes = tuple(attributes)
+        return ColumnarTable(
+            codes={attribute: self._codes[attribute] for attribute in attributes},
+            values={attribute: self._values[attribute] for attribute in attributes},
+            indexes={attribute: self._indexes[attribute] for attribute in attributes},
+            n_rows=self._n_rows,
+        )
+
+    def take(self, rows: np.ndarray) -> "ColumnarTable":
+        """Row-sliced view sharing decode lists (cheap to pickle per shard)."""
+
+        rows = np.asarray(rows, dtype=np.int64)
+        return ColumnarTable(
+            codes={attribute: column[rows] for attribute, column in self._codes.items()},
+            values=self._values,
+            indexes=self._indexes,
+            n_rows=int(rows.size),
+            request_ids=None if self.request_ids is None else self.request_ids[rows],
+            timestamps=None if self.timestamps is None else self.timestamps[rows],
+            cookie_codes=None if self.cookie_codes is None else self.cookie_codes[rows],
+            cookie_values=self.cookie_values,
+            ip_codes=None if self.ip_codes is None else self.ip_codes[rows],
+            ip_values=self.ip_values,
+        )
+
+
+def partition_rows_by_device(table: ColumnarTable, shards: int) -> List[np.ndarray]:
+    """Partition rows into *shards* device-closed groups.
+
+    Temporal state is keyed on the first-party cookie and the source
+    address, so a correct row partition must keep every record of a cookie
+    AND every record of an address together.  Rows are grouped into
+    connected components over their (cookie, source address) keys with a
+    union-find, then components are packed onto shards greedily largest
+    first (deterministic: ties resolve to the lowest shard index).  The
+    returned row-index arrays are sorted, and their concatenation covers
+    every row exactly once.
+    """
+
+    if table.cookie_codes is None or table.ip_codes is None:
+        raise ValueError("partitioning requires a table built with from_store")
+    shards = max(1, int(shards))
+    n = table.n_rows
+    if shards == 1 or n == 0:
+        return [np.arange(n, dtype=np.int64)]
+
+    parent: Dict[object, object] = {}
+
+    def find(node: object) -> object:
+        root = node
+        while parent[root] is not root:
+            root = parent[root]
+        while parent[node] is not root:  # path compression
+            parent[node], node = root, parent[node]
+        return root
+
+    def union(left: object, right: object) -> None:
+        for node in (left, right):
+            if node not in parent:
+                parent[node] = node
+        left_root, right_root = find(left), find(right)
+        if left_root is not right_root:
+            parent[right_root] = left_root
+
+    row_nodes: List[object] = []
+    for row in range(n):
+        cookie = table.cookie_at(row)
+        ip = table.ip_at(row)
+        nodes = []
+        if cookie:
+            nodes.append(("cookie", cookie))
+        if ip:
+            nodes.append(("ip", ip))
+        if not nodes:
+            nodes.append(("row", row))
+        for node in nodes:
+            parent.setdefault(node, node)
+        if len(nodes) == 2:
+            union(nodes[0], nodes[1])
+        row_nodes.append(nodes[0])
+
+    components: Dict[object, List[int]] = {}
+    for row, node in enumerate(row_nodes):
+        components.setdefault(find(node), []).append(row)
+
+    # Greedy balanced packing, deterministic: components ordered by
+    # (size desc, first row asc), each placed on the lightest shard.
+    ordered = sorted(components.values(), key=lambda rows: (-len(rows), rows[0]))
+    buckets: List[List[int]] = [[] for _ in range(min(shards, max(1, len(ordered))))]
+    loads = [0] * len(buckets)
+    for rows in ordered:
+        target = loads.index(min(loads))
+        buckets[target].extend(rows)
+        loads[target] += len(rows)
+    return [np.array(sorted(bucket), dtype=np.int64) for bucket in buckets if bucket]

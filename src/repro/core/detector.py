@@ -17,11 +17,25 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.columnar import ColumnarTable, partition_rows_by_device
 from repro.core.rules import FilterList, InconsistencyRule
 from repro.core.spatial import SpatialInconsistencyMiner
 from repro.core.temporal import TemporalFlag, TemporalInconsistencyDetector
+from repro.fingerprint.attributes import Attribute
+from repro.fingerprint.categories import AttributeCategory
 from repro.fingerprint.fingerprint import Fingerprint
 from repro.honeysite.storage import RequestStore
+
+#: Detection engine selectors: ``"columnar"`` (vectorized, default) and
+#: ``"legacy"`` (the object-at-a-time reference).  Both produce identical
+#: filter lists and verdicts; ``tests/test_columnar.py`` pins it.
+ENGINES = ("columnar", "legacy")
+
+
+def validate_engine(engine: str) -> str:
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+    return engine
 
 
 @dataclass(frozen=True)
@@ -83,11 +97,56 @@ class FPInconsistent:
 
     # -- fitting -----------------------------------------------------------------
 
-    def fit(self, store: RequestStore) -> "FPInconsistent":
-        """Mine the spatial filter list from a bot-labelled request store."""
+    def fit(
+        self,
+        store: RequestStore,
+        *,
+        engine: str = "columnar",
+        workers: int = 1,
+        executor: Optional[str] = None,
+    ) -> "FPInconsistent":
+        """Mine the spatial filter list from a bot-labelled request store.
 
-        self._filter_list = self._miner.mine_store(store)
+        ``engine="columnar"`` extracts the store into a
+        :class:`~repro.core.columnar.ColumnarTable` and mines vectorized
+        (optionally sharded over *workers*); ``engine="legacy"`` runs the
+        object-at-a-time reference.  Both produce the same filter list.
+        """
+
+        validate_engine(engine)
+        if engine == "legacy":
+            self._filter_list = self._miner.mine_store(store)
+        else:
+            table = self.extract_table(store)
+            self.fit_table(table, workers=workers, executor=executor)
         return self
+
+    def fit_table(
+        self,
+        table: ColumnarTable,
+        *,
+        workers: int = 1,
+        executor: Optional[str] = None,
+    ) -> "FPInconsistent":
+        """Mine the spatial filter list from an already-extracted table."""
+
+        self._filter_list = self._miner.mine_table(table, workers=workers, executor=executor)
+        return self
+
+    def extract_table(self, store: RequestStore) -> ColumnarTable:
+        """Extract *store* into the columnar layout this detector needs.
+
+        The default attribute set covers every mineable pair and the
+        temporally tracked attributes; attributes referenced by an
+        externally loaded filter list are appended so its rules stay
+        matchable.
+        """
+
+        extra = [rule.attribute_a for rule in self._filter_list] + [
+            rule.attribute_b for rule in self._filter_list
+        ]
+        extra += list(self._temporal.tracked_attributes)
+        return ColumnarTable.from_store(store, extra_attributes=extra)
 
     # -- single-fingerprint API ------------------------------------------------------
 
@@ -104,11 +163,13 @@ class FPInconsistent:
     def _check_location(self, fingerprint: Fingerprint) -> Optional[InconsistencyRule]:
         """Generalised Location-category check backed by the knowledge base."""
 
-        from repro.fingerprint.attributes import Attribute
-        from repro.fingerprint.categories import AttributeCategory
-
         country = fingerprint.value_for_grouping(Attribute.IP_COUNTRY)
         timezone = fingerprint.value_for_grouping(Attribute.TIMEZONE)
+        return self._location_rule(country, timezone)
+
+    def _location_rule(
+        self, country: object, timezone: object
+    ) -> Optional[InconsistencyRule]:
         if country is None or timezone is None:
             return None
         verdict = self._miner.knowledge.is_pair_consistent(
@@ -133,13 +194,30 @@ class FPInconsistent:
         *,
         use_spatial: bool = True,
         use_temporal: bool = True,
+        engine: str = "columnar",
+        workers: int = 1,
+        executor: Optional[str] = None,
     ) -> Dict[int, InconsistencyVerdict]:
         """Classify every request in *store*.
 
         Temporal state is evaluated in timestamp order over the given store
         only (it does not leak across calls).  Returns a verdict per
-        ``request_id``.
+        ``request_id``.  ``engine="columnar"`` (default) extracts the store
+        once and classifies vectorized, optionally sharded over *workers*;
+        ``engine="legacy"`` is the per-request reference path.  Verdicts
+        are identical either way.
         """
+
+        validate_engine(engine)
+        if engine == "columnar":
+            table = self.extract_table(store)
+            return self.classify_table(
+                table,
+                use_spatial=use_spatial,
+                use_temporal=use_temporal,
+                workers=workers,
+                executor=executor,
+            )
 
         temporal_flags: Dict[int, List[TemporalFlag]] = {}
         if use_temporal:
@@ -157,6 +235,122 @@ class FPInconsistent:
             )
         return verdicts
 
+    def classify_table(
+        self,
+        table: ColumnarTable,
+        *,
+        use_spatial: bool = True,
+        use_temporal: bool = True,
+        workers: int = 1,
+        executor: Optional[str] = None,
+    ) -> Dict[int, InconsistencyVerdict]:
+        """Classify every row of a columnar table (vectorized engine).
+
+        The filter list is compiled to the table's value codes and matched
+        with one vectorized lookup per attribute pair; the Location
+        predicate is evaluated once per distinct (country, timezone)
+        combination.  With ``workers > 1`` rows shard over the worker pool
+        in device-closed groups (every cookie's and every source address's
+        rows stay on one shard), so temporal flags — whose state is keyed
+        on those identifiers — are identical to a single-shard evaluation.
+        """
+
+        if table.request_ids is None:
+            raise ValueError(
+                "classify_table requires a table built with "
+                "ColumnarTable.from_store (request metadata is missing)"
+            )
+        workers = 1 if workers is None else int(workers)
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if workers > 1 and table.n_rows > 1:
+            return self._classify_table_sharded(
+                table,
+                use_spatial=use_spatial,
+                use_temporal=use_temporal,
+                workers=workers,
+                executor=executor,
+            )
+
+        temporal_flags: Dict[int, List[TemporalFlag]] = {}
+        if use_temporal:
+            temporal_flags = self._temporal.evaluate_table(table)
+
+        spatial_rules: List[Optional[InconsistencyRule]] = [None] * table.n_rows
+        if use_spatial:
+            spatial_rules = self._filter_list.compile(table).first_match_rows()
+            if self._location_predicate:
+                self._apply_location_predicate(table, spatial_rules)
+
+        verdicts: Dict[int, InconsistencyVerdict] = {}
+        for row in range(table.n_rows):
+            request_id = int(table.request_ids[row])
+            verdicts[request_id] = InconsistencyVerdict(
+                request_id=request_id,
+                spatial_rule=spatial_rules[row],
+                temporal_flags=tuple(temporal_flags.get(request_id, ())),
+            )
+        return verdicts
+
+    def _apply_location_predicate(
+        self, table: ColumnarTable, spatial_rules: List[Optional[InconsistencyRule]]
+    ) -> None:
+        """Fill filter-list misses with the generalised Location check.
+
+        The knowledge base is consulted once per distinct (IP country,
+        timezone) code pair rather than once per request; the synthesized
+        rules are value-identical to the reference path's.
+        """
+
+        for attribute in (Attribute.IP_COUNTRY, Attribute.TIMEZONE):
+            table.require_attribute(attribute, "Location predicate attribute")
+        country_codes = table.codes_of(Attribute.IP_COUNTRY)
+        timezone_codes = table.codes_of(Attribute.TIMEZONE)
+        country_values = table.values_of(Attribute.IP_COUNTRY)
+        timezone_values = table.values_of(Attribute.TIMEZONE)
+        combo_rules: Dict[Tuple[int, int], Optional[InconsistencyRule]] = {}
+        for row, rule in enumerate(spatial_rules):
+            if rule is not None:
+                continue
+            country_code = country_codes[row]
+            timezone_code = timezone_codes[row]
+            if country_code < 0 or timezone_code < 0:
+                continue
+            combo = (int(country_code), int(timezone_code))
+            if combo not in combo_rules:
+                combo_rules[combo] = self._location_rule(
+                    country_values[combo[0]], timezone_values[combo[1]]
+                )
+            spatial_rules[row] = combo_rules[combo]
+
+    def _classify_table_sharded(
+        self,
+        table: ColumnarTable,
+        *,
+        use_spatial: bool,
+        use_temporal: bool,
+        workers: int,
+        executor: Optional[str],
+    ) -> Dict[int, InconsistencyVerdict]:
+        from repro.analysis.engine import map_shards
+
+        partitions = partition_rows_by_device(table, workers)
+        shards = [
+            _ClassificationShard(
+                detector=self,
+                table=table.take(rows),
+                use_spatial=use_spatial,
+                use_temporal=use_temporal,
+            )
+            for rows in partitions
+        ]
+        merged: Dict[int, InconsistencyVerdict] = {}
+        for verdicts in map_shards(_classify_shard, shards, workers=workers, executor=executor):
+            merged.update(verdicts)
+        # Re-emit in table row order so the verdict dict is ordered exactly
+        # like a single-shard classification.
+        return {int(request_id): merged[int(request_id)] for request_id in table.request_ids}
+
     def inconsistent_fraction(
         self,
         store: RequestStore,
@@ -172,3 +366,37 @@ class FPInconsistent:
             store, use_spatial=use_spatial, use_temporal=use_temporal
         )
         return sum(1 for verdict in verdicts.values() if verdict.is_inconsistent) / len(store)
+
+
+@dataclass(frozen=True)
+class _ClassificationShard:
+    """One worker's device-closed slice of a classification (picklable)."""
+
+    detector: FPInconsistent
+    table: ColumnarTable
+    use_spatial: bool
+    use_temporal: bool
+
+
+def _classify_shard(shard: _ClassificationShard) -> Dict[int, InconsistencyVerdict]:
+    """Worker entry point: classify one shard single-threaded.
+
+    The temporal detector is stateful (per-device value sets), so each
+    shard classifies through a fresh clone: with a thread executor every
+    shard would otherwise mutate the one shared ``_seen`` table.  The
+    filter list, miner and knowledge base are only read.
+    """
+
+    detector = shard.detector
+    isolated = FPInconsistent(
+        filter_list=detector.filter_list,
+        temporal=detector.temporal_detector.clone(),
+        miner=detector.miner,
+        location_predicate=detector._location_predicate,
+    )
+    return isolated.classify_table(
+        shard.table,
+        use_spatial=shard.use_spatial,
+        use_temporal=shard.use_temporal,
+        workers=1,
+    )

@@ -17,6 +17,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.columnar import _factorize
 from repro.core.detector import FPInconsistent, InconsistencyVerdict
 from repro.honeysite.storage import RequestStore
 
@@ -59,6 +60,65 @@ class ServiceImprovement:
     botd_improved: float
 
 
+class _StoreColumns:
+    """Per-request boolean columns of one store/verdict pairing.
+
+    The evaluation tables re-derive the same three facts per request —
+    which services it evaded and whether the rules flagged it spatially or
+    temporally — once per (service, detector, rule-setting) combination.
+    Extracting them once into numpy arrays turns every table cell into a
+    masked count.  All rates stay integer-count ratios, so the floats are
+    bit-identical to the per-record loops'.
+    """
+
+    def __init__(self, store: RequestStore, verdicts: Dict[int, InconsistencyVerdict]):
+        records = list(store)
+        self.n = len(records)
+        spatial_ids, temporal_ids = _verdict_id_sets(verdicts)
+        self.spatial = np.fromiter(
+            (record.request.request_id in spatial_ids for record in records), bool, self.n
+        )
+        self.temporal = np.fromiter(
+            (record.request.request_id in temporal_ids for record in records), bool, self.n
+        )
+        self.evaded = {
+            name: np.fromiter((record.evaded(name) for record in records), bool, self.n)
+            for name in DETECTOR_NAMES
+        }
+        self.source_codes, _source_names, self.source_index = _factorize(
+            [record.source for record in records]
+        )
+
+    def improved_count(self, detector: str, hits: np.ndarray, mask=None) -> int:
+        """Requests detected once the service's decision is OR-ed with *hits*."""
+
+        evaded = self.evaded[detector]
+        if mask is not None:
+            return int(np.count_nonzero(mask & ~evaded)) + int(
+                np.count_nonzero(mask & evaded & hits)
+            )
+        return int(np.count_nonzero(~evaded)) + int(np.count_nonzero(evaded & hits))
+
+
+def _verdict_id_sets(verdicts: Dict[int, InconsistencyVerdict]):
+    """Request-id sets of spatially / temporally inconsistent verdicts.
+
+    Computed once per evaluation: the Table 3 and Table 4 loops consult the
+    same verdict dict for every (service, detector, rule-setting)
+    combination, and set membership is cheaper than re-walking verdict
+    attribute chains per request per combination.
+    """
+
+    spatial = set()
+    temporal = set()
+    for request_id, verdict in verdicts.items():
+        if verdict.spatially_inconsistent:
+            spatial.add(request_id)
+        if verdict.temporally_inconsistent:
+            temporal.add(request_id)
+    return spatial, temporal
+
+
 def _improved_detection_rate(
     store: RequestStore,
     verdicts: Dict[int, InconsistencyVerdict],
@@ -66,25 +126,42 @@ def _improved_detection_rate(
     *,
     use_spatial: bool,
     use_temporal: bool,
+    id_sets=None,
 ) -> float:
     """Detection rate when the service's decision is OR-ed with the rules."""
 
     if len(store) == 0:
         return 0.0
+    spatial_ids, temporal_ids = id_sets if id_sets is not None else _verdict_id_sets(verdicts)
     detected = 0
     for record in store:
         if not record.evaded(detector):
             detected += 1
             continue
-        verdict = verdicts.get(record.request.request_id)
-        if verdict is None:
-            continue
-        hit = (use_spatial and verdict.spatially_inconsistent) or (
-            use_temporal and verdict.temporally_inconsistent
+        request_id = record.request.request_id
+        hit = (use_spatial and request_id in spatial_ids) or (
+            use_temporal and request_id in temporal_ids
         )
         if hit:
             detected += 1
     return detected / len(store)
+
+
+def _detection_rates_from_columns(columns: _StoreColumns, detector: str) -> DetectionRates:
+    n = columns.n
+    if n == 0:
+        return DetectionRates(
+            detector=detector, baseline=0.0, with_spatial=0.0, with_temporal=0.0, with_combined=0.0
+        )
+    evaded_count = int(np.count_nonzero(columns.evaded[detector]))
+    return DetectionRates(
+        detector=detector,
+        # Matches ``store.detection_rate``: 1 - evasion rate, not detected/n.
+        baseline=1.0 - evaded_count / n,
+        with_spatial=columns.improved_count(detector, columns.spatial) / n,
+        with_temporal=columns.improved_count(detector, columns.temporal) / n,
+        with_combined=columns.improved_count(detector, columns.spatial | columns.temporal) / n,
+    )
 
 
 def detection_rates(
@@ -94,27 +171,19 @@ def detection_rates(
 ) -> DetectionRates:
     """Compute one Table 4 column group for *detector*."""
 
-    return DetectionRates(
-        detector=detector,
-        baseline=store.detection_rate(detector),
-        with_spatial=_improved_detection_rate(
-            store, verdicts, detector, use_spatial=True, use_temporal=False
-        ),
-        with_temporal=_improved_detection_rate(
-            store, verdicts, detector, use_spatial=False, use_temporal=True
-        ),
-        with_combined=_improved_detection_rate(
-            store, verdicts, detector, use_spatial=True, use_temporal=True
-        ),
-    )
+    return _detection_rates_from_columns(_StoreColumns(store, verdicts), detector)
 
 
 def evaluate_table4(
-    store: RequestStore, verdicts: Dict[int, InconsistencyVerdict]
+    store: RequestStore,
+    verdicts: Dict[int, InconsistencyVerdict],
+    *,
+    _columns: Optional[_StoreColumns] = None,
 ) -> Dict[str, DetectionRates]:
     """Table 4: detection rates under none/spatial/temporal/combined rules."""
 
-    return {name: detection_rates(store, verdicts, name) for name in DETECTOR_NAMES}
+    columns = _columns if _columns is not None else _StoreColumns(store, verdicts)
+    return {name: _detection_rates_from_columns(columns, name) for name in DETECTOR_NAMES}
 
 
 def evaluate_table3(
@@ -122,28 +191,34 @@ def evaluate_table3(
     verdicts: Dict[int, InconsistencyVerdict],
     *,
     services: Optional[Sequence[str]] = None,
+    _columns: Optional[_StoreColumns] = None,
 ) -> Tuple[ServiceImprovement, ...]:
     """Table 3: per-service detection improvement for both detectors."""
 
+    columns = _columns if _columns is not None else _StoreColumns(store, verdicts)
     if services is None:
         services = store.sources()
+    combined = columns.spatial | columns.temporal
     rows = []
     for service in services:
-        service_store = store.by_source(service)
-        if len(service_store) == 0:
+        code = columns.source_index.get(service)
+        if code is None:
             continue
+        mask = columns.source_codes == code
+        num_requests = int(np.count_nonzero(mask))
+        if num_requests == 0:
+            continue
+        dd_evaded = int(np.count_nonzero(mask & columns.evaded["DataDome"]))
+        botd_evaded = int(np.count_nonzero(mask & columns.evaded["BotD"]))
         rows.append(
             ServiceImprovement(
                 service=service,
-                num_requests=len(service_store),
-                datadome_baseline=service_store.detection_rate("DataDome"),
-                datadome_improved=_improved_detection_rate(
-                    service_store, verdicts, "DataDome", use_spatial=True, use_temporal=True
-                ),
-                botd_baseline=service_store.detection_rate("BotD"),
-                botd_improved=_improved_detection_rate(
-                    service_store, verdicts, "BotD", use_spatial=True, use_temporal=True
-                ),
+                num_requests=num_requests,
+                datadome_baseline=1.0 - dd_evaded / num_requests,
+                datadome_improved=columns.improved_count("DataDome", combined, mask)
+                / num_requests,
+                botd_baseline=1.0 - botd_evaded / num_requests,
+                botd_improved=columns.improved_count("BotD", combined, mask) / num_requests,
             )
         )
     return tuple(rows)
@@ -186,28 +261,41 @@ def evaluate_generalization(
     train_fraction: float = 0.8,
     seed: int = 0,
     detector_factory=None,
+    engine: str = "columnar",
+    workers: int = 1,
+    executor=None,
 ) -> Dict[str, GeneralizationResult]:
     """Mine rules on ``train_fraction`` of the corpus, evaluate on the rest.
 
     Returns per-detector train/test combined detection rates.  The paper
     reports a drop of 0.23 (DataDome) and 0.42 (BotD) percentage points.
+    *engine*, *workers* and *executor* select the detection engine exactly
+    as in :meth:`FPInconsistent.fit` / :meth:`FPInconsistent.classify_store`.
     """
 
     rng = np.random.default_rng(seed)
     train_store, test_store = store.split(train_fraction, rng)
     fpi = detector_factory() if detector_factory is not None else FPInconsistent()
-    fpi.fit(train_store)
-    train_verdicts = fpi.classify_store(train_store)
-    test_verdicts = fpi.classify_store(test_store)
+    fpi.fit(train_store, engine=engine, workers=workers, executor=executor)
+    train_verdicts = fpi.classify_store(
+        train_store, engine=engine, workers=workers, executor=executor
+    )
+    test_verdicts = fpi.classify_store(
+        test_store, engine=engine, workers=workers, executor=executor
+    )
     results = {}
+    train_id_sets = _verdict_id_sets(train_verdicts)
+    test_id_sets = _verdict_id_sets(test_verdicts)
     for name in DETECTOR_NAMES:
         results[name] = GeneralizationResult(
             detector=name,
             train_detection_rate=_improved_detection_rate(
-                train_store, train_verdicts, name, use_spatial=True, use_temporal=True
+                train_store, train_verdicts, name,
+                use_spatial=True, use_temporal=True, id_sets=train_id_sets,
             ),
             test_detection_rate=_improved_detection_rate(
-                test_store, test_verdicts, name, use_spatial=True, use_temporal=True
+                test_store, test_verdicts, name,
+                use_spatial=True, use_temporal=True, id_sets=test_id_sets,
             ),
         )
     return results

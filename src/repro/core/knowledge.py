@@ -70,6 +70,15 @@ class DeviceKnowledgeBase:
 
     def __init__(self, catalog: Optional[DeviceCatalog] = None):
         self._catalog = catalog if catalog is not None else DeviceCatalog()
+        #: (attribute_a, value_a, attribute_b) -> expected distinct count.
+        #: ``expected_value_count`` scans the whole catalogue and builds a
+        #: fingerprint per profile; the miner asks about the same handful of
+        #: (attribute, value) combinations for every attribute pair, so the
+        #: scan is memoized (the catalogue is immutable after construction).
+        self._expected_cache: dict = {}
+        #: (profile name, resolution) -> consistent fingerprint, so repeated
+        #: catalogue scans stop re-coercing the same attribute dictionaries.
+        self._profile_fingerprints: dict = {}
 
     # -- public API -----------------------------------------------------------
 
@@ -345,16 +354,38 @@ class DeviceKnowledgeBase:
         Returns ``None`` when the catalogue has no matching profile.
         """
 
+        key = (attribute_a, value_a, attribute_b)
+        try:
+            return self._expected_cache[key]
+        except KeyError:
+            pass
+        except TypeError:  # unhashable value: fall through uncached
+            return self._expected_value_count(attribute_a, value_a, attribute_b)
+        result = self._expected_value_count(attribute_a, value_a, attribute_b)
+        self._expected_cache[key] = result
+        return result
+
+    def _profile_fingerprint(self, profile, resolution=None):
+        key = (profile.name, resolution)
+        fingerprint = self._profile_fingerprints.get(key)
+        if fingerprint is None:
+            fingerprint = profile.fingerprint(screen_resolution=resolution)
+            self._profile_fingerprints[key] = fingerprint
+        return fingerprint
+
+    def _expected_value_count(
+        self, attribute_a: Attribute, value_a: object, attribute_b: Attribute
+    ) -> Optional[int]:
         matches = [
             profile
             for profile in self._catalog
-            if profile.fingerprint().value_for_grouping(attribute_a) == value_a
+            if self._profile_fingerprint(profile).value_for_grouping(attribute_a) == value_a
         ]
         if not matches:
             return None
         values = set()
         for profile in matches:
             for resolution in profile.screen_resolutions:
-                fingerprint = profile.fingerprint(screen_resolution=resolution)
+                fingerprint = self._profile_fingerprint(profile, resolution)
                 values.add(fingerprint.value_for_grouping(attribute_b))
         return len(values)

@@ -4,6 +4,19 @@ Chains corpus → rule mining → classification → evaluation, producing the
 numbers of Tables 3 and 4, the real-user true-negative rate of Section 7.4
 and the generalisation check of Section 7.3 from one call.  The benchmarks
 and the quickstart example are thin wrappers around this module.
+
+Two interchangeable engines back the evaluation:
+
+* ``"columnar"`` (default) extracts each request store once into a
+  :class:`~repro.core.columnar.ColumnarTable`, mines pair statistics
+  vectorized, matches the filter list through its compiled code index and
+  can shard both mining (by attribute pair) and classification (by
+  device-closed row groups) over the
+  :func:`repro.analysis.engine.map_shards` worker pool;
+* ``"legacy"`` is the object-at-a-time reference implementation.
+
+Both produce identical filter lists and verdicts for any worker count and
+either executor kind — only wall-clock time differs.
 """
 
 from __future__ import annotations
@@ -11,11 +24,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from repro.core.detector import FPInconsistent, InconsistencyVerdict
+from repro.core.detector import FPInconsistent, InconsistencyVerdict, validate_engine
 from repro.core.evaluation import (
     DetectionRates,
     GeneralizationResult,
     ServiceImprovement,
+    _StoreColumns,
     evaluate_generalization,
     evaluate_table3,
     evaluate_table4,
@@ -46,21 +60,52 @@ class PipelineResult:
 
 
 class FPInconsistentPipeline:
-    """Mines rules from bot traffic and evaluates them end to end."""
+    """Mines rules from bot traffic and evaluates them end to end.
+
+    Parameters
+    ----------
+    miner_config / temporal:
+        Forwarded to the underlying :class:`FPInconsistent` detector.
+    engine:
+        ``"columnar"`` (vectorized, default) or ``"legacy"`` (reference).
+    workers / executor:
+        Shard fan-out for the columnar engine; ``None`` reads the
+        ``REPRO_WORKERS`` / ``REPRO_EXECUTOR`` environment knobs (the same
+        ones the corpus engine honours), falling back to 1 worker.  The
+        legacy engine ignores both.
+    """
 
     def __init__(
         self,
         *,
         miner_config: Optional[SpatialMinerConfig] = None,
         temporal: Optional[TemporalInconsistencyDetector] = None,
+        engine: str = "columnar",
+        workers: Optional[int] = None,
+        executor: Optional[str] = None,
     ):
         self._miner_config = miner_config
         self._temporal = temporal
+        self._engine = validate_engine(engine)
+        self._workers = workers
+        self._executor = executor
 
     def _build_detector(self) -> FPInconsistent:
         miner = SpatialInconsistencyMiner(config=self._miner_config)
         temporal = self._temporal if self._temporal is not None else TemporalInconsistencyDetector()
         return FPInconsistent(miner=miner, temporal=temporal)
+
+    def _resolve_workers(self, workers: Optional[int]) -> int:
+        if workers is None:
+            workers = self._workers
+        if workers is None:
+            from repro.analysis.engine import default_workers
+
+            workers = default_workers()
+        workers = 1 if workers is None else int(workers)
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        return workers
 
     def run(
         self,
@@ -69,6 +114,8 @@ class FPInconsistentPipeline:
         real_user_store: Optional[RequestStore] = None,
         check_generalization: bool = False,
         generalization_seed: int = 0,
+        workers: Optional[int] = None,
+        executor: Optional[str] = None,
     ) -> PipelineResult:
         """Run the full evaluation.
 
@@ -82,21 +129,38 @@ class FPInconsistentPipeline:
         check_generalization:
             When ``True``, additionally performs the 80/20 train/test check
             of Section 7.3 (more expensive: rules are mined twice).
+        workers / executor:
+            Per-call override of the constructor's shard fan-out.
         """
 
-        detector = self._build_detector()
-        detector.fit(bot_store)
-        verdicts = detector.classify_store(bot_store)
+        engine = self._engine
+        workers = self._resolve_workers(workers)
+        executor = executor if executor is not None else self._executor
 
+        detector = self._build_detector()
+        if engine == "legacy":
+            detector.fit(bot_store, engine="legacy")
+            verdicts = detector.classify_store(bot_store, engine="legacy")
+        else:
+            # extract_table, not ColumnarTable.from_store: the detector
+            # appends its tracked temporal attributes, so a custom temporal
+            # configuration keeps the columnar/legacy verdicts identical.
+            table = detector.extract_table(bot_store)
+            detector.fit_table(table, workers=workers, executor=executor)
+            verdicts = detector.classify_table(table, workers=workers, executor=executor)
+
+        columns = _StoreColumns(bot_store, verdicts)
         result = PipelineResult(
             filter_list=detector.filter_list,
             verdicts=verdicts,
-            table4=evaluate_table4(bot_store, verdicts),
-            table3=evaluate_table3(bot_store, verdicts),
+            table4=evaluate_table4(bot_store, verdicts, _columns=columns),
+            table3=evaluate_table3(bot_store, verdicts, _columns=columns),
         )
 
         if real_user_store is not None and len(real_user_store) > 0:
-            user_verdicts = detector.classify_store(real_user_store)
+            user_verdicts = detector.classify_store(
+                real_user_store, engine=engine, workers=workers, executor=executor
+            )
             result.real_user_tnr = true_negative_rate(real_user_store, user_verdicts)
 
         if check_generalization:
@@ -104,5 +168,8 @@ class FPInconsistentPipeline:
                 bot_store,
                 seed=generalization_seed,
                 detector_factory=self._build_detector,
+                engine=engine,
+                workers=workers,
+                executor=executor,
             )
         return result

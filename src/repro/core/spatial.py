@@ -21,9 +21,13 @@ judgement so the pipeline is reproducible end to end.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.core.columnar import ColumnarTable
 from repro.core.knowledge import DeviceKnowledgeBase
 from repro.core.rules import FilterList, InconsistencyRule
 from repro.fingerprint.attributes import Attribute
@@ -87,10 +91,19 @@ class PairStatistics:
         counts.sort(key=lambda item: item[1], reverse=True)
         return counts
 
-    def value_support(self, value_a: object) -> int:
-        """Number of requests carrying ``attribute_a == value_a``."""
+    @functools.cached_property
+    def _supports(self) -> Dict[object, int]:
+        return {value: sum(bucket.values()) for value, bucket in self.combinations.items()}
 
-        return sum(self.combinations.get(value_a, {}).values())
+    def value_support(self, value_a: object) -> int:
+        """Number of requests carrying ``attribute_a == value_a``.
+
+        Supports are summed once and cached: the mining loop queries every
+        ranked value, and recomputing the sum per query made the reference
+        miner O(values²) per pair.
+        """
+
+        return self._supports.get(value_a, 0)
 
 
 class SpatialInconsistencyMiner:
@@ -150,6 +163,19 @@ class SpatialInconsistencyMiner:
         """Mine rules for a single attribute pair."""
 
         statistics = self.pair_statistics(fingerprints, category, attribute_a, attribute_b)
+        return self.select_rules(statistics)
+
+    def select_rules(self, statistics: PairStatistics) -> List[InconsistencyRule]:
+        """Steps 2–3 of Algorithm 1 over pre-computed pair statistics.
+
+        Shared by the reference and the columnar miners: once the
+        co-occurrence structure is identical, rule selection (ranking,
+        inflation pre-filter, knowledge-base judgement) is identical too.
+        """
+
+        category = statistics.category
+        attribute_a = statistics.attribute_a
+        attribute_b = statistics.attribute_b
         config = self._config
         rules: List[InconsistencyRule] = []
 
@@ -193,18 +219,17 @@ class SpatialInconsistencyMiner:
         return rules
 
     def mine(self, fingerprints: Sequence[Fingerprint]) -> FilterList:
-        """Mine a full filter list over every category's attribute pairs."""
+        """Mine a full filter list over every category's attribute pairs.
+
+        This is the object-at-a-time reference implementation: one pass
+        over *fingerprints* per attribute-pair orientation.  The columnar
+        engine (:meth:`mine_table`) reproduces its output exactly.
+        """
 
         filter_list = FilterList()
-        for category in AttributeCategory:
-            for attribute_a, attribute_b in category_pairs(category):
-                for rule in self.mine_pair(fingerprints, category, attribute_a, attribute_b):
-                    filter_list.add(rule)
-                # Algorithm 1 sorts one side of the pair; mining the swapped
-                # orientation as well catches pairs where the *second*
-                # attribute's values are the inflated ones.
-                for rule in self.mine_pair(fingerprints, category, attribute_b, attribute_a):
-                    filter_list.add(rule)
+        for category, attribute_a, attribute_b in ordered_pair_tasks():
+            for rule in self.mine_pair(fingerprints, category, attribute_a, attribute_b):
+                filter_list.add(rule)
         return filter_list
 
     def mine_store(self, store) -> FilterList:
@@ -212,3 +237,139 @@ class SpatialInconsistencyMiner:
 
         fingerprints = [record.request.fingerprint for record in store]
         return self.mine(fingerprints)
+
+    # -- columnar mining --------------------------------------------------------
+
+    def mine_table(
+        self,
+        table: ColumnarTable,
+        *,
+        workers: int = 1,
+        executor: Optional[str] = None,
+    ) -> FilterList:
+        """Mine a filter list from a columnar table (vectorized engine).
+
+        Co-occurrence statistics come from a single ``numpy.unique`` pass
+        per attribute pair instead of one fingerprint walk per pair.  With
+        ``workers > 1`` the pair tasks fan out over the shard worker pool
+        in contiguous chunks; results merge in canonical pair order, so the
+        filter list is identical for any worker count and either executor.
+        """
+
+        tasks = ordered_pair_tasks()
+        workers = 1 if workers is None else int(workers)
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if workers > 1 and len(tasks) > 1:
+            from repro.analysis.engine import map_shards
+
+            chunk_size = -(-len(tasks) // workers)  # ceil division
+            shards = []
+            for start in range(0, len(tasks), chunk_size):
+                chunk = tuple(tasks[start : start + chunk_size])
+                touched: Dict[Attribute, None] = {}
+                for _category, attribute_a, attribute_b in chunk:
+                    touched.setdefault(attribute_a, None)
+                    touched.setdefault(attribute_b, None)
+                shards.append(
+                    _MiningShard(
+                        pairs=chunk,
+                        # Only the columns this chunk mines cross the
+                        # process boundary, not the whole table.
+                        table=table.select(touched),
+                        config=self._config,
+                        knowledge=self._knowledge,
+                    )
+                )
+            rule_lists = map_shards(_mine_shard, shards, workers=workers, executor=executor)
+            filter_list = FilterList()
+            for rules_per_pair in rule_lists:
+                for rules in rules_per_pair:
+                    for rule in rules:
+                        filter_list.add(rule)
+            return filter_list
+
+        filter_list = FilterList()
+        for category, attribute_a, attribute_b in tasks:
+            statistics = columnar_pair_statistics(table, category, attribute_a, attribute_b)
+            for rule in self.select_rules(statistics):
+                filter_list.add(rule)
+        return filter_list
+
+
+def ordered_pair_tasks() -> List[Tuple[AttributeCategory, Attribute, Attribute]]:
+    """Every attribute-pair orientation in canonical mining order.
+
+    Algorithm 1 sorts one side of the pair; mining the swapped orientation
+    as well catches pairs where the *second* attribute's values are the
+    inflated ones.  Both miners and the sharded merge iterate this exact
+    sequence, which is what makes their outputs identical.
+    """
+
+    tasks: List[Tuple[AttributeCategory, Attribute, Attribute]] = []
+    for category in AttributeCategory:
+        for attribute_a, attribute_b in category_pairs(category):
+            tasks.append((category, attribute_a, attribute_b))
+            tasks.append((category, attribute_b, attribute_a))
+    return tasks
+
+
+def columnar_pair_statistics(
+    table: ColumnarTable,
+    category: AttributeCategory,
+    attribute_a: Attribute,
+    attribute_b: Attribute,
+) -> PairStatistics:
+    """Vectorized equivalent of :meth:`SpatialInconsistencyMiner.pair_statistics`.
+
+    One ``numpy.unique`` pass yields every (value_a, value_b) count.  The
+    result dicts are rebuilt in first-occurrence order — the insertion
+    order the per-fingerprint loop produces — so downstream tie-breaking
+    (stable sorts over dict order) behaves identically.
+    """
+
+    codes_a = table.codes_of(attribute_a)
+    codes_b = table.codes_of(attribute_b)
+    mask = (codes_a >= 0) & (codes_b >= 0)
+    rows = np.nonzero(mask)[0]
+    combinations: Dict[object, Dict[object, int]] = {}
+    if rows.size:
+        n_b = len(table.values_of(attribute_b))
+        keys = codes_a[rows].astype(np.int64) * n_b + codes_b[rows]
+        unique_keys, inverse, counts = np.unique(keys, return_inverse=True, return_counts=True)
+        first_row = np.full(unique_keys.size, table.n_rows, dtype=np.int64)
+        np.minimum.at(first_row, inverse, rows)
+        values_a = table.values_of(attribute_a)
+        values_b = table.values_of(attribute_b)
+        for position in np.argsort(first_row, kind="stable"):
+            key = int(unique_keys[position])
+            value_a = values_a[key // n_b]
+            value_b = values_b[key % n_b]
+            combinations.setdefault(value_a, {})[value_b] = int(counts[position])
+    return PairStatistics(
+        category=category,
+        attribute_a=attribute_a,
+        attribute_b=attribute_b,
+        combinations=combinations,
+    )
+
+
+@dataclass(frozen=True)
+class _MiningShard:
+    """One worker's chunk of pair-mining tasks (picklable for process pools)."""
+
+    pairs: Tuple[Tuple[AttributeCategory, Attribute, Attribute], ...]
+    table: ColumnarTable
+    config: Optional[SpatialMinerConfig]
+    knowledge: Optional[DeviceKnowledgeBase]
+
+
+def _mine_shard(shard: _MiningShard) -> List[List[InconsistencyRule]]:
+    """Worker entry point: mine every pair of one chunk, preserving order."""
+
+    miner = SpatialInconsistencyMiner(knowledge=shard.knowledge, config=shard.config)
+    results: List[List[InconsistencyRule]] = []
+    for category, attribute_a, attribute_b in shard.pairs:
+        statistics = columnar_pair_statistics(shard.table, category, attribute_a, attribute_b)
+        results.append(miner.select_rules(statistics))
+    return results

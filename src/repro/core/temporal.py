@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.fingerprint.attributes import Attribute
 from repro.fingerprint.fingerprint import Fingerprint
 from repro.honeysite.storage import RequestStore
@@ -82,8 +84,34 @@ class TemporalInconsistencyDetector:
         self._ip_attributes = tuple(ip_attributes)
         self._cookie_tolerance = cookie_tolerance
         self._ip_tolerance = ip_tolerance
-        #: (key_kind, key, attribute) -> set of observed values
-        self._seen: Dict[Tuple[str, str, Attribute], Set[object]] = {}
+        #: (key_kind, key, attribute) -> observed values, insertion-ordered.
+        #: A dict-as-ordered-set rather than a set so that
+        #: ``TemporalFlag.previous_values`` lists values in observation
+        #: order — deterministic across interpreter runs and worker
+        #: processes, where string hash randomisation would otherwise
+        #: shuffle set iteration order.
+        self._seen: Dict[Tuple[str, str, Attribute], Dict[object, None]] = {}
+
+    @property
+    def tracked_attributes(self) -> Tuple[Attribute, ...]:
+        """Every attribute this detector tracks (cookie- then IP-keyed)."""
+
+        return self._cookie_attributes + self._ip_attributes
+
+    def clone(self) -> "TemporalInconsistencyDetector":
+        """A detector with the same configuration and fresh (empty) state.
+
+        Classification shards each stream their own device-closed row
+        group; with a thread executor they would otherwise share — and
+        corrupt — one ``_seen`` table.
+        """
+
+        return TemporalInconsistencyDetector(
+            cookie_attributes=self._cookie_attributes,
+            ip_attributes=self._ip_attributes,
+            cookie_tolerance=self._cookie_tolerance,
+            ip_tolerance=self._ip_tolerance,
+        )
 
     def reset(self) -> None:
         """Forget all per-device state."""
@@ -102,7 +130,7 @@ class TemporalInconsistencyDetector:
     ) -> Optional[TemporalFlag]:
         if value is None or not key:
             return None
-        seen = self._seen.setdefault((key_kind, key, attribute), set())
+        seen = self._seen.setdefault((key_kind, key, attribute), {})
         if value in seen:
             return None
         flag: Optional[TemporalFlag] = None
@@ -114,7 +142,7 @@ class TemporalInconsistencyDetector:
                 previous_values=tuple(seen),
                 new_value=value,
             )
-        seen.add(value)
+        seen[value] = None
         return flag
 
     def observe(
@@ -177,6 +205,124 @@ class TemporalInconsistencyDetector:
             if flags:
                 flagged[record.request.request_id] = flags
         return flagged
+
+    def evaluate_table(self, table) -> Dict[int, List[TemporalFlag]]:
+        """Evaluate a columnar table in timestamp order.
+
+        The streaming semantics are exactly :meth:`evaluate_store`'s —
+        same stable time ordering, same per-key state — but the stream runs
+        over the table's integer code columns: per-device state keys on
+        (device code, attribute) and records value *codes*, decoding to the
+        underlying values only when a flag actually fires.  No fingerprint
+        object is touched (and none needs to cross a process boundary when
+        shards classify in parallel).  Like :meth:`evaluate_store` this is
+        self-contained: detector state is reset first, and the streaming
+        ``observe`` state is left cleared afterwards.
+        """
+
+        if table.timestamps is None or table.cookie_codes is None or table.ip_codes is None:
+            raise ValueError("temporal evaluation requires a table built with from_store")
+        self.reset()
+
+        time_order = np.argsort(table.timestamps, kind="stable")
+        time_rank = np.empty(table.n_rows, dtype=np.int64)
+        time_rank[time_order] = np.arange(table.n_rows)
+
+        # row -> flag, one map per (key kind, attribute) in the order
+        # :meth:`observe` raises flags (cookie attributes, then IP ones).
+        flag_maps: List[Dict[int, TemporalFlag]] = []
+        for kind, key_codes, key_values, attributes, tolerance in (
+            ("cookie", table.cookie_codes, table.cookie_values,
+             self._cookie_attributes, self._cookie_tolerance),
+            ("ip", table.ip_codes, table.ip_values,
+             self._ip_attributes, self._ip_tolerance),
+        ):
+            # A key decoding to a falsy string ("" cookie) tracks nothing,
+            # exactly like the falsy-key guard in :meth:`observe`.
+            key_ok = np.array([bool(value) for value in key_values], dtype=bool)
+            key_valid = key_codes >= 0
+            if key_ok.size:
+                key_valid = key_valid & key_ok[np.where(key_valid, key_codes, 0)]
+            # else: every key is missing (e.g. anonymous traffic with no
+            # cookies at all) and key_valid is already all-False.
+            for attribute in attributes:
+                table.require_attribute(attribute, "tracked attribute")
+                codes = table.codes_of(attribute)
+                values = table.values_of(attribute)
+                valid = key_valid & (codes >= 0)
+                flag_maps.append(
+                    self._stream_one_column(
+                        kind, key_codes, key_values, attribute, codes, values,
+                        valid, tolerance, time_rank,
+                    )
+                )
+
+        # Per-row assembly: iterating the maps in (key kind, attribute)
+        # order appends each row's flags in exactly the order
+        # :meth:`observe` would return them.
+        per_row: Dict[int, List[TemporalFlag]] = {}
+        for flag_map in flag_maps:
+            for row, flag in flag_map.items():
+                per_row.setdefault(row, []).append(flag)
+        request_ids = table.request_ids
+        return {
+            int(request_ids[row]): per_row[row]
+            for row in sorted(per_row, key=lambda row: time_rank[row])
+        }
+
+    @staticmethod
+    def _stream_one_column(
+        kind: str,
+        key_codes: np.ndarray,
+        key_values: List[str],
+        attribute: Attribute,
+        codes: np.ndarray,
+        values: List[object],
+        valid: np.ndarray,
+        tolerance: int,
+        time_rank: np.ndarray,
+    ) -> Dict[int, "TemporalFlag"]:
+        """Stream one (key kind, attribute) column; returns row -> flag.
+
+        State is independent per (key, attribute), so a key whose column
+        never exceeds ``tolerance`` distinct value codes can neither flag
+        nor influence any other key — those rows are filtered out
+        vectorized, and only the remaining "interesting" keys stream
+        through the per-row Python loop in timestamp order.
+        """
+
+        rows = np.nonzero(valid)[0]
+        if rows.size == 0:
+            return {}
+        n_values = len(values)
+        combined = key_codes[rows].astype(np.int64) * n_values + codes[rows]
+        distinct = np.bincount(
+            np.unique(combined) // n_values, minlength=len(key_values)
+        )
+        interesting = distinct > tolerance
+        rows = rows[interesting[key_codes[rows]]]
+        if rows.size == 0:
+            return {}
+        rows = rows[np.argsort(time_rank[rows], kind="stable")]
+
+        flags: Dict[int, TemporalFlag] = {}
+        state: Dict[int, Dict[int, None]] = {}
+        for row in rows:
+            key_code = int(key_codes[row])
+            value_code = int(codes[row])
+            seen = state.setdefault(key_code, {})
+            if value_code in seen:
+                continue
+            if len(seen) >= tolerance:
+                flags[int(row)] = TemporalFlag(
+                    key_kind=kind,
+                    key=key_values[key_code],
+                    attribute=attribute,
+                    previous_values=tuple(values[code] for code in seen),
+                    new_value=values[value_code],
+                )
+            seen[value_code] = None
+        return flags
 
     def flagged_request_ids(self, store: RequestStore) -> Set[int]:
         """The request ids flagged when evaluating *store*."""

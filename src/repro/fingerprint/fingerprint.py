@@ -38,7 +38,7 @@ class Fingerprint(Mapping[Attribute, Any]):
       counts "unique fingerprints" in Figure 9.
     """
 
-    __slots__ = ("_values", "_hash")
+    __slots__ = ("_values", "_hash", "_grouping")
 
     def __init__(self, values: Mapping[Any, Any]):
         coerced: Dict[Attribute, Any] = {}
@@ -50,6 +50,7 @@ class Fingerprint(Mapping[Attribute, Any]):
             coerced[attribute] = coerced_value
         self._values: Dict[Attribute, Any] = coerced
         self._hash: Optional[str] = None
+        self._grouping: Dict[Attribute, Any] = {}
 
     @classmethod
     def _from_coerced(cls, values: Dict[Attribute, Any]) -> "Fingerprint":
@@ -64,6 +65,7 @@ class Fingerprint(Mapping[Attribute, Any]):
         instance = cls.__new__(cls)
         instance._values = values
         instance._hash = None
+        instance._grouping = {}
         return instance
 
     # -- Mapping protocol ----------------------------------------------------
@@ -109,16 +111,19 @@ class Fingerprint(Mapping[Attribute, Any]):
         Screen resolutions become ``"WxH"`` strings and attribute lists
         become comma-joined strings so that grouping keys are printable in
         tables exactly as the paper renders them.
+
+        Grouping values are memoized per fingerprint: the miner, the filter
+        list matcher and the temporal tracker all re-read the same handful
+        of attributes, and the string formatting dominated their profiles.
         """
 
-        value = self.get(attribute)
-        if value is None:
-            return None
-        if attribute is Attribute.SCREEN_RESOLUTION:
-            return format_resolution(value)
-        if isinstance(value, tuple):
-            return ", ".join(str(item) for item in value) or "(none)"
-        return value
+        try:
+            return self._grouping[attribute]
+        except KeyError:
+            pass
+        grouped = grouping_value(attribute, self.get(attribute))
+        self._grouping[attribute] = grouped
+        return grouped
 
     # -- derivation -------------------------------------------------------------
 
@@ -191,6 +196,23 @@ class Fingerprint(Mapping[Attribute, Any]):
             )
             self._hash = hashlib.sha256(payload.encode("utf-8")).hexdigest()
         return self._hash
+
+
+def grouping_value(attribute: Attribute, value: Any) -> Any:
+    """The grouping form of one raw attribute *value*.
+
+    The single source of truth behind
+    :meth:`Fingerprint.value_for_grouping`; the columnar extractor calls it
+    once per *distinct* raw value instead of once per request.
+    """
+
+    if value is None:
+        return None
+    if attribute is Attribute.SCREEN_RESOLUTION:
+        return format_resolution(value)
+    if isinstance(value, tuple):
+        return ", ".join(str(item) for item in value) or "(none)"
+    return value
 
 
 def _json_default(value: Any) -> Any:

@@ -269,6 +269,20 @@ class RequestStore:
 
         return RequestStore(sorted(self._records, key=lambda record: record.timestamp))
 
+    def columnar(self, attributes=None):
+        """Extract the store into a columnar fingerprint table.
+
+        Returns a :class:`repro.core.columnar.ColumnarTable`: per-attribute
+        code arrays plus request metadata, the layout the vectorized
+        detection engine consumes.  *attributes* optionally restricts or
+        reorders the extracted attribute set.
+        """
+
+        # Imported lazily: repro.core depends on this module.
+        from repro.core.columnar import ColumnarTable
+
+        return ColumnarTable.from_store(self, attributes=attributes)
+
     def split(
         self, fraction: float, rng
     ) -> Tuple["RequestStore", "RequestStore"]:

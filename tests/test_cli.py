@@ -100,3 +100,70 @@ def test_bench_check_speedup_can_fail(capsys, tmp_path):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["no-such-command"])
+
+
+def test_pipeline_json_document(capsys, tmp_path):
+    json_path = tmp_path / "pipeline.json"
+    code, out, err = run_cli(
+        capsys,
+        "pipeline",
+        "--seed", "5",
+        "--scale", "0.003",
+        "--no-cache",
+        "--workers", "2",
+        "--executor", "thread",
+        "--json", str(json_path),
+    )
+    assert code == 0
+    document = json.loads(json_path.read_text())
+    assert document["engine"] == "columnar"
+    assert len(document["filter_list"]) == document["rules"] > 0
+    assert set(document["table4"]) == {"DataDome", "BotD"}
+    assert json.loads(out)["saved_to"] == str(json_path)
+
+
+def test_pipeline_engines_agree(capsys):
+    argv = ("pipeline", "--seed", "5", "--scale", "0.003", "--no-cache", "--no-real-users")
+    code, out_columnar, _ = run_cli(capsys, *argv, "--engine", "columnar")
+    assert code == 0
+    code, out_legacy, _ = run_cli(capsys, *argv, "--engine", "legacy")
+    assert code == 0
+    columnar = json.loads(out_columnar)
+    legacy = json.loads(out_legacy)
+    del columnar["engine"], legacy["engine"]
+    assert columnar == legacy
+
+
+@pytest.mark.parametrize(
+    "argv, message",
+    [
+        (("pipeline", "--workers", "0"), "--workers must be >= 1"),
+        (("corpus", "--scale", "-1"), "--scale must be positive"),
+        (("corpus", "--workers", "-2"), "--workers must be >= 1"),
+        (("pipeline", "--campaign-days", "0"), "--campaign-days must be >= 1"),
+        (("corpus", "--real-user-requests", "-5"), "cannot be negative"),
+        (("bench", "--scales", "0"), "scales must be positive"),
+        (("bench", "--workers-list", "0"), "worker counts must be >= 1"),
+    ],
+)
+def test_bad_knobs_fail_fast(capsys, argv, message):
+    with pytest.raises(SystemExit) as excinfo:
+        main(list(argv))
+    assert excinfo.value.code == 2
+    assert message in capsys.readouterr().err
+
+
+def test_bad_executor_env_fails_cleanly(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_EXECUTOR", "bogus")
+    with pytest.raises(SystemExit) as excinfo:
+        main(["corpus", "--scale", "0.002", "--no-cache"])
+    assert excinfo.value.code == 2
+    assert "REPRO_EXECUTOR" in capsys.readouterr().err
+
+
+def test_bad_workers_env_fails_cleanly(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "zero")
+    with pytest.raises(SystemExit) as excinfo:
+        main(["corpus", "--scale", "0.002", "--no-cache"])
+    assert excinfo.value.code == 2
+    assert "REPRO_WORKERS" in capsys.readouterr().err

@@ -1,0 +1,361 @@
+"""Columnar/legacy equivalence: the detection engines must agree exactly.
+
+The columnar engine (vectorized mining, compiled filter-list matching,
+sharded classification) is only correct if it reproduces the
+object-at-a-time reference byte for byte — identical filter lists and
+identical per-request verdicts for any worker count and either executor.
+These tests pin that contract on seeded random stores (property-style) and
+on the shared small corpus.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.antibot.base import Decision
+from repro.core.columnar import ColumnarTable, partition_rows_by_device
+from repro.core.detector import FPInconsistent
+from repro.core.pipeline import FPInconsistentPipeline
+from repro.core.rules import FilterList, InconsistencyRule
+from repro.core.spatial import SpatialInconsistencyMiner, SpatialMinerConfig
+from repro.core.temporal import TemporalInconsistencyDetector
+from repro.fingerprint.attributes import Attribute
+from repro.fingerprint.categories import AttributeCategory
+from repro.fingerprint.fingerprint import Fingerprint
+from repro.honeysite.storage import RecordedRequest, RequestStore
+from repro.network.request import WebRequest
+
+# -- synthetic seeded stores --------------------------------------------------------
+
+_DEVICES = ["iPhone", "iPad", "Mac", "Windows PC", "SM-A515F", "Pixel 7", None]
+_RESOLUTIONS = [(390, 844), (1920, 1080), (847, 476), (2560, 1440), None]
+_TOUCH = ["None", "touchEvent/touchStart", None]
+_BROWSERS = ["Mobile Safari", "Chrome", "Safari", "Chrome Mobile", None]
+_VENDORS = ["Apple Computer, Inc.", "Google Inc.", "", None]
+_PLATFORMS = ["iPhone", "Win32", "MacIntel", "Linux armv8l", None]
+_OSES = ["iOS", "Windows", "Mac OS X", "Android", None]
+_CORES = [2, 4, 6, 8, 16, 32, None]
+_MEMORY = [0.25, 2.0, 4.0, 8.0, 3.0, None]
+_TIMEZONES = ["America/Los_Angeles", "Europe/Berlin", "Asia/Shanghai", None]
+_COUNTRIES = ["United States", "France", "China", "Germany", None]
+_TOUCH_POINTS = [0, 5, 10, None]
+_COLOR_DEPTHS = [16, 24, 32, None]
+_PLUGINS = [(), ("Chrome PDF Viewer",), None]
+
+
+def _random_store(seed: int, size: int = 400) -> RequestStore:
+    """A seeded store exercising missing values, ties and shared devices."""
+
+    rng = np.random.default_rng(seed)
+
+    def pick(pool):
+        return pool[int(rng.integers(0, len(pool)))]
+
+    sources = [f"S{index}" for index in range(1, 6)]
+    cookies = [f"cookie-{index}" for index in range(size // 8)] + [""]
+    ips = [f"10.0.{index // 256}.{index % 256}" for index in range(size // 10)]
+    records = []
+    for index in range(size):
+        values = {
+            Attribute.UA_DEVICE: pick(_DEVICES),
+            Attribute.SCREEN_RESOLUTION: pick(_RESOLUTIONS),
+            Attribute.TOUCH_SUPPORT: pick(_TOUCH),
+            Attribute.UA_BROWSER: pick(_BROWSERS),
+            Attribute.VENDOR: pick(_VENDORS),
+            Attribute.PLATFORM: pick(_PLATFORMS),
+            Attribute.UA_OS: pick(_OSES),
+            Attribute.HARDWARE_CONCURRENCY: pick(_CORES),
+            Attribute.DEVICE_MEMORY: pick(_MEMORY),
+            Attribute.TIMEZONE: pick(_TIMEZONES),
+            Attribute.IP_COUNTRY: pick(_COUNTRIES),
+            Attribute.MAX_TOUCH_POINTS: pick(_TOUCH_POINTS),
+            Attribute.COLOR_DEPTH: pick(_COLOR_DEPTHS),
+            Attribute.PLUGINS: pick(_PLUGINS),
+        }
+        fingerprint = Fingerprint(
+            {key: value for key, value in values.items() if value is not None}
+        )
+        cookie = cookies[int(rng.integers(0, len(cookies)))]
+        request = WebRequest(
+            url_path="/test",
+            timestamp=float(rng.integers(0, 50)),  # many timestamp ties
+            ip_address=ips[int(rng.integers(0, len(ips)))],
+            fingerprint=fingerprint,
+            cookie=cookie or None,
+        )
+        records.append(
+            RecordedRequest(
+                request=request,
+                source=sources[int(rng.integers(0, len(sources)))],
+                cookie=cookie,
+                datadome=Decision(
+                    detector="DataDome", is_bot=bool(rng.integers(0, 2)), score=0.5
+                ),
+                botd=Decision(detector="BotD", is_bot=bool(rng.integers(0, 2)), score=0.5),
+            )
+        )
+    return RequestStore(records)
+
+
+MINER_CONFIG = SpatialMinerConfig(min_support=3, min_value_support=5, inflation_factor=0)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7, 99])
+def test_mining_equivalence_on_random_stores(seed):
+    store = _random_store(seed)
+    legacy = SpatialInconsistencyMiner(config=MINER_CONFIG).mine_store(store)
+    columnar = SpatialInconsistencyMiner(config=MINER_CONFIG).mine_table(store.columnar())
+    assert legacy.to_json() == columnar.to_json()
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7, 99])
+def test_classification_equivalence_on_random_stores(seed):
+    store = _random_store(seed)
+    detector = FPInconsistent(miner=SpatialInconsistencyMiner(config=MINER_CONFIG))
+    detector.fit(store, engine="legacy")
+    legacy = detector.classify_store(store, engine="legacy")
+    columnar = detector.classify_store(store, engine="columnar")
+    assert list(legacy) == list(columnar)
+    assert legacy == columnar
+
+
+@pytest.mark.parametrize("workers", [2, 3, 5])
+def test_sharded_classification_equivalence(workers):
+    store = _random_store(3)
+    detector = FPInconsistent(miner=SpatialInconsistencyMiner(config=MINER_CONFIG))
+    detector.fit(store)
+    serial = detector.classify_store(store, workers=1)
+    sharded = detector.classify_store(store, workers=workers, executor="thread")
+    assert serial == sharded
+
+
+def test_sharded_mining_equivalence():
+    store = _random_store(5)
+    table = store.columnar()
+    serial = SpatialInconsistencyMiner(config=MINER_CONFIG).mine_table(table)
+    for workers in (2, 4):
+        sharded = SpatialInconsistencyMiner(config=MINER_CONFIG).mine_table(
+            table, workers=workers, executor="thread"
+        )
+        assert serial.to_json() == sharded.to_json()
+
+
+def test_process_executor_equivalence():
+    """The process pool must agree with the thread pool and the serial path."""
+
+    store = _random_store(11, size=150)
+    detector = FPInconsistent(miner=SpatialInconsistencyMiner(config=MINER_CONFIG))
+    detector.fit(store)
+    serial = detector.classify_store(store, workers=1)
+    process = detector.classify_store(store, workers=2, executor="process")
+    assert serial == process
+    mined = SpatialInconsistencyMiner(config=MINER_CONFIG).mine_table(
+        store.columnar(), workers=2, executor="process"
+    )
+    assert mined.to_json() == detector.filter_list.to_json()
+
+
+def test_temporal_table_equivalence():
+    store = _random_store(13)
+    detector_a = TemporalInconsistencyDetector()
+    detector_b = TemporalInconsistencyDetector()
+    assert detector_a.evaluate_store(store) == detector_b.evaluate_table(store.columnar())
+
+
+def test_anonymous_traffic_equivalence():
+    """Stores with no cookies (or no source addresses) at all must classify,
+    not crash on the empty key column (regression)."""
+
+    base = _random_store(37, size=60)
+    no_cookies = RequestStore(
+        RecordedRequest(
+            request=record.request.with_cookie(None),
+            source=record.source,
+            cookie=None,  # anonymous: no cookie was ever issued
+            datadome=record.datadome,
+            botd=record.botd,
+        )
+        for record in base
+    )
+    detector = FPInconsistent(miner=SpatialInconsistencyMiner(config=MINER_CONFIG))
+    detector.fit(no_cookies)
+    legacy = detector.classify_store(no_cookies, engine="legacy")
+    columnar = detector.classify_store(no_cookies, engine="columnar")
+    assert legacy == columnar
+
+
+def test_custom_temporal_attributes_stay_equivalent():
+    """Tracked attributes outside the default table set must still be
+    extracted (regression: the pipeline used to drop their flags)."""
+
+    from repro.core.temporal import DEFAULT_COOKIE_ATTRIBUTES
+
+    store = _random_store(29)
+    temporal = TemporalInconsistencyDetector(
+        cookie_attributes=DEFAULT_COOKIE_ATTRIBUTES + (Attribute.USER_AGENT,)
+    )
+    legacy = FPInconsistentPipeline(
+        engine="legacy", miner_config=MINER_CONFIG, temporal=temporal
+    ).run(store)
+    columnar = FPInconsistentPipeline(
+        miner_config=MINER_CONFIG, temporal=temporal.clone()
+    ).run(store)
+    assert legacy.verdicts == columnar.verdicts
+    assert legacy.filter_list.to_json() == columnar.filter_list.to_json()
+
+
+def test_missing_columns_fail_loudly():
+    """A table extracted without the columns a component needs must raise,
+    not silently weaken detection."""
+
+    store = _random_store(31, size=50)
+    narrow = ColumnarTable.from_store(store, attributes=[Attribute.UA_DEVICE])
+
+    temporal = TemporalInconsistencyDetector()
+    with pytest.raises(ValueError, match="tracked attribute"):
+        temporal.evaluate_table(narrow)
+
+    rule = InconsistencyRule(
+        category=AttributeCategory.SCREEN,
+        attribute_a=Attribute.UA_DEVICE,
+        value_a="iPhone",
+        attribute_b=Attribute.SCREEN_RESOLUTION,
+        value_b="1920x1080",
+    )
+    with pytest.raises(ValueError, match="rule attribute"):
+        FilterList([rule]).compile(narrow)
+
+    detector = FPInconsistent(filter_list=FilterList())
+    with pytest.raises(ValueError, match="Location predicate"):
+        detector.classify_table(narrow, use_temporal=False)
+
+
+def test_pipeline_engine_equivalence_on_corpus(small_corpus):
+    bot = small_corpus.bot_store
+    real = small_corpus.real_user_store
+    legacy = FPInconsistentPipeline(engine="legacy").run(
+        bot, real_user_store=real, check_generalization=True
+    )
+    columnar = FPInconsistentPipeline(workers=2, executor="thread").run(
+        bot, real_user_store=real, check_generalization=True
+    )
+    assert legacy.filter_list.to_json() == columnar.filter_list.to_json()
+    assert legacy.verdicts == columnar.verdicts
+    assert legacy.table3 == columnar.table3
+    assert legacy.table4 == columnar.table4
+    assert legacy.real_user_tnr == columnar.real_user_tnr
+    assert legacy.generalization == columnar.generalization
+
+
+def test_pipeline_rejects_unknown_engine():
+    with pytest.raises(ValueError):
+        FPInconsistentPipeline(engine="quantum")
+    with pytest.raises(ValueError):
+        FPInconsistentPipeline(workers=0).run(_random_store(0, size=10))
+
+
+# -- columnar table internals ---------------------------------------------------------
+
+
+def test_table_round_trip_and_codes():
+    store = _random_store(17, size=80)
+    table = store.columnar()
+    for record_index, record in enumerate(store):
+        fingerprint = record.request.fingerprint
+        for attribute in table.attributes:
+            assert table.value_at(attribute, record_index) == fingerprint.value_for_grouping(
+                attribute
+            )
+        assert table.cookie_at(record_index) == record.cookie
+        assert table.ip_at(record_index) == record.request.ip_address
+    device_values = table.values_of(Attribute.UA_DEVICE)
+    assert len(device_values) == len(set(device_values))
+    for code, value in enumerate(device_values):
+        assert table.code_of(Attribute.UA_DEVICE, value) == code
+    assert table.code_of(Attribute.UA_DEVICE, "Nokia 3310") is None
+
+
+def test_table_take_slices_metadata():
+    table = _random_store(19, size=60).columnar()
+    rows = np.array([3, 7, 21], dtype=np.int64)
+    sliced = table.take(rows)
+    assert sliced.n_rows == 3
+    for position, row in enumerate(rows):
+        assert sliced.value_at(Attribute.UA_DEVICE, position) == table.value_at(
+            Attribute.UA_DEVICE, int(row)
+        )
+        assert sliced.cookie_at(position) == table.cookie_at(int(row))
+        assert int(sliced.request_ids[position]) == int(table.request_ids[int(row)])
+
+
+def test_partition_is_device_closed():
+    table = _random_store(23).columnar()
+    partitions = partition_rows_by_device(table, 4)
+    all_rows = np.concatenate(partitions)
+    assert sorted(all_rows.tolist()) == list(range(table.n_rows))
+    cookie_shard = {}
+    ip_shard = {}
+    for shard_index, rows in enumerate(partitions):
+        for row in rows:
+            cookie = table.cookie_at(int(row))
+            ip = table.ip_at(int(row))
+            if cookie:
+                assert cookie_shard.setdefault(cookie, shard_index) == shard_index
+            if ip:
+                assert ip_shard.setdefault(ip, shard_index) == shard_index
+
+
+def test_compiled_filter_list_tie_break_matches_reference():
+    """When several rules match one fingerprint, the compiled index must
+    pick the same winner as ``FilterList.first_match``."""
+
+    rules = [
+        InconsistencyRule(
+            category=AttributeCategory.BROWSER,
+            attribute_a=Attribute.UA_BROWSER,
+            value_a="Mobile Safari",
+            attribute_b=Attribute.VENDOR,
+            value_b="Google Inc.",
+        ),
+        InconsistencyRule(
+            category=AttributeCategory.SCREEN,
+            attribute_a=Attribute.UA_DEVICE,
+            value_a="iPhone",
+            attribute_b=Attribute.SCREEN_RESOLUTION,
+            value_b="1920x1080",
+        ),
+        InconsistencyRule(
+            category=AttributeCategory.SCREEN,
+            attribute_a=Attribute.UA_BROWSER,
+            value_a="Mobile Safari",
+            attribute_b=Attribute.TOUCH_SUPPORT,
+            value_b="None",
+        ),
+    ]
+    filter_list = FilterList(rules)
+    fingerprints = [
+        Fingerprint(
+            {
+                Attribute.UA_DEVICE: "iPhone",
+                Attribute.UA_BROWSER: "Mobile Safari",
+                Attribute.VENDOR: "Google Inc.",
+                Attribute.SCREEN_RESOLUTION: (1920, 1080),
+                Attribute.TOUCH_SUPPORT: "None",
+            }
+        ),
+        Fingerprint(
+            {
+                Attribute.UA_DEVICE: "iPhone",
+                Attribute.SCREEN_RESOLUTION: (1920, 1080),
+                Attribute.TOUCH_SUPPORT: "None",
+            }
+        ),
+        Fingerprint({Attribute.UA_DEVICE: "Windows PC"}),
+    ]
+    table = ColumnarTable.from_fingerprints(fingerprints)
+    compiled = filter_list.compile(table)
+    vectorized = compiled.first_match_rows()
+    reference = [filter_list.first_match(fingerprint) for fingerprint in fingerprints]
+    assert vectorized == reference
+    assert vectorized[0] is not None and vectorized[2] is None
