@@ -1,13 +1,17 @@
 """Corpus-engine scaling benchmark: serial seed path vs. sharded engine.
 
-Times the legacy single-stream serial build against the sharded engine at
-1 and 4 workers for a couple of scales, printing requests/second and the
-speedup, and writes the result document to ``BENCH_corpus_scaling.json``
-next to the repository root so successive PRs accumulate a perf
-trajectory.
+Times the legacy single-stream serial build against the sharded engine —
+both generation engines (vectorized and legacy reference), each at 1 and
+4 requested workers — for a couple of scales, printing requests/second,
+the speedup over serial and the plan the engine actually chose (the
+min-records clamp falls back to serial where fan-out overhead would
+dominate), and writes the result document to
+``BENCH_corpus_scaling.json`` next to the repository root so successive
+PRs accumulate a perf trajectory.
 
-The ≥2× parallel speedup claim needs real cores; on single-CPU boxes the
-benchmark still records the numbers but does not assert the ratio.
+The headline target is the vectorized engine beating the legacy serial
+build ≥2× on a single worker; the assertion is opt-in because shared CI
+runners are noisy.
 """
 
 import json
@@ -16,7 +20,8 @@ from pathlib import Path
 
 from repro.cli import run_scaling_benchmark
 
-#: Required engine-vs-serial speedup with 4 workers when hardware allows.
+#: Required engine-vs-serial speedup (the vectorized engine achieves it
+#: on a single worker).
 TARGET_SPEEDUP = 2.0
 
 #: Cores needed before the speedup assertion is meaningful.
@@ -42,19 +47,25 @@ def bench_corpus_scaling():
         print(
             f"scale {entry['scale']}: serial {entry['serial_rps']} req/s; "
             + "; ".join(
-                f"{run['workers']}w {run['rps']} req/s ({run['speedup_vs_serial']}x)"
+                f"{run['generation'][:3]}/{run['workers']}w {run['rps']} req/s "
+                f"({run['speedup_vs_serial']}x)"
                 for run in entry["engine"]
             )
         )
 
+    # The target is a claim about the *vectorized* engine; legacy-generation
+    # runs are recorded for the trajectory but must not satisfy the gate.
     best = max(
-        run["speedup_vs_serial"] for entry in document["scales"] for run in entry["engine"]
+        run["speedup_vs_serial"]
+        for entry in document["scales"]
+        for run in entry["engine"]
+        if run["generation"] == "vectorized"
     )
     cpus = os.cpu_count() or 1
     if cpus >= MIN_CPUS_FOR_TARGET and os.environ.get(REQUIRE_SPEEDUP_ENV_VAR):
         assert best >= TARGET_SPEEDUP, (
-            f"expected >= {TARGET_SPEEDUP}x speedup over the serial seed path "
-            f"with 4 workers on {cpus} CPUs, got {best}x"
+            f"expected the vectorized engine to be >= {TARGET_SPEEDUP}x faster than "
+            f"the serial seed path on {cpus} CPUs, got {best}x"
         )
     else:
         print(

@@ -9,8 +9,16 @@ any change (different seed, different scale, bumped format) is a rebuild.
 
 Layout, one directory per key under the cache root::
 
-    <root>/<key>/meta.json        corpus metadata + URL map + geo assignments
-    <root>/<key>/store.jsonl.gz   the request store (versioned gzip JSONL)
+    <root>/<key>/meta.json              corpus metadata + URL map + geo assignments
+    <root>/<key>/store.jsonl.gz         the request store (versioned gzip JSONL)
+    <root>/<key>/columnar_<subset>.npz  extracted ColumnarTable sidecars (optional)
+
+The ``columnar_*.npz`` sidecars persist the pre-extracted fingerprint
+tables the vectorized generation engine emits ("bots" and "real_users"),
+so warm-cache pipeline runs skip columnar extraction — the detection
+stack's remaining constant cost — entirely.  A missing, corrupt or
+incompatible sidecar silently degrades to re-extraction; the corpus entry
+itself still hits.
 
 Writes go through a temporary directory renamed into place, so a crashed
 build never leaves a half-written entry behind.
@@ -30,6 +38,7 @@ import numpy as np
 
 from repro.analysis.corpus import Corpus
 from repro.bots.marketplace import build_marketplace
+from repro.core.columnar import ColumnarTable
 from repro.geo.geolite import GeoDatabase
 from repro.geo.ipaddr import GeoRegion, IpAddressSpace, PrefixAssignment
 from repro.honeysite.site import HoneySite
@@ -85,12 +94,31 @@ def corpus_cache_key(
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
 
 
+#: Store subsets whose extracted tables are persisted alongside the JSONL.
+SIDECAR_SUBSETS = ("bots", "real_users")
+
+
+def _sidecar_path(directory: Path, subset: str) -> Path:
+    return directory / f"columnar_{subset}.npz"
+
+
 def save_corpus(corpus: Corpus, directory) -> Path:
-    """Write *corpus* (store + metadata) into *directory*; returns the path."""
+    """Write *corpus* (store + metadata + columnar sidecars) into *directory*."""
 
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     corpus.store.save_jsonl(directory / "store.jsonl.gz")
+    for subset in SIDECAR_SUBSETS:
+        table = corpus.columnar_tables.get(subset)
+        path = _sidecar_path(directory, subset)
+        if table is not None:
+            table.save_npz(path)
+        elif path.exists():
+            # Never leave a previous save's sidecar behind a corpus that
+            # has no table for the subset (e.g. a legacy-generation build
+            # written into a reused directory) — a stale sidecar must not
+            # be loadable against a different corpus.
+            path.unlink()
     meta = {
         "format_version": CORPUS_FORMAT_VERSION,
         "seed": corpus.seed,
@@ -173,7 +201,45 @@ def load_corpus(directory) -> Corpus:
             for name, count in meta.get("privacy_requests", {}).items()
         },
     )
+    _load_sidecars(corpus, directory)
     return corpus
+
+
+def _load_sidecars(corpus: Corpus, directory: Path) -> None:
+    """Attach any valid ``columnar_*.npz`` sidecars to *corpus*.
+
+    Sidecars are strictly optional: archives written before they existed,
+    legacy-generation builds and corrupt/truncated files all degrade to an
+    absent table (the pipeline re-extracts).  A loaded table must agree
+    with its store subset's request ids *and timestamps* or it is
+    discarded — request ids are renumbered 1..N and therefore collide
+    across same-configuration corpora of different seeds, while the
+    timestamp stream is seed-dependent, so the pair binds a sidecar to the
+    corpus content it was extracted from.
+    """
+
+    for subset in SIDECAR_SUBSETS:
+        path = _sidecar_path(directory, subset)
+        if not path.is_file():
+            continue
+        try:
+            table = ColumnarTable.load_npz(path)
+        except Exception:
+            continue
+        store = corpus.bot_store if subset == "bots" else corpus.real_user_store
+        if table.n_rows != len(store):
+            continue
+        expected_ids = np.fromiter(
+            (record.request.request_id for record in store), dtype=np.int64, count=len(store)
+        )
+        if not np.array_equal(table.request_ids, expected_ids):
+            continue
+        expected_timestamps = np.fromiter(
+            (record.timestamp for record in store), dtype=np.float64, count=len(store)
+        )
+        if not np.array_equal(table.timestamps, expected_timestamps):
+            continue
+        corpus.columnar_tables[subset] = table
 
 
 class CorpusCache:

@@ -61,6 +61,13 @@ class Corpus:
     service_volumes: Dict[str, int] = field(default_factory=dict)
     real_user_requests: int = 0
     privacy_requests: Dict[PrivacyTechnology, int] = field(default_factory=dict)
+    #: pre-extracted columnar fingerprint tables keyed by store subset
+    #: ("bots", "real_users"), emitted by the vectorized generation engine
+    #: (or restored from the corpus cache's ``columnar.npz`` sidecar);
+    #: identical to extracting the matching store, so the detection
+    #: pipeline can skip extraction outright.  Empty when the corpus was
+    #: built by the legacy engine or loaded from a sidecar-less archive.
+    columnar_tables: Dict[str, object] = field(default_factory=dict)
 
     @property
     def store(self) -> RequestStore:
@@ -99,6 +106,7 @@ def build_corpus(
     workers: Optional[int] = None,
     executor: Optional[str] = None,
     cache=None,
+    generation: str = "vectorized",
 ) -> Corpus:
     """Build the full measurement corpus.
 
@@ -145,6 +153,7 @@ def build_corpus(
             workers=workers,
             executor=executor,
             cache=cache,
+            generation=generation,
         )
         return corpus
 

@@ -74,6 +74,96 @@ _ANDROID_MODELS: Tuple[str, ...] = (
 _REAL_IPHONE_RESOLUTIONS: Tuple[Tuple[int, int], ...] = tuple(sorted(IPHONE_RESOLUTIONS))
 
 
+def _pick(rng: np.random.Generator, pool: Tuple) -> object:
+    """Draw one element of *pool*, consuming the stream exactly like
+    ``rng.choice(pool)``.
+
+    ``Generator.choice`` without probabilities draws a single bounded
+    integer from the bit stream, then pays array-conversion and shape
+    bookkeeping on every call; indexing the tuple with ``rng.integers``
+    consumes the same stream and returns the same element at a fraction of
+    the cost (``tests/test_vectorized.py`` pins the equivalence).
+    """
+
+    return pool[int(rng.integers(0, len(pool)))]
+
+
+def _pick_weighted(rng: np.random.Generator, names, probabilities: np.ndarray) -> object:
+    """Draw one of *names* under *probabilities*, stream-identical to
+    ``rng.choice(len(names), p=probabilities)``.
+
+    Replicates the Generator's own algorithm — normalised cumulative
+    probabilities, one uniform draw, right-sided ``searchsorted`` — without
+    re-validating and re-accumulating the probability vector per call.
+    """
+
+    cdf = probabilities.cumsum()
+    cdf /= cdf[-1]
+    return names[int(cdf.searchsorted(rng.random(), side="right"))]
+
+
+def _base_bot_template() -> Dict[Attribute, object]:
+    """The canonical (coerced) attribute values of an unmodified worker."""
+
+    return dict(
+        Fingerprint(
+            {
+                Attribute.USER_AGENT: build_user_agent("Linux PC", "Linux", "Chrome"),
+                Attribute.UA_DEVICE: "Linux PC",
+                Attribute.UA_OS: "Linux",
+                Attribute.UA_BROWSER: "Chrome",
+                Attribute.PLATFORM: "Linux x86_64",
+                Attribute.VENDOR: "Google Inc.",
+                Attribute.VENDOR_FLAVORS: (),
+                Attribute.PLUGINS: (),
+                Attribute.HARDWARE_CONCURRENCY: 8,
+                Attribute.DEVICE_MEMORY: 4.0,
+                Attribute.LANGUAGES: ("en-US", "en"),
+                Attribute.WEBDRIVER: False,
+                Attribute.PRODUCT_SUB: "20030107",
+                Attribute.MAX_TOUCH_POINTS: 0,
+                Attribute.SCREEN_RESOLUTION: (1920, 1080),
+                Attribute.SCREEN_FRAME: 0,
+                Attribute.COLOR_DEPTH: 24,
+                Attribute.COLOR_GAMUT: "srgb",
+                Attribute.TOUCH_SUPPORT: TOUCH_NONE,
+                Attribute.HDR: False,
+                Attribute.CONTRAST: 0,
+                Attribute.FORCED_COLORS: False,
+                Attribute.REDUCED_MOTION: False,
+                Attribute.TIMEZONE: "America/Los_Angeles",
+                Attribute.COOKIES_ENABLED: True,
+                Attribute.PDF_VIEWER_ENABLED: False,
+                Attribute.MONOSPACE_WIDTH: 132.5,
+            }
+        )._values
+    )
+
+
+#: Coerced once at import; :func:`base_bot_values` copies it per session
+#: instead of re-coercing all 27 attributes (which dominated generation
+#: profiles).  Key order matters: serialized fingerprints preserve it.
+_BASE_BOT_VALUES: Dict[Attribute, object] = _base_bot_template()
+
+
+def base_bot_values(
+    rng: np.random.Generator, *, timezone: str = "America/Los_Angeles"
+) -> Dict[Attribute, object]:
+    """Canonical attribute dict of an unmodified bot worker.
+
+    Consumes the stream exactly like the historical template construction
+    (one core-count draw, one memory draw, in that order).
+    """
+
+    cores = int(_pick(rng, (8, 12, 16)))
+    memory = float(_pick(rng, (4.0, 8.0)))
+    values = dict(_BASE_BOT_VALUES)
+    values[Attribute.HARDWARE_CONCURRENCY] = cores
+    values[Attribute.DEVICE_MEMORY] = memory
+    values[Attribute.TIMEZONE] = str(timezone)
+    return values
+
+
 def base_bot_fingerprint(rng: np.random.Generator, *, timezone: str = "America/Los_Angeles") -> Fingerprint:
     """Fingerprint of an unmodified bot worker.
 
@@ -82,61 +172,61 @@ def base_bot_fingerprint(rng: np.random.Generator, *, timezone: str = "America/L
     the starting point every commercial "undetectable traffic" stack uses.
     """
 
-    cores = int(rng.choice((8, 12, 16)))
-    return Fingerprint(
-        {
-            Attribute.USER_AGENT: build_user_agent("Linux PC", "Linux", "Chrome"),
-            Attribute.UA_DEVICE: "Linux PC",
-            Attribute.UA_OS: "Linux",
-            Attribute.UA_BROWSER: "Chrome",
-            Attribute.PLATFORM: "Linux x86_64",
-            Attribute.VENDOR: "Google Inc.",
-            Attribute.VENDOR_FLAVORS: (),
-            Attribute.PLUGINS: (),
-            Attribute.HARDWARE_CONCURRENCY: cores,
-            Attribute.DEVICE_MEMORY: float(rng.choice((4.0, 8.0))),
-            Attribute.LANGUAGES: ("en-US", "en"),
-            Attribute.WEBDRIVER: False,
-            Attribute.PRODUCT_SUB: "20030107",
-            Attribute.MAX_TOUCH_POINTS: 0,
-            Attribute.SCREEN_RESOLUTION: (1920, 1080),
-            Attribute.SCREEN_FRAME: 0,
-            Attribute.COLOR_DEPTH: 24,
-            Attribute.COLOR_GAMUT: "srgb",
-            Attribute.TOUCH_SUPPORT: TOUCH_NONE,
-            Attribute.HDR: False,
-            Attribute.CONTRAST: 0,
-            Attribute.FORCED_COLORS: False,
-            Attribute.REDUCED_MOTION: False,
-            Attribute.TIMEZONE: timezone,
-            Attribute.COOKIES_ENABLED: True,
-            Attribute.PDF_VIEWER_ENABLED: False,
-            Attribute.MONOSPACE_WIDTH: 132.5,
-        }
-    )
+    return Fingerprint._from_coerced(base_bot_values(rng, timezone=timezone))
+
+
+def low_concurrency_changes(rng: np.random.Generator) -> Dict[str, object]:
+    """Changes of :func:`apply_low_concurrency` (DataDome blind spot)."""
+
+    return {"hardware_concurrency": int(_pick(rng, (2, 4, 6)))}
 
 
 def apply_low_concurrency(fingerprint: Fingerprint, rng: np.random.Generator) -> Fingerprint:
     """Report a consumer-grade CPU core count (DataDome blind spot)."""
 
-    return fingerprint.replace(hardware_concurrency=int(rng.choice((2, 4, 6))))
+    return fingerprint.replace(**low_concurrency_changes(rng))
+
+
+def server_concurrency_changes(rng: np.random.Generator) -> Dict[str, object]:
+    """Changes of :func:`apply_server_concurrency`."""
+
+    return {"hardware_concurrency": int(_pick(rng, (8, 12, 16, 24, 32)))}
 
 
 def apply_server_concurrency(fingerprint: Fingerprint, rng: np.random.Generator) -> Fingerprint:
     """Report the worker's true server-grade CPU core count."""
 
-    return fingerprint.replace(hardware_concurrency=int(rng.choice((8, 12, 16, 24, 32))))
+    return fingerprint.replace(**server_concurrency_changes(rng))
 
 
-def apply_plugin_injection(fingerprint: Fingerprint, rng: np.random.Generator) -> Fingerprint:
-    """Expose one or more PDF plugins (BotD blind spot, Figure 4)."""
+def plugin_injection_changes(rng: np.random.Generator) -> Dict[str, object]:
+    """Changes of :func:`apply_plugin_injection` (Figure 4)."""
 
     count = int(rng.integers(1, len(CHROMIUM_PDF_PLUGINS) + 1))
     order = rng.permutation(len(CHROMIUM_PDF_PLUGINS))[:count]
     plugins = tuple(CHROMIUM_PDF_PLUGINS[int(index)] for index in sorted(order))
     if "Chrome PDF Viewer" not in plugins:
         plugins = ("Chrome PDF Viewer",) + plugins
-    return fingerprint.replace(plugins=plugins, pdf_viewer_enabled=True)
+    return {"plugins": plugins, "pdf_viewer_enabled": True}
+
+
+def apply_plugin_injection(fingerprint: Fingerprint, rng: np.random.Generator) -> Fingerprint:
+    """Expose one or more PDF plugins (BotD blind spot, Figure 4)."""
+
+    return fingerprint.replace(**plugin_injection_changes(rng))
+
+
+def touch_spoof_changes(
+    rng: np.random.Generator, *, consistency: float = 0.2
+) -> Dict[str, object]:
+    """Changes of :func:`apply_touch_spoof` (Section 5.3.3)."""
+
+    changes: Dict[str, object] = {"touch_support": TOUCH_EVENTS}
+    if rng.random() < consistency:
+        changes["max_touch_points"] = 5
+    else:
+        changes["max_touch_points"] = int(_pick(rng, (0, 1, 2, 3, 9, 10)))
+    return changes
 
 
 def apply_touch_spoof(
@@ -150,38 +240,34 @@ def apply_touch_spoof(
     (device, Max Touch Points) inconsistencies of Table 6.
     """
 
-    changes = {"touch_support": TOUCH_EVENTS}
-    if rng.random() < consistency:
-        changes["max_touch_points"] = 5
-    else:
-        changes["max_touch_points"] = int(rng.choice((0, 1, 2, 3, 9, 10)))
-    return fingerprint.replace(**changes)
+    return fingerprint.replace(**touch_spoof_changes(rng, consistency=consistency))
+
+
+_SPOOF_TARGET_NAMES: Tuple[str, ...] = tuple(SPOOF_TARGET_WEIGHTS)
+_SPOOF_TARGET_PROBABILITIES: np.ndarray = np.array(
+    [SPOOF_TARGET_WEIGHTS[name] for name in _SPOOF_TARGET_NAMES], dtype=float
+)
+_SPOOF_TARGET_PROBABILITIES /= _SPOOF_TARGET_PROBABILITIES.sum()
 
 
 def choose_spoof_target(rng: np.random.Generator, weights: Optional[Dict[str, float]] = None) -> str:
     """Pick a device family to impersonate (Figure 6 distribution)."""
 
-    table = weights if weights is not None else SPOOF_TARGET_WEIGHTS
-    names = list(table)
-    probabilities = np.array([table[name] for name in names], dtype=float)
+    if weights is None:
+        return str(_pick_weighted(rng, _SPOOF_TARGET_NAMES, _SPOOF_TARGET_PROBABILITIES))
+    names = list(weights)
+    probabilities = np.array([weights[name] for name in names], dtype=float)
     probabilities /= probabilities.sum()
-    return names[int(rng.choice(len(names), p=probabilities))]
+    return str(_pick_weighted(rng, names, probabilities))
 
 
-def apply_device_spoof(
-    fingerprint: Fingerprint,
+def device_spoof_changes(
     rng: np.random.Generator,
     *,
     target: Optional[str] = None,
     consistency: float = 0.15,
-) -> Fingerprint:
-    """Impersonate a popular consumer device through the User-Agent.
-
-    Only the User-Agent-derived attributes are rewritten reliably.  Every
-    correlated attribute (platform, vendor, screen resolution, touch
-    points) is fixed up only with probability ``consistency`` each,
-    reproducing the partially altered fingerprints of Section 6.1.
-    """
+) -> Dict[str, object]:
+    """Changes of :func:`apply_device_spoof` (Section 6.1)."""
 
     target = target or choose_spoof_target(rng)
     changes: Dict[str, object] = {}
@@ -238,7 +324,27 @@ def apply_device_spoof(
         if rng.random() >= consistency:
             changes["screen_resolution"] = random_resolution(rng)
 
-    return fingerprint.replace(**changes)
+    return changes
+
+
+def apply_device_spoof(
+    fingerprint: Fingerprint,
+    rng: np.random.Generator,
+    *,
+    target: Optional[str] = None,
+    consistency: float = 0.15,
+) -> Fingerprint:
+    """Impersonate a popular consumer device through the User-Agent.
+
+    Only the User-Agent-derived attributes are rewritten reliably.  Every
+    correlated attribute (platform, vendor, screen resolution, touch
+    points) is fixed up only with probability ``consistency`` each,
+    reproducing the partially altered fingerprints of Section 6.1.
+    """
+
+    return fingerprint.replace(
+        **device_spoof_changes(rng, target=target, consistency=consistency)
+    )
 
 
 def _maybe(changes: Dict[str, object], rng: np.random.Generator, probability: float, key: str, value) -> None:
@@ -282,20 +388,11 @@ def random_resolution(rng: np.random.Generator) -> Tuple[int, int]:
     return FAKE_RESOLUTION_POOL[int(rng.integers(len(FAKE_RESOLUTION_POOL)))]
 
 
-def apply_consistent_device_spoof(
-    fingerprint: Fingerprint, rng: np.random.Generator
-) -> Fingerprint:
-    """Impersonate a device *consistently* (a well-configured spoofing profile).
+def consistent_device_spoof_changes(
+    rng: np.random.Generator, *, has_touch: bool
+) -> Dict[str, object]:
+    """Changes of :func:`apply_consistent_device_spoof`."""
 
-    Some bot stacks ship curated emulation profiles whose correlated
-    attributes all agree; these spoofs introduce no spatial inconsistency.
-    The target family is chosen so the attributes that drive detector
-    calibration (plugins, touch support, hardware concurrency) stay
-    untouched: a fingerprint that currently claims touch support becomes a
-    phone, one that exposes plugins (or neither) becomes a desktop.
-    """
-
-    has_touch = str(fingerprint.get(Attribute.TOUCH_SUPPORT)) not in ("", "None")
     if has_touch:
         if rng.random() < 0.7:
             changes = dict(
@@ -357,14 +454,36 @@ def apply_consistent_device_spoof(
                 color_depth=24,
                 color_gamut="srgb",
             )
-    return fingerprint.replace(**changes)
+    return changes
+
+
+def apply_consistent_device_spoof(
+    fingerprint: Fingerprint, rng: np.random.Generator
+) -> Fingerprint:
+    """Impersonate a device *consistently* (a well-configured spoofing profile).
+
+    Some bot stacks ship curated emulation profiles whose correlated
+    attributes all agree; these spoofs introduce no spatial inconsistency.
+    The target family is chosen so the attributes that drive detector
+    calibration (plugins, touch support, hardware concurrency) stay
+    untouched: a fingerprint that currently claims touch support becomes a
+    phone, one that exposes plugins (or neither) becomes a desktop.
+    """
+
+    has_touch = str(fingerprint.get(Attribute.TOUCH_SUPPORT)) not in ("", "None")
+    return fingerprint.replace(**consistent_device_spoof_changes(rng, has_touch=has_touch))
+
+
+def platform_rotation_changes(rng: np.random.Generator) -> Dict[str, object]:
+    """Changes of :func:`apply_platform_rotation` (Figure 10)."""
+
+    return {"platform": ROTATED_PLATFORMS[int(rng.integers(len(ROTATED_PLATFORMS)))]}
 
 
 def apply_platform_rotation(fingerprint: Fingerprint, rng: np.random.Generator) -> Fingerprint:
     """Report a platform value drawn from the rotation pool (Figure 10)."""
 
-    platform = ROTATED_PLATFORMS[int(rng.integers(len(ROTATED_PLATFORMS)))]
-    return fingerprint.replace(platform=platform)
+    return fingerprint.replace(**platform_rotation_changes(rng))
 
 
 def apply_timezone(fingerprint: Fingerprint, timezone: str) -> Fingerprint:
@@ -390,7 +509,13 @@ def apply_webdriver_leak(fingerprint: Fingerprint) -> Fingerprint:
     return fingerprint.replace(webdriver=True)
 
 
+def memory_rotation_changes(rng: np.random.Generator) -> Dict[str, object]:
+    """Changes of :func:`apply_memory_rotation`."""
+
+    return {"device_memory": float(_pick(rng, (0.5, 1.0, 2.0, 4.0, 8.0)))}
+
+
 def apply_memory_rotation(fingerprint: Fingerprint, rng: np.random.Generator) -> Fingerprint:
     """Report a freshly drawn deviceMemory value (temporal inconsistency)."""
 
-    return fingerprint.replace(device_memory=float(rng.choice((0.5, 1.0, 2.0, 4.0, 8.0))))
+    return fingerprint.replace(**memory_rotation_changes(rng))

@@ -23,6 +23,7 @@ dict insertion order in the legacy code break identically here
 
 from __future__ import annotations
 
+import json
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -30,6 +31,12 @@ import numpy as np
 from repro.fingerprint.attributes import Attribute
 from repro.fingerprint.categories import CATEGORY_ATTRIBUTES
 from repro.fingerprint.fingerprint import Fingerprint, grouping_value
+
+
+#: Version of the persisted columnar-table (``.npz``) format.  Bump on any
+#: change to the archive layout; readers reject newer versions and callers
+#: fall back to re-extraction.
+TABLE_FORMAT_VERSION = 1
 
 
 def default_table_attributes() -> Tuple[Attribute, ...]:
@@ -275,6 +282,96 @@ class ColumnarTable:
             n_rows=self._n_rows,
         )
 
+    # -- persistence -----------------------------------------------------------
+
+    def save_npz(self, path) -> None:
+        """Persist the table (codes, decode lists, request metadata) as
+        a compressed ``.npz`` archive.
+
+        Only tables built with :meth:`from_store` (request metadata
+        present) can be persisted — that is what the corpus cache sidecar
+        stores.  Decode lists ride along as a JSON document; grouping
+        values are JSON scalars (strings, ints, floats, bools) by
+        construction, and JSON round-trips them exactly.
+        """
+
+        if self.request_ids is None or self.cookie_codes is None or self.ip_codes is None:
+            raise ValueError("only tables built with from_store can be persisted")
+        attributes = list(self._codes)
+        meta = {
+            "version": TABLE_FORMAT_VERSION,
+            "attributes": [attribute.value for attribute in attributes],
+            "values": [self._values[attribute] for attribute in attributes],
+            "cookie_values": self.cookie_values,
+            "ip_values": self.ip_values,
+        }
+        arrays: Dict[str, np.ndarray] = {
+            "meta": np.array(json.dumps(meta)),
+            "request_ids": self.request_ids,
+            "timestamps": self.timestamps,
+            "cookie_codes": self.cookie_codes,
+            "ip_codes": self.ip_codes,
+        }
+        for position, attribute in enumerate(attributes):
+            arrays[f"codes_{position}"] = self._codes[attribute]
+        with open(path, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+
+    @classmethod
+    def load_npz(cls, path) -> "ColumnarTable":
+        """Load a table persisted by :meth:`save_npz`.
+
+        Raises :class:`ValueError` (or an ``OSError`` / JSON error) on a
+        corrupt, truncated or newer-format archive — callers treat any
+        failure as a cache miss and re-extract.
+        """
+
+        with np.load(path, allow_pickle=False) as data:
+            meta = json.loads(str(data["meta"][()]))
+            version = int(meta.get("version", 0))
+            if version > TABLE_FORMAT_VERSION:
+                raise ValueError(
+                    f"columnar archive {path} has format version {version}; "
+                    f"this build reads up to {TABLE_FORMAT_VERSION}"
+                )
+            attributes = [Attribute(name) for name in meta["attributes"]]
+            value_lists = meta["values"]
+            if len(value_lists) != len(attributes):
+                raise ValueError(f"columnar archive {path} is inconsistent")
+            codes: Dict[Attribute, np.ndarray] = {}
+            values: Dict[Attribute, List[object]] = {}
+            indexes: Dict[Attribute, Dict[object, int]] = {}
+            n_rows: Optional[int] = None
+            for position, attribute in enumerate(attributes):
+                column = np.asarray(data[f"codes_{position}"], dtype=np.int32)
+                decoded = list(value_lists[position])
+                if column.size and (
+                    int(column.max()) >= len(decoded) or int(column.min()) < -1
+                ):
+                    raise ValueError(f"columnar archive {path} has out-of-range codes")
+                if n_rows is None:
+                    n_rows = int(column.size)
+                elif n_rows != int(column.size):
+                    raise ValueError(f"columnar archive {path} has ragged columns")
+                codes[attribute] = column
+                values[attribute] = decoded
+                indexes[attribute] = {value: code for code, value in enumerate(decoded)}
+            request_ids = np.asarray(data["request_ids"], dtype=np.int64)
+            if n_rows is None:
+                n_rows = int(request_ids.size)
+            if request_ids.size != n_rows:
+                raise ValueError(f"columnar archive {path} has ragged metadata")
+            table = cls(codes=codes, values=values, indexes=indexes, n_rows=n_rows)
+            table.request_ids = request_ids
+            table.timestamps = np.asarray(data["timestamps"], dtype=np.float64)
+            table.cookie_codes = np.asarray(data["cookie_codes"], dtype=np.int32)
+            table.cookie_values = [str(value) for value in meta["cookie_values"]]
+            table.ip_codes = np.asarray(data["ip_codes"], dtype=np.int32)
+            table.ip_values = [str(value) for value in meta["ip_values"]]
+            if table.timestamps.size != n_rows or table.cookie_codes.size != n_rows or table.ip_codes.size != n_rows:
+                raise ValueError(f"columnar archive {path} has ragged metadata")
+        return table
+
     def take(self, rows: np.ndarray) -> "ColumnarTable":
         """Row-sliced view sharing decode lists (cheap to pickle per shard)."""
 
@@ -293,17 +390,195 @@ class ColumnarTable:
         )
 
 
+class TablePayload:
+    """Per-shard fingerprint columns produced during vectorized generation.
+
+    A shard's traffic generator assigns value codes in row first-occurrence
+    order while it emits records; the payload carries those local columns
+    plus their decode lists so the corpus engine can merge shards into one
+    :class:`ColumnarTable` without ever re-reading a fingerprint object.
+    Plain arrays + lists, picklable across process-pool boundaries.
+    """
+
+    __slots__ = ("attributes", "columns", "values")
+
+    def __init__(
+        self,
+        attributes: Tuple[Attribute, ...],
+        columns: Dict[Attribute, np.ndarray],
+        values: Dict[Attribute, List[object]],
+    ):
+        self.attributes = attributes
+        self.columns = columns
+        self.values = values
+
+    @property
+    def n_rows(self) -> int:
+        if not self.attributes:
+            return 0
+        return int(self.columns[self.attributes[0]].size)
+
+
+class TableEmitter:
+    """Accumulates per-row attribute codes while a generator emits records.
+
+    ``codes_for`` factorizes one session's attribute values (the expensive
+    part — grouping transformation plus dictionary lookups) and is called
+    once per session; ``append`` records the session's code row once per
+    request.  Codes come out in row first-occurrence order — exactly the
+    order :meth:`ColumnarTable.from_store` would assign, because a session's
+    codes are first computed at its first emitted row.
+    """
+
+    def __init__(self, attributes: Optional[Iterable[Attribute]] = None):
+        self.attributes: Tuple[Attribute, ...] = (
+            tuple(attributes) if attributes is not None else default_table_attributes()
+        )
+        self._indexes: Tuple[Dict[object, int], ...] = tuple({} for _ in self.attributes)
+        self._values: Tuple[List[object], ...] = tuple([] for _ in self.attributes)
+        #: raw value → code per attribute, so the grouping transformation
+        #: runs once per distinct raw value (as in ``from_store``), not
+        #: once per session
+        self._raw_codes: Tuple[Dict[object, int], ...] = tuple({} for _ in self.attributes)
+        self._rows: List[np.ndarray] = []
+
+    def codes_for(self, values: Dict) -> np.ndarray:
+        """The ``int32`` code row of one session's attribute values.
+
+        *values* maps :class:`Attribute` to canonical (coerced) values; the
+        grouping transformation is applied here, mirroring extraction.
+        """
+
+        row = np.empty(len(self.attributes), dtype=np.int32)
+        get = values.get
+        for position, attribute in enumerate(self.attributes):
+            raw = get(attribute)
+            if raw is None:
+                row[position] = -1
+                continue
+            raw_codes = self._raw_codes[position]
+            code = raw_codes.get(raw)
+            if code is None:
+                grouped = grouping_value(attribute, raw)
+                index = self._indexes[position]
+                code = index.get(grouped)
+                if code is None:
+                    code = len(self._values[position])
+                    index[grouped] = code
+                    self._values[position].append(grouped)
+                raw_codes[raw] = code
+            row[position] = code
+        return row
+
+    def append(self, row: np.ndarray) -> None:
+        """Record one request whose session factorized to *row*."""
+
+        self._rows.append(row)
+
+    def payload(self) -> TablePayload:
+        """Freeze the accumulated rows into a :class:`TablePayload`."""
+
+        if self._rows:
+            matrix = np.vstack(self._rows)
+        else:
+            matrix = np.empty((0, len(self.attributes)), dtype=np.int32)
+        columns = {
+            attribute: np.ascontiguousarray(matrix[:, position])
+            for position, attribute in enumerate(self.attributes)
+        }
+        return TablePayload(
+            attributes=self.attributes,
+            columns=columns,
+            values={
+                attribute: list(self._values[position])
+                for position, attribute in enumerate(self.attributes)
+            },
+        )
+
+
+def merge_table_payloads(payloads: Sequence[TablePayload], records) -> ColumnarTable:
+    """Merge shard payloads (in shard order) into one :class:`ColumnarTable`.
+
+    *records* are the already-merged (and renumbered) store records the
+    payload rows correspond to, in the same order; they supply the request
+    metadata columns.  Local value codes are remapped into one global code
+    space assigned in merged-row first-occurrence order, so the result is
+    byte-identical to ``ColumnarTable.from_store`` over those records.
+    """
+
+    if not payloads:
+        raise ValueError("cannot merge zero table payloads")
+    attributes = payloads[0].attributes
+    for payload in payloads[1:]:
+        if payload.attributes != attributes:
+            raise ValueError("table payloads disagree on their attribute sets")
+
+    codes: Dict[Attribute, np.ndarray] = {}
+    values: Dict[Attribute, List[object]] = {}
+    indexes: Dict[Attribute, Dict[object, int]] = {}
+    for position, attribute in enumerate(attributes):
+        global_values: List[object] = []
+        global_index: Dict[object, int] = {}
+        remapped: List[np.ndarray] = []
+        for payload in payloads:
+            local_values = payload.values[attribute]
+            mapping = np.empty(len(local_values), dtype=np.int32)
+            for local_code, value in enumerate(local_values):
+                code = global_index.get(value)
+                if code is None:
+                    code = len(global_values)
+                    global_index[value] = code
+                    global_values.append(value)
+                mapping[local_code] = code
+            column = payload.columns[attribute]
+            out = column.copy()
+            valid = column >= 0
+            out[valid] = mapping[column[valid]]
+            remapped.append(out)
+        codes[attribute] = (
+            np.concatenate(remapped) if remapped else np.empty(0, dtype=np.int32)
+        )
+        values[attribute] = global_values
+        indexes[attribute] = global_index
+
+    n_rows = int(codes[attributes[0]].size) if attributes else 0
+    records = list(records)
+    if len(records) != n_rows:
+        raise ValueError(
+            f"table payloads cover {n_rows} rows but {len(records)} records were merged"
+        )
+    table = ColumnarTable(
+        codes=codes, values=values, indexes=indexes, n_rows=n_rows
+    )
+    table.request_ids = np.array(
+        [record.request.request_id for record in records], dtype=np.int64
+    )
+    table.timestamps = np.array([record.timestamp for record in records], dtype=np.float64)
+    cookie_codes, cookie_values, _ = _factorize([record.cookie for record in records])
+    table.cookie_codes, table.cookie_values = cookie_codes, cookie_values
+    ip_codes, ip_values, _ = _factorize([record.request.ip_address for record in records])
+    table.ip_codes, table.ip_values = ip_codes, ip_values
+    return table
+
+
 def partition_rows_by_device(table: ColumnarTable, shards: int) -> List[np.ndarray]:
     """Partition rows into *shards* device-closed groups.
 
     Temporal state is keyed on the first-party cookie and the source
     address, so a correct row partition must keep every record of a cookie
     AND every record of an address together.  Rows are grouped into
-    connected components over their (cookie, source address) keys with a
-    union-find, then components are packed onto shards greedily largest
-    first (deterministic: ties resolve to the lowest shard index).  The
-    returned row-index arrays are sorted, and their concatenation covers
-    every row exactly once.
+    connected components over their (cookie, source address) keys, then
+    components are packed onto shards greedily largest first
+    (deterministic: ties resolve to the lowest shard index).  The returned
+    row-index arrays are sorted, and their concatenation covers every row
+    exactly once.
+
+    The union-find runs over the table's ``int32`` cookie/address code
+    columns offset into disjoint integer ranges — cookies ``[0, C)``,
+    addresses ``[C, C+I)`` — and unions each *distinct* (cookie, address)
+    code pair once, instead of decoding strings and allocating tagged
+    tuples per row as the reference implementation did; its serial cost
+    used to bound sharded classification at campaign scale.
     """
 
     if table.cookie_codes is None or table.ip_codes is None:
@@ -313,52 +588,73 @@ def partition_rows_by_device(table: ColumnarTable, shards: int) -> List[np.ndarr
     if shards == 1 or n == 0:
         return [np.arange(n, dtype=np.int64)]
 
-    parent: Dict[object, object] = {}
+    cookie_codes = table.cookie_codes
+    ip_codes = table.ip_codes
+    n_cookies = len(table.cookie_values)
+    n_ips = len(table.ip_values)
+    # A key decoding to a falsy string ("" cookie) groups nothing, exactly
+    # like the reference implementation's `if cookie:` guard.
+    cookie_ok = np.fromiter(
+        (bool(value) for value in table.cookie_values), dtype=bool, count=n_cookies
+    )
+    ip_ok = np.fromiter((bool(value) for value in table.ip_values), dtype=bool, count=n_ips)
+    has_cookie = cookie_codes >= 0
+    if n_cookies:
+        has_cookie = has_cookie & cookie_ok[np.where(has_cookie, cookie_codes, 0)]
+    has_ip = ip_codes >= 0
+    if n_ips:
+        has_ip = has_ip & ip_ok[np.where(has_ip, ip_codes, 0)]
 
-    def find(node: object) -> object:
+    parent = np.arange(n_cookies + n_ips, dtype=np.int64)
+
+    def find(node: int) -> int:
         root = node
-        while parent[root] is not root:
+        while parent[root] != root:
             root = parent[root]
-        while parent[node] is not root:  # path compression
+        while parent[node] != root:  # path compression
             parent[node], node = root, parent[node]
         return root
 
-    def union(left: object, right: object) -> None:
-        for node in (left, right):
-            if node not in parent:
-                parent[node] = node
-        left_root, right_root = find(left), find(right)
-        if left_root is not right_root:
-            parent[right_root] = left_root
+    both = has_cookie & has_ip
+    pair_keys = np.unique(
+        cookie_codes[both].astype(np.int64) * max(1, n_ips) + ip_codes[both]
+    )
+    for key in pair_keys:
+        cookie_root = find(int(key) // max(1, n_ips))
+        ip_root = find(n_cookies + int(key) % max(1, n_ips))
+        if cookie_root != ip_root:
+            parent[ip_root] = cookie_root
 
-    row_nodes: List[object] = []
-    for row in range(n):
-        cookie = table.cookie_at(row)
-        ip = table.ip_at(row)
-        nodes = []
-        if cookie:
-            nodes.append(("cookie", cookie))
-        if ip:
-            nodes.append(("ip", ip))
-        if not nodes:
-            nodes.append(("row", row))
-        for node in nodes:
-            parent.setdefault(node, node)
-        if len(nodes) == 2:
-            union(nodes[0], nodes[1])
-        row_nodes.append(nodes[0])
+    # Flatten the forest so every node points at its root, then label each
+    # row by its preferred key's root (cookie first, like the reference);
+    # keyless rows become singleton components past the node range.
+    while True:
+        flattened = parent[parent]
+        if np.array_equal(flattened, parent):
+            break
+        parent = flattened
+    labels = n_cookies + n_ips + np.arange(n, dtype=np.int64)
+    ip_rows = np.nonzero(has_ip)[0]
+    labels[ip_rows] = parent[n_cookies + ip_codes[ip_rows]]
+    cookie_rows = np.nonzero(has_cookie)[0]
+    labels[cookie_rows] = parent[cookie_codes[cookie_rows]]
 
-    components: Dict[object, List[int]] = {}
-    for row, node in enumerate(row_nodes):
-        components.setdefault(find(node), []).append(row)
+    # Group rows by component label in row order (the stable sort keeps
+    # each group's rows ascending, as the reference produced).
+    order = np.argsort(labels, kind="stable")
+    sorted_labels = labels[order]
+    boundaries = np.nonzero(np.diff(sorted_labels))[0] + 1
+    components = np.split(order, boundaries)
 
     # Greedy balanced packing, deterministic: components ordered by
     # (size desc, first row asc), each placed on the lightest shard.
-    ordered = sorted(components.values(), key=lambda rows: (-len(rows), rows[0]))
-    buckets: List[List[int]] = [[] for _ in range(min(shards, max(1, len(ordered))))]
+    components.sort(key=lambda rows: (-rows.size, int(rows[0])))
+    buckets: List[List[np.ndarray]] = [[] for _ in range(min(shards, max(1, len(components))))]
     loads = [0] * len(buckets)
-    for rows in ordered:
+    for rows in components:
         target = loads.index(min(loads))
-        buckets[target].extend(rows)
-        loads[target] += len(rows)
-    return [np.array(sorted(bucket), dtype=np.int64) for bucket in buckets if bucket]
+        buckets[target].append(rows)
+        loads[target] += int(rows.size)
+    return [
+        np.sort(np.concatenate(bucket)).astype(np.int64) for bucket in buckets if bucket
+    ]

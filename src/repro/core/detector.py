@@ -133,8 +133,8 @@ class FPInconsistent:
         self._filter_list = self._miner.mine_table(table, workers=workers, executor=executor)
         return self
 
-    def extract_table(self, store: RequestStore) -> ColumnarTable:
-        """Extract *store* into the columnar layout this detector needs.
+    def table_attributes(self) -> Tuple[Attribute, ...]:
+        """The attribute set this detector's tables must carry.
 
         The default attribute set covers every mineable pair and the
         temporally tracked attributes; attributes referenced by an
@@ -146,7 +146,42 @@ class FPInconsistent:
             rule.attribute_b for rule in self._filter_list
         ]
         extra += list(self._temporal.tracked_attributes)
-        return ColumnarTable.from_store(store, extra_attributes=extra)
+        from repro.core.columnar import default_table_attributes
+
+        ordered: Dict[Attribute, None] = {
+            attribute: None for attribute in default_table_attributes()
+        }
+        for attribute in extra:
+            ordered.setdefault(attribute, None)
+        return tuple(ordered)
+
+    def accepts_table(self, table: ColumnarTable, store: Optional[RequestStore] = None) -> bool:
+        """Whether a pre-extracted *table* can stand in for extracting *store*.
+
+        True when the table carries request metadata and every attribute
+        this detector reads — extra columns are harmless (every consumer
+        addresses columns by attribute, never by position) — and, when
+        *store* is given, when the table's rows actually correspond to it
+        (row count and request ids), so a table from a different corpus is
+        rejected instead of silently classifying the wrong rows.
+        """
+
+        if table.request_ids is None or table.cookie_codes is None or table.ip_codes is None:
+            return False
+        if not all(table.has_attribute(attribute) for attribute in self.table_attributes()):
+            return False
+        if store is not None:
+            if table.n_rows != len(store):
+                return False
+            for row, record in enumerate(store):
+                if int(table.request_ids[row]) != record.request.request_id:
+                    return False
+        return True
+
+    def extract_table(self, store: RequestStore) -> ColumnarTable:
+        """Extract *store* into the columnar layout this detector needs."""
+
+        return ColumnarTable.from_store(store, attributes=self.table_attributes())
 
     # -- single-fingerprint API ------------------------------------------------------
 

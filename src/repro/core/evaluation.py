@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.core.columnar import _factorize
 from repro.core.detector import FPInconsistent, InconsistencyVerdict
-from repro.honeysite.storage import RequestStore
+from repro.honeysite.storage import RequestStore, split_rows
 
 DETECTOR_NAMES: Tuple[str, str] = ("DataDome", "BotD")
 
@@ -264,6 +264,7 @@ def evaluate_generalization(
     engine: str = "columnar",
     workers: int = 1,
     executor=None,
+    table=None,
 ) -> Dict[str, GeneralizationResult]:
     """Mine rules on ``train_fraction`` of the corpus, evaluate on the rest.
 
@@ -271,18 +272,39 @@ def evaluate_generalization(
     reports a drop of 0.23 (DataDome) and 0.42 (BotD) percentage points.
     *engine*, *workers* and *executor* select the detection engine exactly
     as in :meth:`FPInconsistent.fit` / :meth:`FPInconsistent.classify_store`.
+
+    On the columnar engine the split happens through
+    :meth:`~repro.core.columnar.ColumnarTable.take` over one extraction of
+    the whole store — or over *table*, when the caller (the pipeline)
+    already holds it — instead of re-extracting the train and test stores
+    from scratch; results are identical either way.
     """
 
     rng = np.random.default_rng(seed)
-    train_store, test_store = store.split(train_fraction, rng)
     fpi = detector_factory() if detector_factory is not None else FPInconsistent()
-    fpi.fit(train_store, engine=engine, workers=workers, executor=executor)
-    train_verdicts = fpi.classify_store(
-        train_store, engine=engine, workers=workers, executor=executor
-    )
-    test_verdicts = fpi.classify_store(
-        test_store, engine=engine, workers=workers, executor=executor
-    )
+    if engine == "columnar":
+        train_rows, test_rows = split_rows(len(store), train_fraction, rng)
+        records = store.records
+        train_store = RequestStore(records[int(i)] for i in train_rows)
+        test_store = RequestStore(records[int(i)] for i in test_rows)
+        if table is None or not fpi.accepts_table(table, store):
+            table = fpi.extract_table(store)
+        train_table = table.take(train_rows)
+        test_table = table.take(test_rows)
+        fpi.fit_table(train_table, workers=workers, executor=executor)
+        train_verdicts = fpi.classify_table(
+            train_table, workers=workers, executor=executor
+        )
+        test_verdicts = fpi.classify_table(test_table, workers=workers, executor=executor)
+    else:
+        train_store, test_store = store.split(train_fraction, rng)
+        fpi.fit(train_store, engine=engine, workers=workers, executor=executor)
+        train_verdicts = fpi.classify_store(
+            train_store, engine=engine, workers=workers, executor=executor
+        )
+        test_verdicts = fpi.classify_store(
+            test_store, engine=engine, workers=workers, executor=executor
+        )
     results = {}
     train_id_sets = _verdict_id_sets(train_verdicts)
     test_id_sets = _verdict_id_sets(test_verdicts)

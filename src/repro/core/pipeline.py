@@ -51,6 +51,13 @@ class PipelineResult:
     table3: Tuple[ServiceImprovement, ...]
     real_user_tnr: Optional[float] = None
     generalization: Optional[Dict[str, GeneralizationResult]] = None
+    #: how each columnar table was obtained: "reused" (pre-extracted table
+    #: accepted — e.g. the corpus cache's npz sidecar) or "extracted"
+    table_sources: Dict[str, str] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.table_sources is None:
+            self.table_sources = {}
 
     @property
     def evasion_reductions(self) -> Dict[str, float]:
@@ -116,6 +123,8 @@ class FPInconsistentPipeline:
         generalization_seed: int = 0,
         workers: Optional[int] = None,
         executor: Optional[str] = None,
+        bot_table=None,
+        real_user_table=None,
     ) -> PipelineResult:
         """Run the full evaluation.
 
@@ -131,6 +140,13 @@ class FPInconsistentPipeline:
             of Section 7.3 (more expensive: rules are mined twice).
         workers / executor:
             Per-call override of the constructor's shard fan-out.
+        bot_table / real_user_table:
+            Pre-extracted :class:`~repro.core.columnar.ColumnarTable` of
+            the corresponding store (the vectorized corpus engine emits
+            them; the corpus cache persists them as ``.npz`` sidecars).  A
+            table is used only when it carries every attribute this
+            detector reads — otherwise the store is extracted as usual —
+            so results never depend on where the table came from.
         """
 
         engine = self._engine
@@ -138,14 +154,21 @@ class FPInconsistentPipeline:
         executor = executor if executor is not None else self._executor
 
         detector = self._build_detector()
+        table_sources: Dict[str, str] = {}
         if engine == "legacy":
             detector.fit(bot_store, engine="legacy")
             verdicts = detector.classify_store(bot_store, engine="legacy")
+            table = None
         else:
             # extract_table, not ColumnarTable.from_store: the detector
             # appends its tracked temporal attributes, so a custom temporal
             # configuration keeps the columnar/legacy verdicts identical.
-            table = detector.extract_table(bot_store)
+            if bot_table is not None and detector.accepts_table(bot_table, bot_store):
+                table = bot_table
+                table_sources["bots"] = "reused"
+            else:
+                table = detector.extract_table(bot_store)
+                table_sources["bots"] = "extracted"
             detector.fit_table(table, workers=workers, executor=executor)
             verdicts = detector.classify_table(table, workers=workers, executor=executor)
 
@@ -155,12 +178,25 @@ class FPInconsistentPipeline:
             verdicts=verdicts,
             table4=evaluate_table4(bot_store, verdicts, _columns=columns),
             table3=evaluate_table3(bot_store, verdicts, _columns=columns),
+            table_sources=table_sources,
         )
 
         if real_user_store is not None and len(real_user_store) > 0:
-            user_verdicts = detector.classify_store(
-                real_user_store, engine=engine, workers=workers, executor=executor
-            )
+            if (
+                engine == "columnar"
+                and real_user_table is not None
+                and detector.accepts_table(real_user_table, real_user_store)
+            ):
+                table_sources["real_users"] = "reused"
+                user_verdicts = detector.classify_table(
+                    real_user_table, workers=workers, executor=executor
+                )
+            else:
+                if engine == "columnar":
+                    table_sources["real_users"] = "extracted"
+                user_verdicts = detector.classify_store(
+                    real_user_store, engine=engine, workers=workers, executor=executor
+                )
             result.real_user_tnr = true_negative_rate(real_user_store, user_verdicts)
 
         if check_generalization:
@@ -171,5 +207,6 @@ class FPInconsistentPipeline:
                 engine=engine,
                 workers=workers,
                 executor=executor,
+                table=table,
             )
         return result

@@ -10,19 +10,23 @@ are dropped (never recorded), exactly as the paper's design dictates.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Optional
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
-from repro.antibot.base import BotDetector
+from repro.antibot.base import BotDetector, Decision
 from repro.antibot.botd import BotDModel
 from repro.antibot.datadome import DataDomeModel
+from repro.geo.asn import TOR_EXIT_ASNS
+from repro.fingerprint.attributes import Attribute
+from repro.fingerprint.fingerprint import Fingerprint
 from repro.geo.geolite import GeoDatabase
 from repro.honeysite.collector import FingerprintCollector
 from repro.honeysite.storage import RecordedRequest, RequestStore
 from repro.honeysite.urls import UrlRegistry
 from repro.network.cookies import CookieIssuer
-from repro.network.request import WebRequest
+from repro.network.headers import build_headers
+from repro.network.request import WebRequest, _next_request_id
 
 
 class HoneySite:
@@ -114,3 +118,229 @@ class HoneySite:
         )
         self.store.add(record)
         return record
+
+
+class SessionMaterial:
+    """Everything about one client session that is constant per request.
+
+    A traffic-generator session keeps one (fingerprint, source address)
+    configuration across a stretch of requests; every per-request quantity
+    :meth:`HoneySite.handle` derives from that configuration — the enriched
+    fingerprint, the synthesised headers, both detector decisions — is
+    therefore computed once here and shared by all of the session's
+    records.  Sharing the objects is output-invisible: records serialise by
+    value, and the legacy per-request path produces equal values.
+    """
+
+    __slots__ = (
+        "fingerprint",
+        "values",
+        "headers",
+        "datadome",
+        "botd",
+        "ip_address",
+        "codes",
+        "request_proto",
+        "record_proto",
+    )
+
+    def __init__(
+        self,
+        *,
+        fingerprint: Fingerprint,
+        values: Mapping[Attribute, Any],
+        headers: Mapping[str, str],
+        datadome: Decision,
+        botd: Decision,
+        ip_address: str,
+    ):
+        self.fingerprint = fingerprint
+        #: canonical attribute values of the *stored* (enriched) fingerprint
+        self.values = values
+        self.headers = headers
+        self.datadome = datadome
+        self.botd = botd
+        self.ip_address = ip_address
+        #: per-attribute table codes, filled lazily by a table emitter
+        self.codes: Optional[np.ndarray] = None
+        #: per-session field prototypes for the two record objects, filled
+        #: lazily on the session's first emit
+        self.request_proto: Optional[Dict[str, Any]] = None
+        self.record_proto: Optional[Dict[str, Any]] = None
+
+
+class SessionRecorder:
+    """Bulk, session-cached counterpart of :meth:`HoneySite.handle`.
+
+    The vectorized traffic generators plan sessions and timestamps first,
+    then materialise records through this recorder: session-constant work
+    runs once per session (:meth:`materialize` / :meth:`materialize_values`)
+    and :meth:`emit` only issues the cookie, builds the two per-request
+    record objects and appends to the store.  Detector decisions are
+    additionally memoized across sessions on the exact signal surface the
+    models read, because thousands of sessions share a handful of signal
+    combinations.
+
+    Byte-for-byte equivalence with :meth:`HoneySite.handle` for every
+    emitted record is the contract (``tests/test_vectorized.py`` pins it).
+    """
+
+    def __init__(self, site: HoneySite):
+        self._site = site
+        self._decisions: Dict[Tuple, Tuple[Decision, Decision]] = {}
+        self._headers: Dict[Tuple, Mapping[str, str]] = {}
+        #: /16-prefix string → GeoRecord (or None): every address of a
+        #: prefix shares its country/region/ASN facts, so one lookup per
+        #: block replaces one per session
+        self._geo_facts: Dict[str, Any] = {}
+
+    # -- session-constant work -------------------------------------------------
+
+    def materialize_values(
+        self, values: Mapping[Attribute, Any], ip_address: str
+    ) -> SessionMaterial:
+        """Materialise a session from a canonical attribute dict.
+
+        *values* must already be coerced (the vectorized bot planner builds
+        it from the coerced template plus strategy changes) and in the
+        attribute order the legacy constructor would produce — serialised
+        fingerprints preserve insertion order.
+        """
+
+        # All facts the recorder needs (country, region, ASN, datacenter
+        # membership) are per-/16-block properties, so the lookup result is
+        # shared across every session inside one block.
+        second_dot = ip_address.find(".", ip_address.find(".") + 1)
+        prefix = ip_address[:second_dot]
+        try:
+            geo_record = self._geo_facts[prefix]
+        except KeyError:
+            geo_record = self._site.geo.lookup(ip_address)
+            self._geo_facts[prefix] = geo_record
+        if geo_record is not None:
+            stored_values: Dict[Attribute, Any] = dict(values)
+            # Appended in the exact keyword order HoneySite.handle's
+            # enrichment replace() uses, so serialised key order matches.
+            stored_values[Attribute.IP_COUNTRY] = str(geo_record.country)
+            stored_values[Attribute.IP_REGION] = str(geo_record.region)
+            stored_values[Attribute.ASN] = int(geo_record.asn)
+        else:
+            stored_values = dict(values)
+        fingerprint = Fingerprint._from_coerced(stored_values)
+        # Headers depend only on the User-Agent and the language list; the
+        # shared dict is never mutated and records serialise it by value.
+        headers_key = (
+            stored_values.get(Attribute.USER_AGENT),
+            stored_values.get(Attribute.LANGUAGES),
+        )
+        headers = self._headers.get(headers_key)
+        if headers is None:
+            headers = build_headers(fingerprint)
+            self._headers[headers_key] = headers
+        datadome, botd = self._decisions_for(fingerprint, headers, ip_address, geo_record)
+        return SessionMaterial(
+            fingerprint=fingerprint,
+            values=stored_values,
+            headers=headers,
+            datadome=datadome,
+            botd=botd,
+            ip_address=ip_address,
+        )
+
+    def materialize(self, fingerprint: Fingerprint, ip_address: str) -> SessionMaterial:
+        """Materialise a session from an existing :class:`Fingerprint`."""
+
+        return self.materialize_values(fingerprint._values, ip_address)
+
+    def _decisions_for(
+        self, fingerprint: Fingerprint, headers, ip_address: str, geo_record
+    ) -> Tuple[Decision, Decision]:
+        values = fingerprint._values
+        # Key on the *normalised* signal surface the models read — presence
+        # of plugins rather than the exact plugin tuple, the touch boolean
+        # rather than the raw string, Tor/datacenter membership rather than
+        # the ASN — so thousands of sessions collapse onto a handful of
+        # cache entries.  Anything the models distinguish, the key
+        # distinguishes; the memoized decisions are therefore exact.
+        touch = values.get(Attribute.TOUCH_SUPPORT)
+        languages = values.get(Attribute.LANGUAGES)
+        cores = values.get(Attribute.HARDWARE_CONCURRENCY)
+        frame = values.get(Attribute.SCREEN_FRAME)
+        key = (
+            values.get(Attribute.USER_AGENT),
+            bool(values.get(Attribute.WEBDRIVER, False)),
+            bool(values.get(Attribute.FORCED_COLORS, False)),
+            not languages,
+            bool(values.get(Attribute.PLUGINS) or ()),
+            touch is not None and str(touch) not in ("", "None"),
+            None if cores is None else int(cores),
+            None if frame is None else int(frame),
+            geo_record is not None and geo_record.asn in TOR_EXIT_ASNS,
+            geo_record is not None and geo_record.is_datacenter,
+            geo_record is None,
+        )
+        cached = self._decisions.get(key)
+        if cached is None:
+            probe = WebRequest(
+                url_path="/",
+                timestamp=0.0,
+                ip_address=ip_address,
+                fingerprint=fingerprint,
+                headers=headers,
+            )
+            cached = (self._site.datadome.evaluate(probe), self._site.botd.evaluate(probe))
+            self._decisions[key] = cached
+        return cached
+
+    # -- per-request work --------------------------------------------------------
+
+    def emit(
+        self,
+        material: SessionMaterial,
+        *,
+        url_path: str,
+        source: str,
+        timestamp: float,
+        presented_cookie: Optional[str],
+    ) -> str:
+        """Record one request of a session; returns the served cookie."""
+
+        site = self._site
+        cookie = site.cookies.ensure(presented_cookie)
+        # Construct both frozen records directly from per-session field
+        # prototypes: the generator guarantees the invariants __post_init__
+        # would re-check (the url path is a registered "/..."-path,
+        # timestamps are non-negative by construction), and the dataclass
+        # __init__ of a frozen class pays one guarded object.__setattr__
+        # per field per request.
+        request_proto = material.request_proto
+        if request_proto is None:
+            request_proto = material.request_proto = {
+                "url_path": url_path,
+                "timestamp": 0.0,
+                "ip_address": material.ip_address,
+                "fingerprint": material.fingerprint,
+                "cookie": None,
+                "headers": material.headers,
+                "request_id": 0,
+            }
+            material.record_proto = {
+                "request": None,
+                "source": source,
+                "cookie": "",
+                "datadome": material.datadome,
+                "botd": material.botd,
+            }
+        fields = dict(request_proto)
+        fields["timestamp"] = timestamp
+        fields["cookie"] = presented_cookie
+        fields["request_id"] = _next_request_id()
+        request = WebRequest.__new__(WebRequest)
+        object.__setattr__(request, "__dict__", fields)
+        fields = dict(material.record_proto)
+        fields["request"] = request
+        fields["cookie"] = cookie
+        record = RecordedRequest.__new__(RecordedRequest)
+        object.__setattr__(record, "__dict__", fields)
+        site.store.add(record)
+        return cookie

@@ -23,9 +23,12 @@ from repro.network.request import WebRequest
 SECONDS_PER_DAY = 86_400.0
 
 #: Version of the on-disk request-store / corpus archive format.  Bump on
-#: any change to the serialised record layout; the corpus cache keys on it
-#: so stale archives are rebuilt rather than mis-parsed.
-CORPUS_FORMAT_VERSION = 1
+#: any change to the serialised record layout — or to the generated corpus
+#: content itself — so the content-addressed cache rebuilds stale entries
+#: rather than mis-parsing (or silently serving outdated) archives.
+#: Version 2: sub-sharded generation of large services changed default
+#: corpora, and archives gained the ``columnar_*.npz`` sidecars.
+CORPUS_FORMAT_VERSION = 2
 
 #: Marker identifying the header line of a versioned store file.
 _STORE_HEADER_MARKER = "repro-request-store"
@@ -33,6 +36,23 @@ _STORE_HEADER_MARKER = "repro-request-store"
 
 class StoreFormatError(ValueError):
     """Raised when a persisted store cannot be read back."""
+
+
+def split_rows(n: int, fraction: float, rng) -> Tuple:
+    """Permutation split of ``range(n)`` into (``fraction``, rest) index arrays.
+
+    The single source of randomness behind :meth:`RequestStore.split`; the
+    generalisation evaluation uses the same helper to slice an extracted
+    :class:`~repro.core.columnar.ColumnarTable` with ``take`` instead of
+    re-extracting the split stores, so both views of one split always
+    agree row for row.
+    """
+
+    if not 0.0 < fraction < 1.0:
+        raise ValueError("fraction must be in (0, 1)")
+    indices = rng.permutation(n)
+    cut = int(round(n * fraction))
+    return indices[:cut], indices[cut:]
 
 
 def _open_text(path: Path, mode: str):
@@ -288,13 +308,11 @@ class RequestStore:
     ) -> Tuple["RequestStore", "RequestStore"]:
         """Random split into two stores of sizes ``fraction`` / ``1-fraction``."""
 
-        if not 0.0 < fraction < 1.0:
-            raise ValueError("fraction must be in (0, 1)")
-        indices = rng.permutation(len(self._records))
-        cut = int(round(len(self._records) * fraction))
-        first = RequestStore(self._records[int(i)] for i in indices[:cut])
-        second = RequestStore(self._records[int(i)] for i in indices[cut:])
-        return first, second
+        first, second = split_rows(len(self._records), fraction, rng)
+        return (
+            RequestStore(self._records[int(i)] for i in first),
+            RequestStore(self._records[int(i)] for i in second),
+        )
 
     # -- persistence -------------------------------------------------------------------
 

@@ -33,7 +33,7 @@ from repro.fingerprint.fingerprint import Fingerprint
 from repro.fingerprint.useragent import build_user_agent
 from repro.geo.asn import TOR_EXIT_ASNS
 from repro.geo.ipaddr import regions_of_country
-from repro.honeysite.site import HoneySite
+from repro.honeysite.site import HoneySite, SessionRecorder
 from repro.honeysite.storage import SECONDS_PER_DAY
 from repro.network.cookies import ClientCookieStore
 from repro.network.headers import build_headers
@@ -249,6 +249,92 @@ class PrivacyTrafficGenerator:
             if record is not None:
                 cookies.receive(record.cookie)
                 recorded += 1
+        return recorded
+
+    def run_technology_vectorized(
+        self,
+        technology: PrivacyTechnology,
+        *,
+        num_requests: int = 60,
+        campaign_days: int = 5,
+        recorder: Optional[SessionRecorder] = None,
+    ) -> int:
+        """Vectorized, byte-identical counterpart of :meth:`run_technology`.
+
+        The four experiment devices keep stable fingerprints and addresses,
+        so for the non-farbling technologies (Safari, uBlock Origin,
+        AdBlock Plus — and Tor's standardised fingerprint) the session
+        material is built once per device; Brave and the spoofer extension
+        re-roll attributes per request and run the full per-request path.
+        Per-device private cookie streams (retention 1.0) never influence
+        output and are skipped, but their seeding draws are preserved.
+        """
+
+        if num_requests < 1:
+            raise ValueError("num_requests must be positive")
+        rng = np.random.default_rng(self._rng.integers(0, 2 ** 32))
+        url_path = self._site.register_source(self.source_label(technology))
+        profiles = self._device_profiles()
+        for _profile in profiles:
+            # The legacy path seeds one private cookie-store generator per
+            # device from the main stream; consume the identical draw.
+            rng.integers(0, 2 ** 32)
+        home_ips = {
+            profile.name: self._site.geo.allocate_address(
+                rng, country=self._home_country, datacenter=False
+            )
+            for profile in profiles
+        }
+        if recorder is None:
+            recorder = SessionRecorder(self._site)
+        source = self.source_label(technology)
+
+        base_fingerprints = {
+            profile.name: profile.fingerprint(timezone=self._home_timezone)
+            for profile in profiles
+        }
+        static_materials: Dict[str, object] = {}
+        if technology is PrivacyTechnology.TOR:
+            tor_fingerprints = {
+                name: apply_tor(fingerprint)
+                for name, fingerprint in base_fingerprints.items()
+            }
+        elif technology not in (
+            PrivacyTechnology.BRAVE,
+            PrivacyTechnology.FINGERPRINT_SPOOFER,
+        ):
+            static_materials = {
+                profile.name: recorder.materialize(
+                    base_fingerprints[profile.name], home_ips[profile.name]
+                )
+                for profile in profiles
+            }
+
+        held_cookies: Dict[str, Optional[str]] = {profile.name: None for profile in profiles}
+        recorded = 0
+        timestamps = np.sort(rng.random(num_requests)) * campaign_days * SECONDS_PER_DAY
+        for index, timestamp in enumerate(timestamps):
+            profile = profiles[index % len(profiles)]
+            name = profile.name
+            if technology is PrivacyTechnology.BRAVE:
+                fingerprint = apply_brave(base_fingerprints[name], rng)
+                material = recorder.materialize(fingerprint, home_ips[name])
+            elif technology is PrivacyTechnology.TOR:
+                ip_address = self._tor_exit_address(rng)
+                material = recorder.materialize(tor_fingerprints[name], ip_address)
+            elif technology is PrivacyTechnology.FINGERPRINT_SPOOFER:
+                fingerprint = apply_fingerprint_spoofer(base_fingerprints[name], rng)
+                material = recorder.materialize(fingerprint, home_ips[name])
+            else:
+                material = static_materials[name]
+            held_cookies[name] = recorder.emit(
+                material,
+                url_path=url_path,
+                source=source,
+                timestamp=float(timestamp),
+                presented_cookie=held_cookies[name],
+            )
+            recorded += 1
         return recorded
 
     def run_all(

@@ -24,7 +24,7 @@ from repro.devices.catalog import DeviceCatalog
 from repro.devices.profiles import DeviceProfile
 from repro.fingerprint.fingerprint import Fingerprint
 from repro.fingerprint.useragent import build_user_agent
-from repro.honeysite.site import HoneySite
+from repro.honeysite.site import HoneySite, SessionRecorder
 from repro.honeysite.storage import SECONDS_PER_DAY
 from repro.network.cookies import ClientCookieStore
 from repro.network.headers import build_headers
@@ -139,4 +139,62 @@ class RealUserTrafficGenerator:
             if record is not None:
                 user.cookies.receive(record.cookie)
                 recorded += 1
+        return recorded
+
+    def run_vectorized(
+        self,
+        *,
+        num_requests: int = 2206,
+        num_users: int = 350,
+        campaign_days: int = 30,
+        source: str = REAL_USER_SOURCE,
+        recorder: Optional[SessionRecorder] = None,
+        emitter=None,
+    ) -> int:
+        """Vectorized, byte-identical counterpart of :meth:`run`.
+
+        Users keep one configuration for the whole campaign, so every
+        per-request quantity is materialised once per user; the user picks
+        — the only per-request draws on the generator stream — are taken as
+        one batched ``integers`` call, which consumes the bit stream
+        exactly like the legacy loop's scalar draws.  The per-user private
+        cookie streams (retention 1.0) never influence any output and are
+        skipped: a user presents no cookie on the first visit and the
+        retained server cookie afterwards.
+        """
+
+        if num_requests < 1 or num_users < 1:
+            raise ValueError("num_requests and num_users must be positive")
+        rng = np.random.default_rng(self._rng.integers(0, 2 ** 32))
+        url_path = self._site.register_source(source)
+        users = [self._make_user(rng) for _ in range(num_users)]
+        if recorder is None:
+            recorder = SessionRecorder(self._site)
+
+        timestamps = np.sort(rng.random(num_requests)) * campaign_days * SECONDS_PER_DAY
+        picks = rng.integers(0, len(users), size=num_requests)
+        materials: list = [None] * len(users)
+        cookies: list = [None] * len(users)
+        emit = recorder.emit
+
+        recorded = 0
+        for timestamp, pick in zip(timestamps, picks):
+            index = int(pick)
+            material = materials[index]
+            if material is None:
+                user = users[index]
+                material = recorder.materialize(user.fingerprint, user.ip_address)
+                materials[index] = material
+            cookies[index] = emit(
+                material,
+                url_path=url_path,
+                source=source,
+                timestamp=float(timestamp),
+                presented_cookie=cookies[index],
+            )
+            if emitter is not None:
+                if material.codes is None:
+                    material.codes = emitter.codes_for(material.values)
+                emitter.append(material.codes)
+            recorded += 1
         return recorded

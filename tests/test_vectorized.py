@@ -1,0 +1,476 @@
+"""Tests for the vectorized corpus generation engine.
+
+The engine's contract is byte-for-byte equality with the legacy
+object-at-a-time generators for any seed, scale, worker count and
+executor — plus columnar tables identical to extraction, a persistent
+``.npz`` sidecar, deterministic sub-sharding and the min-records-per-worker
+fan-out clamp.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.cache import CorpusCache, save_corpus, load_corpus
+from repro.analysis.engine import (
+    MIN_RECORDS_PER_WORKER,
+    CorpusEngine,
+    build_or_load_corpus,
+)
+from repro.bots.strategies import _pick, _pick_weighted
+from repro.core.columnar import ColumnarTable, partition_rows_by_device
+from repro.core.evaluation import evaluate_generalization
+from repro.core.pipeline import FPInconsistentPipeline
+from repro.geo.geolite import GeoDatabase
+from repro.geo.ipaddr import IpAddressSpace
+from repro.honeysite.site import HoneySite
+from repro.users.privacy import PrivacyTechnology, PrivacyTrafficGenerator
+from repro.users.realuser import RealUserTrafficGenerator
+
+TINY = dict(
+    seed=29,
+    scale=0.004,
+    include_real_users=True,
+    include_privacy=True,
+    real_user_requests=120,
+    privacy_requests_each=12,
+)
+
+
+def store_bytes(corpus) -> bytes:
+    return "\n".join(
+        json.dumps(record.to_dict(), sort_keys=True) for record in corpus.store
+    ).encode()
+
+
+@pytest.fixture(scope="module")
+def legacy_corpus():
+    return CorpusEngine(**TINY, generation="legacy").build(workers=1)
+
+
+@pytest.fixture(scope="module")
+def vectorized_corpus():
+    return CorpusEngine(**TINY, generation="vectorized").build(workers=1)
+
+
+# -- stream-identical cheap draws ------------------------------------------------
+
+
+def test_pick_matches_generator_choice():
+    pool = (8, 12, 16, 24, 32)
+    for seed in range(10):
+        a, b = np.random.default_rng(seed), np.random.default_rng(seed)
+        assert [int(a.choice(pool)) for _ in range(50)] == [
+            int(_pick(b, pool)) for _ in range(50)
+        ]
+        assert a.bit_generator.state["state"] == b.bit_generator.state["state"]
+
+
+def test_pick_weighted_matches_generator_choice():
+    names = ("a", "b", "c", "d")
+    probabilities = np.array([0.4, 0.3, 0.2, 0.1])
+    for seed in range(10):
+        a, b = np.random.default_rng(seed), np.random.default_rng(seed)
+        expected = [names[int(a.choice(len(names), p=probabilities))] for _ in range(50)]
+        got = [_pick_weighted(b, names, probabilities) for _ in range(50)]
+        assert expected == got
+        assert a.bit_generator.state["state"] == b.bit_generator.state["state"]
+
+
+# -- byte equality ----------------------------------------------------------------
+
+
+def test_vectorized_matches_legacy_byte_for_byte(legacy_corpus, vectorized_corpus):
+    assert store_bytes(vectorized_corpus) == store_bytes(legacy_corpus)
+
+
+@pytest.mark.parametrize("seed", [7, 101])
+def test_vectorized_matches_legacy_across_seeds(seed):
+    config = {**TINY, "seed": seed, "include_privacy": False}
+    legacy = CorpusEngine(**config, generation="legacy").build(workers=1)
+    vectorized = CorpusEngine(**config, generation="vectorized").build(workers=1)
+    assert store_bytes(vectorized) == store_bytes(legacy)
+
+
+def test_vectorized_matches_legacy_with_subshards():
+    config = {**TINY, "scale": 0.008, "include_privacy": False}
+    legacy = CorpusEngine(**config, generation="legacy", subshard_target=300)
+    vectorized = CorpusEngine(**config, generation="vectorized", subshard_target=300)
+    left = legacy.build(workers=1)
+    right = vectorized.build(workers=1)
+    assert legacy.last_plan["subsharded_sources"]  # the split actually engaged
+    assert store_bytes(left) == store_bytes(right)
+
+
+@pytest.mark.parametrize("workers,executor", [(4, "process"), (3, "thread")])
+def test_vectorized_worker_and_executor_invariance(vectorized_corpus, workers, executor):
+    parallel = CorpusEngine(**TINY, generation="vectorized").build(
+        workers=workers, executor=executor
+    )
+    assert store_bytes(parallel) == store_bytes(vectorized_corpus)
+
+
+def test_vectorized_real_users_and_privacy_match_legacy():
+    for seed in (3, 19):
+        sites = [
+            HoneySite(geo=GeoDatabase(IpAddressSpace()), rng=np.random.default_rng(seed))
+            for _ in range(4)
+        ]
+        RealUserTrafficGenerator(sites[0], rng=seed).run(num_requests=150, num_users=40)
+        RealUserTrafficGenerator(sites[1], rng=seed).run_vectorized(
+            num_requests=150, num_users=40
+        )
+        PrivacyTrafficGenerator(sites[2], rng=seed).run_technology(
+            PrivacyTechnology.BRAVE, num_requests=24
+        )
+        PrivacyTrafficGenerator(sites[3], rng=seed).run_technology_vectorized(
+            PrivacyTechnology.BRAVE, num_requests=24
+        )
+
+        def dump(site):
+            out = []
+            for record in site.store:
+                data = record.to_dict()
+                data["request"].pop("request_id")
+                out.append(json.dumps(data))
+            return out
+
+        assert dump(sites[0]) == dump(sites[1])
+        assert dump(sites[2]) == dump(sites[3])
+
+
+# -- columnar emission -----------------------------------------------------------
+
+
+def assert_tables_equal(table: ColumnarTable, reference: ColumnarTable) -> None:
+    assert table.attributes == reference.attributes
+    for attribute in reference.attributes:
+        assert np.array_equal(table.codes_of(attribute), reference.codes_of(attribute))
+        left, right = table.values_of(attribute), reference.values_of(attribute)
+        assert left == right
+        assert [type(value) for value in left] == [type(value) for value in right]
+    assert np.array_equal(table.request_ids, reference.request_ids)
+    assert np.array_equal(table.timestamps, reference.timestamps)
+    assert np.array_equal(table.cookie_codes, reference.cookie_codes)
+    assert table.cookie_values == reference.cookie_values
+    assert np.array_equal(table.ip_codes, reference.ip_codes)
+    assert table.ip_values == reference.ip_values
+
+
+def test_emitted_tables_identical_to_extraction(vectorized_corpus):
+    assert set(vectorized_corpus.columnar_tables) == {"bots", "real_users"}
+    assert_tables_equal(
+        vectorized_corpus.columnar_tables["bots"],
+        ColumnarTable.from_store(vectorized_corpus.bot_store),
+    )
+    assert_tables_equal(
+        vectorized_corpus.columnar_tables["real_users"],
+        ColumnarTable.from_store(vectorized_corpus.real_user_store),
+    )
+
+
+def test_legacy_generation_emits_no_tables(legacy_corpus):
+    assert legacy_corpus.columnar_tables == {}
+
+
+# -- npz sidecar ------------------------------------------------------------------
+
+
+def test_table_npz_roundtrip(tmp_path, vectorized_corpus):
+    path = tmp_path / "bots.npz"
+    table = vectorized_corpus.columnar_tables["bots"]
+    table.save_npz(path)
+    assert_tables_equal(ColumnarTable.load_npz(path), table)
+
+
+def test_sidecar_roundtrip_through_archive(tmp_path, vectorized_corpus):
+    save_corpus(vectorized_corpus, tmp_path / "archive")
+    assert (tmp_path / "archive" / "columnar_bots.npz").is_file()
+    restored = load_corpus(tmp_path / "archive")
+    assert set(restored.columnar_tables) == {"bots", "real_users"}
+    assert_tables_equal(
+        restored.columnar_tables["bots"],
+        ColumnarTable.from_store(restored.bot_store),
+    )
+
+
+def test_corrupt_sidecar_degrades_to_extraction(tmp_path, vectorized_corpus):
+    save_corpus(vectorized_corpus, tmp_path / "archive")
+    (tmp_path / "archive" / "columnar_bots.npz").write_bytes(b"definitely not npz")
+    restored = load_corpus(tmp_path / "archive")
+    # the corpus itself still loads; only the broken subset is dropped
+    assert "bots" not in restored.columnar_tables
+    assert "real_users" in restored.columnar_tables
+    assert len(restored.store) == len(vectorized_corpus.store)
+
+
+def test_missing_sidecar_is_not_an_error(tmp_path, vectorized_corpus):
+    save_corpus(vectorized_corpus, tmp_path / "archive")
+    (tmp_path / "archive" / "columnar_bots.npz").unlink()
+    (tmp_path / "archive" / "columnar_real_users.npz").unlink()
+    restored = load_corpus(tmp_path / "archive")
+    assert restored.columnar_tables == {}
+    assert store_bytes(restored) == store_bytes(vectorized_corpus)
+
+
+def test_stale_sidecar_is_discarded(tmp_path, vectorized_corpus):
+    save_corpus(vectorized_corpus, tmp_path / "archive")
+    table = vectorized_corpus.columnar_tables["bots"]
+    shifted = table.take(np.arange(table.n_rows, dtype=np.int64))
+    shifted.request_ids = shifted.request_ids + 1000  # no longer matches the store
+    shifted.save_npz(tmp_path / "archive" / "columnar_bots.npz")
+    restored = load_corpus(tmp_path / "archive")
+    assert "bots" not in restored.columnar_tables
+
+
+def test_sidecar_from_same_config_different_seed_is_discarded(tmp_path, vectorized_corpus):
+    # Request ids are renumbered 1..N and collide across same-configuration
+    # corpora of different seeds; the timestamp stream does not.
+    save_corpus(vectorized_corpus, tmp_path / "archive")
+    table = vectorized_corpus.columnar_tables["bots"]
+    foreign = table.take(np.arange(table.n_rows, dtype=np.int64))
+    foreign.request_ids = table.request_ids  # identical id vector...
+    foreign.timestamps = table.timestamps + 0.25  # ...but another corpus's clock
+    foreign.save_npz(tmp_path / "archive" / "columnar_bots.npz")
+    restored = load_corpus(tmp_path / "archive")
+    assert "bots" not in restored.columnar_tables
+
+
+def test_resaving_without_tables_removes_old_sidecars(tmp_path, vectorized_corpus, legacy_corpus):
+    save_corpus(vectorized_corpus, tmp_path / "archive")
+    assert (tmp_path / "archive" / "columnar_bots.npz").is_file()
+    # A legacy-generation corpus has no tables; saving it over the same
+    # directory must not leave the previous corpus's sidecars behind.
+    save_corpus(legacy_corpus, tmp_path / "archive")
+    assert not (tmp_path / "archive" / "columnar_bots.npz").exists()
+    assert not (tmp_path / "archive" / "columnar_real_users.npz").exists()
+
+
+def test_load_npz_rejects_negative_codes(tmp_path, vectorized_corpus):
+    from repro.fingerprint.attributes import Attribute
+
+    table = vectorized_corpus.columnar_tables["bots"]
+    corrupt = table.take(np.arange(table.n_rows, dtype=np.int64))
+    corrupt._codes[Attribute.PLATFORM] = corrupt._codes[Attribute.PLATFORM].copy()
+    corrupt._codes[Attribute.PLATFORM][0] = -7
+    corrupt.save_npz(tmp_path / "corrupt.npz")
+    with pytest.raises(ValueError):
+        ColumnarTable.load_npz(tmp_path / "corrupt.npz")
+
+
+def test_accepts_table_rejects_mismatched_store(vectorized_corpus):
+    from repro.core.detector import FPInconsistent
+
+    detector = FPInconsistent()
+    bots = vectorized_corpus.columnar_tables["bots"]
+    assert detector.accepts_table(bots, vectorized_corpus.bot_store)
+    assert not detector.accepts_table(bots, vectorized_corpus.real_user_store)
+    # the pipeline falls back to extraction rather than classifying the
+    # wrong rows
+    result = FPInconsistentPipeline().run(vectorized_corpus.real_user_store, bot_table=bots)
+    assert result.table_sources == {"bots": "extracted"}
+
+
+def test_cache_hit_restores_sidecar_tables(tmp_path):
+    cache = CorpusCache(tmp_path)
+    cold, cold_status = build_or_load_corpus(**TINY, workers=1, cache=cache)
+    warm, warm_status = build_or_load_corpus(**TINY, workers=1, cache=cache)
+    assert (cold_status, warm_status) == ("miss", "hit")
+    assert set(warm.columnar_tables) == {"bots", "real_users"}
+    assert_tables_equal(
+        warm.columnar_tables["bots"], cold.columnar_tables["bots"]
+    )
+
+
+# -- sub-sharding + fan-out planning ----------------------------------------------
+
+
+def test_subshard_budgets_are_deterministic_and_cover_volume():
+    from repro.analysis.engine import MAX_TOTAL_SHARDS
+
+    engine = CorpusEngine(**TINY, subshard_target=100)
+    specs = engine.plan()
+    assert len(specs) <= MAX_TOTAL_SHARDS
+    budgets: dict = {}
+    for spec in specs:
+        if spec.kind != "bots":
+            continue
+        budgets.setdefault(spec.source, []).append(spec.request_budget)
+    split_sources = 0
+    for profile in engine.profiles:
+        volume = profile.scaled_requests(engine.scale)
+        parts = budgets[profile.name]
+        if volume <= 100:
+            # below the target a service is never split
+            assert parts == [None]
+        elif len(parts) > 1:
+            # a split service's budgets are balanced and cover its volume
+            split_sources += 1
+            assert sum(parts) == volume
+            assert max(parts) - min(parts) <= 1
+    assert split_sources > 0  # the shard ceiling still leaves room to split
+    # the plan is a pure function of the configuration, not the fan-out
+    again = CorpusEngine(**TINY, subshard_target=100).plan()
+    assert [(s.source, s.request_budget, s.seed.spawn_key) for s in specs] == [
+        (s.source, s.request_budget, s.seed.spawn_key) for s in again
+    ]
+
+
+def test_unsplit_plan_keeps_source_seeds():
+    # Services below the split threshold must keep the exact per-source
+    # seeds earlier revisions used, so unsplit corpora stay unchanged.
+    split = {s.source: s for s in CorpusEngine(**TINY, subshard_target=10 ** 9).plan()}
+    for spec in split.values():
+        assert spec.request_budget is None
+    reference = {s.source: s for s in CorpusEngine(**TINY).plan()}
+    for source, spec in split.items():
+        assert spec.seed.spawn_key == reference[source].seed.spawn_key
+
+
+def test_effective_workers_clamps_low_scales():
+    engine = CorpusEngine(**TINY)
+    specs = engine.plan()
+    planned = sum(
+        spec.request_budget
+        if spec.request_budget is not None
+        else spec.profile.scaled_requests(engine.scale)
+        if spec.kind == "bots"
+        else spec.num_requests
+        for spec in specs
+    )
+    assert planned < MIN_RECORDS_PER_WORKER  # tiny corpus: one worker of work
+    assert engine.effective_workers(8, specs) == 1
+    engine.build(workers=8)
+    assert engine.last_plan["requested_workers"] == 8
+    assert engine.last_plan["effective_workers"] == 1
+
+
+def test_effective_workers_scales_with_volume():
+    engine = CorpusEngine(**TINY)
+    specs = engine.plan()
+    big = [spec for spec in specs for _ in range(4)]  # pretend 4x the shards
+    assert engine.effective_workers(2, big) <= 2
+    assert engine.effective_workers(1, specs) == 1
+
+
+# -- code-column partitioner ------------------------------------------------------
+
+
+def reference_partition(table: ColumnarTable, shards: int):
+    """The PR-2 tuple-and-string partitioner, kept as the test oracle."""
+
+    if shards == 1 or table.n_rows == 0:
+        return [np.arange(table.n_rows, dtype=np.int64)]
+    parent: dict = {}
+
+    def find(node):
+        root = node
+        while parent[root] is not root:
+            root = parent[root]
+        while parent[node] is not root:
+            parent[node], node = root, parent[node]
+        return root
+
+    row_nodes = []
+    for row in range(table.n_rows):
+        cookie, ip = table.cookie_at(row), table.ip_at(row)
+        nodes = []
+        if cookie:
+            nodes.append(("cookie", cookie))
+        if ip:
+            nodes.append(("ip", ip))
+        if not nodes:
+            nodes.append(("row", row))
+        for node in nodes:
+            parent.setdefault(node, node)
+        if len(nodes) == 2:
+            left, right = find(nodes[0]), find(nodes[1])
+            if left is not right:
+                parent[right] = left
+        row_nodes.append(nodes[0])
+    components: dict = {}
+    for row, node in enumerate(row_nodes):
+        components.setdefault(find(node), []).append(row)
+    ordered = sorted(components.values(), key=lambda rows: (-len(rows), rows[0]))
+    buckets = [[] for _ in range(min(shards, max(1, len(ordered))))]
+    loads = [0] * len(buckets)
+    for rows in ordered:
+        target = loads.index(min(loads))
+        buckets[target].extend(rows)
+        loads[target] += len(rows)
+    return [np.array(sorted(bucket), dtype=np.int64) for bucket in buckets if bucket]
+
+
+@pytest.mark.parametrize("shards", [2, 3, 5, 11])
+def test_partitioner_matches_reference(vectorized_corpus, shards):
+    table = vectorized_corpus.store.columnar()
+    result = partition_rows_by_device(table, shards)
+    expected = reference_partition(table, shards)
+    assert len(result) == len(expected)
+    for left, right in zip(result, expected):
+        assert np.array_equal(left, right)
+    merged = np.sort(np.concatenate(result))
+    assert np.array_equal(merged, np.arange(table.n_rows, dtype=np.int64))
+
+
+def test_partitioner_handles_missing_keys():
+    # Rows with no cookie and no address become singleton components.
+    base = ColumnarTable.from_fingerprints([])
+    base.cookie_codes = np.array([0, -1, 0, 1], dtype=np.int32)
+    base.cookie_values = ["c1", "c2"]
+    base.ip_codes = np.array([-1, -1, 0, 0], dtype=np.int32)
+    base.ip_values = ["10.0.0.1"]
+    base._n_rows = 4
+    base.request_ids = np.arange(4, dtype=np.int64)
+    base.timestamps = np.zeros(4)
+    result = partition_rows_by_device(base, 4)
+    expected = reference_partition(base, 4)
+    assert [list(rows) for rows in result] == [list(rows) for rows in expected]
+
+
+# -- generalisation over take() ---------------------------------------------------
+
+
+def test_generalization_take_split_matches_legacy(vectorized_corpus):
+    columnar = evaluate_generalization(vectorized_corpus.bot_store, seed=5, engine="columnar")
+    legacy = evaluate_generalization(vectorized_corpus.bot_store, seed=5, engine="legacy")
+    for name in columnar:
+        assert columnar[name].train_detection_rate == legacy[name].train_detection_rate
+        assert columnar[name].test_detection_rate == legacy[name].test_detection_rate
+
+
+def test_pipeline_reuses_emitted_tables(vectorized_corpus):
+    pipeline = FPInconsistentPipeline()
+    reused = pipeline.run(
+        vectorized_corpus.bot_store,
+        real_user_store=vectorized_corpus.real_user_store,
+        bot_table=vectorized_corpus.columnar_tables["bots"],
+        real_user_table=vectorized_corpus.columnar_tables["real_users"],
+    )
+    fresh = pipeline.run(
+        vectorized_corpus.bot_store,
+        real_user_store=vectorized_corpus.real_user_store,
+    )
+    assert reused.table_sources == {"bots": "reused", "real_users": "reused"}
+    assert fresh.table_sources == {"bots": "extracted", "real_users": "extracted"}
+    assert [rule.to_dict() for rule in reused.filter_list] == [
+        rule.to_dict() for rule in fresh.filter_list
+    ]
+    assert reused.real_user_tnr == fresh.real_user_tnr
+    assert sorted(reused.verdicts) == sorted(fresh.verdicts)
+    for request_id, verdict in reused.verdicts.items():
+        other = fresh.verdicts[request_id]
+        assert verdict.spatial_rule == other.spatial_rule
+        assert verdict.temporal_flags == other.temporal_flags
+
+
+def test_incompatible_table_falls_back_to_extraction(vectorized_corpus):
+    from repro.fingerprint.attributes import Attribute
+
+    crippled = vectorized_corpus.columnar_tables["bots"].select([Attribute.PLATFORM])
+    pipeline = FPInconsistentPipeline()
+    result = pipeline.run(vectorized_corpus.bot_store, bot_table=crippled)
+    assert result.table_sources == {"bots": "extracted"}
