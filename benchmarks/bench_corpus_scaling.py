@@ -3,11 +3,13 @@
 Times the legacy single-stream serial build against the sharded engine —
 both generation engines (vectorized and legacy reference), each at 1 and
 4 requested workers — for a couple of scales, printing requests/second,
-the speedup over serial and the plan the engine actually chose (the
+the speedup over serial, the plan the engine actually chose (the
 min-records clamp falls back to serial where fan-out overhead would
-dominate), and writes the result document to
-``BENCH_corpus_scaling.json`` next to the repository root so successive
-PRs accumulate a perf trajectory.
+dominate), the columnar shard-payload bytes shipped back to the
+coordinator and the deferred record-materialisation cost of the lazy
+store, and writes the result document to ``BENCH_corpus_scaling.json``
+next to the repository root so successive PRs accumulate a perf
+trajectory.
 
 The headline target is the vectorized engine beating the legacy serial
 build ≥2× on a single worker; the assertion is opt-in because shared CI
@@ -48,7 +50,14 @@ def bench_corpus_scaling():
             f"scale {entry['scale']}: serial {entry['serial_rps']} req/s; "
             + "; ".join(
                 f"{run['generation'][:3]}/{run['workers']}w {run['rps']} req/s "
-                f"({run['speedup_vs_serial']}x)"
+                f"({run['speedup_vs_serial']}x"
+                + (
+                    f", {run['payload_bytes'] // 1024}KiB payload, "
+                    f"+{run['materialize_seconds']}s materialise"
+                    if run.get("payload_bytes")
+                    else ""
+                )
+                + ")"
                 for run in entry["engine"]
             )
         )

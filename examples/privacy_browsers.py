@@ -7,7 +7,7 @@ how each technology fares against DataDome, BotD and FP-Inconsistent.
 Run:  python examples/privacy_browsers.py
 """
 
-from repro.analysis import build_corpus, evaluate_privacy_technologies
+from repro.analysis import build_corpus, corpus_privacy_tables, evaluate_privacy_technologies
 from repro.core import FPInconsistent, FPInconsistentPipeline
 from repro.reporting import format_percent, format_table
 from repro.users import PrivacyTechnology
@@ -16,7 +16,9 @@ from repro.users import PrivacyTechnology
 def main() -> None:
     corpus = build_corpus(seed=7, scale=0.02, include_real_users=False, include_privacy=True,
                           privacy_requests_each=60)
-    result = FPInconsistentPipeline().run(corpus.bot_store)
+    result = FPInconsistentPipeline().run(
+        corpus.bot_store, bot_table=corpus.columnar_tables.get("bots")
+    )
     detector = FPInconsistent(filter_list=result.filter_list)
 
     stores = {
@@ -24,7 +26,11 @@ def main() -> None:
         for technology in PrivacyTechnology
         if len(corpus.privacy_store(technology)) > 0
     }
-    rows = evaluate_privacy_technologies(stores, detector)
+    # The vectorized corpus engine pre-extracts one table per technology;
+    # feeding them in skips per-store extraction.
+    rows = evaluate_privacy_technologies(
+        stores, detector, tables=corpus_privacy_tables(corpus)
+    )
     print(
         format_table(
             ["Technology", "Requests", "DataDome", "BotD", "FP-Inc spatial", "FP-Inc temporal"],

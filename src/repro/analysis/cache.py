@@ -7,18 +7,28 @@ seed, scale, inclusion flags, request budgets, campaign length and the
 on-disk format version — so an unchanged configuration is a cache hit and
 any change (different seed, different scale, bumped format) is a rebuild.
 
-Layout, one directory per key under the cache root::
+Layout, one directory per key under the cache root.  A corpus built by
+the columnar shard transport (the vectorized default) persists as **one**
+columnar archive — record columns and every pre-extracted fingerprint
+table in a single file::
 
     <root>/<key>/meta.json              corpus metadata + URL map + geo assignments
+    <root>/<key>/store_columnar.npz     record columns + embedded fingerprint tables
+
+A legacy-generation corpus (object store, no emitted tables) keeps the
+version-2 layout, which also remains fully readable for old entries::
+
+    <root>/<key>/meta.json
     <root>/<key>/store.jsonl.gz         the request store (versioned gzip JSONL)
     <root>/<key>/columnar_<subset>.npz  extracted ColumnarTable sidecars (optional)
 
-The ``columnar_*.npz`` sidecars persist the pre-extracted fingerprint
-tables the vectorized generation engine emits ("bots" and "real_users"),
-so warm-cache pipeline runs skip columnar extraction — the detection
-stack's remaining constant cost — entirely.  A missing, corrupt or
-incompatible sidecar silently degrades to re-extraction; the corpus entry
-itself still hits.
+Loading a columnar archive attaches a
+:class:`~repro.honeysite.storage.LazyRequestStore`, so warm-cache pipeline
+runs deserialise a few arrays plus one fingerprint per session instead of
+re-parsing one JSON object per request — and skip columnar extraction
+entirely (the embedded tables are exactly what extraction would produce).
+In the legacy layout a missing, corrupt or incompatible sidecar silently
+degrades to re-extraction; the corpus entry itself still hits.
 
 Writes go through a temporary directory renamed into place, so a crashed
 build never leaves a half-written entry behind.
@@ -42,7 +52,13 @@ from repro.core.columnar import ColumnarTable
 from repro.geo.geolite import GeoDatabase
 from repro.geo.ipaddr import GeoRegion, IpAddressSpace, PrefixAssignment
 from repro.honeysite.site import HoneySite
-from repro.honeysite.storage import CORPUS_FORMAT_VERSION, RequestStore, StoreFormatError
+from repro.honeysite.storage import (
+    CORPUS_FORMAT_VERSION,
+    LazyRequestStore,
+    RecordColumns,
+    RequestStore,
+    StoreFormatError,
+)
 from repro.users.privacy import PrivacyTechnology
 
 #: Environment variable pointing at the cache root directory.  Unset means
@@ -94,30 +110,69 @@ def corpus_cache_key(
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
 
 
-#: Store subsets whose extracted tables are persisted alongside the JSONL.
+#: Store subsets whose extracted tables are persisted alongside the JSONL
+#: in the legacy (version-2) archive layout.
 SIDECAR_SUBSETS = ("bots", "real_users")
+
+#: Filename of the unified columnar archive (record columns + tables).
+COLUMNAR_STORE_FILENAME = "store_columnar.npz"
 
 
 def _sidecar_path(directory: Path, subset: str) -> Path:
     return directory / f"columnar_{subset}.npz"
 
 
+def _columnar_store_path(directory: Path) -> Path:
+    return directory / COLUMNAR_STORE_FILENAME
+
+
+def _save_columnar_store(store: LazyRequestStore, tables: Dict[str, ColumnarTable], path: Path) -> None:
+    """Persist record columns and every fingerprint table as one archive."""
+
+    arrays, store_meta = store.columns.to_payload()
+    tables_meta = []
+    for position, (subset, table) in enumerate(sorted(tables.items())):
+        prefix = f"t{position}_"
+        table_arrays, table_meta = table.to_arrays(prefix)
+        arrays.update(table_arrays)
+        tables_meta.append({"subset": subset, "prefix": prefix, "meta": table_meta})
+    meta = {"version": CORPUS_FORMAT_VERSION, "store": store_meta, "tables": tables_meta}
+    arrays = {"meta": np.array(json.dumps(meta)), **arrays}
+    with open(path, "wb") as handle:
+        np.savez_compressed(handle, **arrays)
+
+
 def save_corpus(corpus: Corpus, directory) -> Path:
-    """Write *corpus* (store + metadata + columnar sidecars) into *directory*."""
+    """Write *corpus* (store + metadata + fingerprint tables) into *directory*.
+
+    A columnar-backed store persists as one ``store_columnar.npz`` archive;
+    an object store keeps the JSONL + sidecar layout.  Either way, files of
+    the *other* layout left behind by a previous save into the same
+    directory are removed — a stale store must never be loadable against a
+    different corpus.
+    """
 
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    corpus.store.save_jsonl(directory / "store.jsonl.gz")
-    for subset in SIDECAR_SUBSETS:
-        table = corpus.columnar_tables.get(subset)
-        path = _sidecar_path(directory, subset)
-        if table is not None:
-            table.save_npz(path)
-        elif path.exists():
-            # Never leave a previous save's sidecar behind a corpus that
-            # has no table for the subset (e.g. a legacy-generation build
-            # written into a reused directory) — a stale sidecar must not
-            # be loadable against a different corpus.
+    columnar = isinstance(corpus.store, LazyRequestStore)
+    if columnar:
+        _save_columnar_store(
+            corpus.store, corpus.columnar_tables, _columnar_store_path(directory)
+        )
+        stale = [directory / "store.jsonl.gz"]
+        stale += [path for path in directory.glob("columnar_*.npz")]
+    else:
+        corpus.store.save_jsonl(directory / "store.jsonl.gz")
+        for subset in SIDECAR_SUBSETS:
+            table = corpus.columnar_tables.get(subset)
+            path = _sidecar_path(directory, subset)
+            if table is not None:
+                table.save_npz(path)
+            elif path.exists():
+                path.unlink()
+        stale = [_columnar_store_path(directory)]
+    for path in stale:
+        if path.exists():
             path.unlink()
     meta = {
         "format_version": CORPUS_FORMAT_VERSION,
@@ -148,6 +203,75 @@ def save_corpus(corpus: Corpus, directory) -> Path:
     return directory
 
 
+def _load_columnar_store(path: Path):
+    """Load a :func:`_save_columnar_store` archive.
+
+    Returns ``(LazyRequestStore, {subset: ColumnarTable})``.  Any failure —
+    truncated file, ragged or out-of-range columns, a newer format — maps
+    to :class:`StoreFormatError`, so the cache treats the entry as a miss
+    and rebuilds instead of serving a silently wrong corpus.
+    """
+
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            meta = json.loads(str(data["meta"][()]))
+            version = int(meta.get("version", 0))
+            if version > CORPUS_FORMAT_VERSION:
+                raise StoreFormatError(
+                    f"columnar store {path} has format version {version}; "
+                    f"this build reads up to {CORPUS_FORMAT_VERSION}"
+                )
+            columns = RecordColumns.from_payload(data, meta["store"])
+            tables: Dict[str, ColumnarTable] = {}
+            for entry in meta.get("tables", ()):
+                tables[str(entry["subset"])] = ColumnarTable.from_arrays(
+                    data,
+                    entry["meta"],
+                    prefix=str(entry["prefix"]),
+                    label=f"columnar store {path}",
+                )
+    except StoreFormatError:
+        raise
+    except Exception as exc:
+        raise StoreFormatError(f"columnar store {path} is unreadable: {exc}") from exc
+    return LazyRequestStore(columns), tables
+
+
+def _subset_store(corpus: Corpus, subset: str) -> Optional[RequestStore]:
+    """The store subset a persisted table claims to describe."""
+
+    if subset == "bots":
+        return corpus.bot_store
+    if subset == "real_users":
+        return corpus.real_user_store
+    if subset.startswith("privacy:"):
+        try:
+            return corpus.privacy_store(PrivacyTechnology(subset.split(":", 1)[1]))
+        except ValueError:
+            return None
+    return None
+
+
+def _attach_tables(corpus: Corpus, tables: Dict[str, ColumnarTable]) -> None:
+    """Attach archive-embedded tables, verifying each against its subset.
+
+    Store and tables come from one archive, so a mismatch (row count or
+    request ids) means the archive is internally corrupt — raise, so the
+    cache evicts and rebuilds.  Unknown subset labels are skipped: they
+    cannot harm, and the version gate already rejects newer formats.
+    """
+
+    for subset, table in tables.items():
+        store = _subset_store(corpus, subset)
+        if store is None:
+            continue
+        if not table.matches_store(store):
+            raise StoreFormatError(
+                f"embedded columnar table {subset!r} does not match its store subset"
+            )
+        corpus.columnar_tables[subset] = table
+
+
 def load_corpus(directory) -> Corpus:
     """Reconstruct a corpus saved by :func:`save_corpus`.
 
@@ -155,7 +279,8 @@ def load_corpus(directory) -> Corpus:
     carries the original source → path map and the geo database re-adopts
     every /16 assignment, so downstream analyses (IP intelligence, Table 6
     locations, DataDome re-evaluation) behave exactly as on the freshly
-    built corpus.
+    built corpus.  Columnar archives restore a lazy store; version-2
+    archives (JSONL + optional sidecars) load exactly as before.
     """
 
     directory = Path(directory)
@@ -185,7 +310,12 @@ def load_corpus(directory) -> Corpus:
     site = HoneySite(geo=GeoDatabase(space), rng=np.random.default_rng(0))
     for source, path in meta.get("sources", {}).items():
         site.urls.adopt(source, path)
-    site.store.extend(RequestStore.load_jsonl(directory / "store.jsonl.gz"))
+    columnar_path = _columnar_store_path(directory)
+    tables: Optional[Dict[str, ColumnarTable]] = None
+    if columnar_path.is_file():
+        site.store, tables = _load_columnar_store(columnar_path)
+    else:
+        site.store.extend(RequestStore.load_jsonl(directory / "store.jsonl.gz"))
 
     corpus = Corpus(
         site=site,
@@ -201,7 +331,10 @@ def load_corpus(directory) -> Corpus:
             for name, count in meta.get("privacy_requests", {}).items()
         },
     )
-    _load_sidecars(corpus, directory)
+    if tables is not None:
+        _attach_tables(corpus, tables)
+    else:
+        _load_sidecars(corpus, directory)
     return corpus
 
 
@@ -227,12 +360,7 @@ def _load_sidecars(corpus: Corpus, directory: Path) -> None:
         except Exception:
             continue
         store = corpus.bot_store if subset == "bots" else corpus.real_user_store
-        if table.n_rows != len(store):
-            continue
-        expected_ids = np.fromiter(
-            (record.request.request_id for record in store), dtype=np.int64, count=len(store)
-        )
-        if not np.array_equal(table.request_ids, expected_ids):
+        if not table.matches_store(store):
             continue
         expected_timestamps = np.fromiter(
             (record.timestamp for record in store), dtype=np.float64, count=len(store)
@@ -253,7 +381,11 @@ class CorpusCache:
 
     def has(self, key: str) -> bool:
         entry = self.path_for(key)
-        return (entry / "meta.json").is_file() and (entry / "store.jsonl.gz").is_file()
+        if not (entry / "meta.json").is_file():
+            return False
+        return (
+            _columnar_store_path(entry).is_file() or (entry / "store.jsonl.gz").is_file()
+        )
 
     def load(self, key: str) -> Optional[Corpus]:
         """Load the corpus stored under *key*, or ``None`` on miss.

@@ -77,10 +77,15 @@ class Corpus:
 
     @property
     def bot_store(self) -> RequestStore:
-        """Requests attributed to the 20 bot services."""
+        """Requests attributed to the 20 bot services.
+
+        Routed through :meth:`~repro.honeysite.storage.RequestStore.by_sources`
+        so a columnar-backed store answers from its source codes without
+        materialising record objects.
+        """
 
         bot_names = {profile.name for profile in self.bot_profiles}
-        return self.site.store.filter(lambda record: record.source in bot_names)
+        return self.site.store.by_sources(bot_names)
 
     @property
     def real_user_store(self) -> RequestStore:

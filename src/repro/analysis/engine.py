@@ -21,6 +21,16 @@ stream.  This module replaces that with a **sharded** design:
   adopting each shard's URL mapping and prefix assignments into the final
   site.
 
+Shard results travel **columnar**: a vectorized-generation worker returns
+a :class:`~repro.honeysite.storage.RecordColumns` payload (per-row arrays
+over session-deduplicated fingerprint/header/decision dictionaries) plus
+the :class:`~repro.core.columnar.TablePayload` attribute codes, instead of
+a pickled list of record objects.  The coordinator concatenates payloads,
+renumbers request ids and wraps the result in a
+:class:`~repro.honeysite.storage.LazyRequestStore` — record objects
+materialise lazily, and only for consumers that genuinely iterate them.
+The legacy generation engine still ships record lists.
+
 Identical output for a given seed regardless of worker count is the
 engine's core contract; ``tests/test_engine.py`` pins it.
 """
@@ -29,7 +39,8 @@ from __future__ import annotations
 
 import concurrent.futures
 import os
-from dataclasses import dataclass, field
+import pickle
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -38,11 +49,16 @@ from repro.analysis.corpus import Corpus, default_scale
 from repro.bots.marketplace import build_marketplace
 from repro.bots.service import BotServiceProfile
 from repro.bots.traffic import BotTrafficGenerator
-from repro.core.columnar import TableEmitter, TablePayload, merge_table_payloads
+from repro.core.columnar import TableEmitter, TablePayload, assemble_table
 from repro.geo.geolite import GeoDatabase
 from repro.geo.ipaddr import IpAddressSpace, PrefixAssignment
 from repro.honeysite.site import HoneySite, SessionRecorder
-from repro.honeysite.storage import RecordedRequest
+from repro.honeysite.storage import (
+    LazyRequestStore,
+    RecordColumns,
+    RecordColumnsBuilder,
+    RecordedRequest,
+)
 from repro.honeysite.urls import generate_url_token
 from repro.users.privacy import PrivacyTechnology, PrivacyTrafficGenerator
 from repro.users.realuser import REAL_USER_SOURCE, RealUserTrafficGenerator
@@ -71,23 +87,31 @@ GENERATIONS = ("vectorized", "legacy")
 SUBSHARD_TARGET_RECORDS = 2048
 
 #: Hard ceiling on the total shard count of one plan.  Every shard
-#: allocates its own interleaved slice of the partitioned /16 address
-#: space, and a bot shard saturates the distinct (ASN, region) pool at
-#: roughly 77 cloud blocks regardless of its request budget — so the
-#: cloud range (11 × 256 blocks) supports at most ~36 concurrent
-#: partitions.  32 keeps headroom; sub-shard splits beyond the ceiling go
-#: to the largest remaining slices first.
+#: allocates its own interleaved slice of the partitioned address space;
+#: a bot shard saturates the distinct (ASN, region) pool at roughly 77
+#: cloud blocks regardless of its request budget.  The widened per-kind
+#: octet segments (``geo.ipaddr.DEFAULT_KIND_OCTET_RANGES``: cloud now
+#: holds 31 × 256 blocks) would support ~100 concurrent partitions, but
+#: the ceiling stays at 32: the shard plan determines corpus content, and
+#: raising it would silently change every default corpus.  Raise it
+#: deliberately (with a format-version bump) if fan-out ever demands it.
 MAX_TOTAL_SHARDS = 32
 
-#: Fan-out is clamped so every worker has at least this many records of
-#: planned work: below that, executor startup and result transfer
-#: (pickling shard records back to the coordinator) dominate and the
-#: sharded build is *slower* than serial — the PR-2 bench measured
-#: 0.41–0.91x at low scales.  The vectorized generator moved the goalposts
-#: further: generating a record is now cheaper than unpickling one in the
-#: coordinator, so process fan-out only breaks even on very large builds
-#: (compact shard payloads are the open item that would change this).
+#: Fan-out clamp for the **legacy** (record-object) shard transport: every
+#: worker must have at least this many records of planned work, because
+#: unpickling per-record objects in the coordinator costs about as much as
+#: generating them — the PR-2 bench measured 0.41–0.91x at low scales.
 MIN_RECORDS_PER_WORKER = 100_000
+
+#: Fan-out clamp for the **columnar** shard transport (vectorized
+#: generation).  A shard payload is a handful of arrays plus one
+#: fingerprint per *session*, so result transfer is no longer the bound —
+#: what remains is executor startup (forking a worker and shipping its
+#: spec).  A worker amortises that over roughly half a second of
+#: generation, which at the vectorized engine's single-core rate is a few
+#: thousand records; below this floor the clamp falls back toward serial
+#: exactly as before.
+MIN_RECORDS_PER_WORKER_COLUMNAR = 6_000
 
 
 def validate_generation(generation: str) -> str:
@@ -177,11 +201,20 @@ class ShardSpec:
     #: service (``None`` → the profile's full scaled volume)
     request_budget: Optional[int] = None
     generation: str = "vectorized"
+    #: measure the pickled payload size in the worker (set by the
+    #: coordinator only when payloads will actually cross a process
+    #: boundary — the stat then costs the pool, not the coordinator)
+    measure_payload: bool = False
 
 
 @dataclass
 class ShardResult:
-    """Everything one shard produced, ready to merge."""
+    """Everything one shard produced, ready to merge.
+
+    Vectorized-generation shards fill :attr:`columns` (the compact
+    columnar payload) and leave :attr:`records` empty; legacy-generation
+    shards ship record objects.  :meth:`store` gives a uniform view.
+    """
 
     index: int
     source: str
@@ -191,6 +224,24 @@ class ShardResult:
     assignments: List[PrefixAssignment] = field(default_factory=list)
     #: columnar fingerprint codes emitted during vectorized generation
     table: Optional[TablePayload] = None
+    #: columnar record payload (vectorized generation only)
+    columns: Optional[RecordColumns] = None
+    #: pickled size of (columns, table), measured in the worker when the
+    #: spec requested it (``ShardSpec.measure_payload``)
+    payload_bytes: Optional[int] = None
+
+    def store(self):
+        """The shard's records as a request store (shard-local ids 1..n).
+
+        Materialises lazily for columnar shards; mainly a debugging and
+        test convenience — the coordinator merges payloads directly.
+        """
+
+        from repro.honeysite.storage import RequestStore
+
+        if self.columns is not None:
+            return LazyRequestStore(self.columns.renumbered())
+        return RequestStore(self.records)
 
 
 def run_shard(spec: ShardSpec) -> ShardResult:
@@ -216,19 +267,27 @@ def run_shard(spec: ShardSpec) -> ShardResult:
     site.urls.adopt(spec.source, spec.url_path)
     vectorized = validate_generation(spec.generation) == "vectorized"
     emitter: Optional[TableEmitter] = None
+    builder: Optional[RecordColumnsBuilder] = None
+    recorder: Optional[SessionRecorder] = None
+    if vectorized:
+        # Columnar transport: the recorder sinks rows into a payload
+        # builder instead of constructing record objects, and the emitter
+        # collects the per-request attribute code rows alongside.
+        emitter = TableEmitter()
+        builder = RecordColumnsBuilder()
+        recorder = SessionRecorder(site, sink=builder)
 
     if spec.kind == "bots":
         if spec.profile is None:
             raise ValueError("bot shard requires a profile")
         generator = BotTrafficGenerator(site, rng=generator_seed)
         if vectorized:
-            emitter = TableEmitter()
             recorded = generator.run_service_vectorized(
                 spec.profile,
                 scale=spec.scale,
                 campaign_days=spec.campaign_days,
                 total_requests=spec.request_budget,
-                recorder=SessionRecorder(site),
+                recorder=recorder,
                 emitter=emitter,
             )
         else:
@@ -241,11 +300,10 @@ def run_shard(spec: ShardSpec) -> ShardResult:
     elif spec.kind == "real_users":
         generator = RealUserTrafficGenerator(site, rng=generator_seed)
         if vectorized:
-            emitter = TableEmitter()
             recorded = generator.run_vectorized(
                 num_requests=spec.num_requests,
                 source=spec.source,
-                recorder=SessionRecorder(site),
+                recorder=recorder,
                 emitter=emitter,
             )
         else:
@@ -258,13 +316,19 @@ def run_shard(spec: ShardSpec) -> ShardResult:
             recorded = generator.run_technology_vectorized(
                 spec.technology,
                 num_requests=spec.num_requests,
-                recorder=SessionRecorder(site),
+                recorder=recorder,
+                emitter=emitter,
             )
         else:
             recorded = generator.run_technology(spec.technology, num_requests=spec.num_requests)
     else:
         raise ValueError(f"unknown shard kind {spec.kind!r}")
 
+    table = emitter.payload() if emitter is not None else None
+    columns = builder.columns() if builder is not None else None
+    payload_bytes: Optional[int] = None
+    if spec.measure_payload and columns is not None:
+        payload_bytes = len(pickle.dumps((columns, table), pickle.HIGHEST_PROTOCOL))
     return ShardResult(
         index=spec.index,
         source=spec.source,
@@ -272,7 +336,9 @@ def run_shard(spec: ShardSpec) -> ShardResult:
         recorded=recorded,
         records=list(site.store),
         assignments=space.assignments,
-        table=emitter.payload() if emitter is not None else None,
+        table=table,
+        columns=columns,
+        payload_bytes=payload_bytes,
     )
 
 
@@ -293,6 +359,7 @@ class CorpusEngine:
         technologies: Sequence[PrivacyTechnology] = PRIVACY_TECHNOLOGIES,
         generation: str = "vectorized",
         subshard_target: int = SUBSHARD_TARGET_RECORDS,
+        min_records_per_worker: Optional[int] = None,
     ):
         self.seed = int(seed)
         self.scale = default_scale() if scale is None else float(scale)
@@ -311,6 +378,15 @@ class CorpusEngine:
         self.subshard_target = int(subshard_target)
         if self.subshard_target < 1:
             raise ValueError("subshard_target must be positive")
+        if min_records_per_worker is not None and int(min_records_per_worker) < 1:
+            raise ValueError("min_records_per_worker must be positive")
+        #: per-worker planned-records floor for the fan-out clamp; ``None``
+        #: derives it from the generation engine's transfer cost
+        #: (:data:`MIN_RECORDS_PER_WORKER_COLUMNAR` for the columnar
+        #: transport, :data:`MIN_RECORDS_PER_WORKER` for record objects)
+        self.min_records_per_worker = (
+            None if min_records_per_worker is None else int(min_records_per_worker)
+        )
         #: Execution summary of the most recent :meth:`build` call — the
         #: shard plan and the fan-out actually used (benchmarks record it).
         self.last_plan: Dict[str, object] = {}
@@ -453,10 +529,25 @@ class CorpusEngine:
         results = map_shards(run_shard, ordered, workers=workers, executor=executor)
         return sorted(results, key=lambda result: result.index)
 
+    def records_per_worker_floor(self) -> int:
+        """The clamp threshold in effect, derived from the transfer cost.
+
+        The columnar shard transport made result transfer cheap, so
+        vectorized generation amortises a worker over far fewer records
+        than the record-object transport does; an explicit
+        ``min_records_per_worker`` constructor value overrides both.
+        """
+
+        if self.min_records_per_worker is not None:
+            return self.min_records_per_worker
+        if self.generation == "vectorized":
+            return MIN_RECORDS_PER_WORKER_COLUMNAR
+        return MIN_RECORDS_PER_WORKER
+
     def effective_workers(self, requested: int, specs: Sequence[ShardSpec]) -> int:
         """Clamp *requested* workers so shard overhead cannot dominate.
 
-        Every worker must have at least :data:`MIN_RECORDS_PER_WORKER`
+        Every worker must have at least :meth:`records_per_worker_floor`
         records of planned work (and there is no point in more workers than
         shards).  Returns at least 1; a result of 1 runs inline without any
         executor.  This only changes wall-clock behaviour — corpus content
@@ -465,7 +556,7 @@ class CorpusEngine:
 
         requested = max(1, int(requested))
         total_records = sum(_shard_weight(spec) for spec in specs)
-        cap = max(1, total_records // MIN_RECORDS_PER_WORKER)
+        cap = max(1, total_records // self.records_per_worker_floor())
         return min(requested, cap, max(1, len(specs)))
 
     def build(self, *, workers: Optional[int] = None, executor: Optional[str] = None) -> Corpus:
@@ -487,11 +578,12 @@ class CorpusEngine:
         subshard_sources = sorted({spec.source for spec in specs if spec.request_budget is not None})
         self.last_plan = {
             "generation": self.generation,
+            "transport": "columnar" if self.generation == "vectorized" else "records",
             "shards": len(specs),
             "planned_records": int(sum(_shard_weight(spec) for spec in specs)),
             "requested_workers": int(workers),
             "effective_workers": int(effective),
-            "min_records_per_worker": MIN_RECORDS_PER_WORKER,
+            "min_records_per_worker": self.records_per_worker_floor(),
             "subshard_target": self.subshard_target,
             "subsharded_sources": subshard_sources,
             "executor": executor,
@@ -500,6 +592,11 @@ class CorpusEngine:
         _url_seed, site_seed = master.spawn(2)
         site = HoneySite(rng=np.random.default_rng(site_seed))
 
+        if self.generation == "vectorized" and effective > 1 and executor == "process":
+            # Payloads will cross a process boundary: have each worker
+            # measure its own pickled size (stat bookkeeping must not make
+            # the coordinator re-serialise what the pool already shipped).
+            specs = [replace(spec, measure_payload=True) for spec in specs]
         results = self._execute(specs, effective, executor)
 
         corpus = Corpus(
@@ -507,29 +604,9 @@ class CorpusEngine:
         )
         for spec in specs:
             site.urls.adopt(spec.source, spec.url_path)
-        next_request_id = 1
-        bot_records: List[RecordedRequest] = []
-        user_records: List[RecordedRequest] = []
         for result in results:
             for assignment in result.assignments:
                 site.geo.space.adopt(assignment)
-            # Renumber request ids in merged order: ``WebRequest`` draws ids
-            # from a process-global counter, so shard-local ids depend on
-            # what else ran in the worker process.  Sequential renumbering
-            # restores the serial-path invariant (ids are 1..N in store
-            # order) independent of executor and worker count.  The
-            # coordinator owns every shard record exclusively — worker
-            # sites are discarded (inline/thread) or the records arrived as
-            # pickled copies (process pool) — so renumbering mutates in
-            # place instead of copying two frozen dataclasses per record.
-            for record in result.records:
-                record.request.__dict__["request_id"] = next_request_id
-                site.store.add(record)
-                next_request_id += 1
-            if result.kind == "bots":
-                bot_records.extend(result.records)
-            elif result.kind == "real_users":
-                user_records.extend(result.records)
             if result.kind == "bots":
                 corpus.service_volumes[result.source] = (
                     corpus.service_volumes.get(result.source, 0) + result.recorded
@@ -540,30 +617,90 @@ class CorpusEngine:
                 technology = PrivacyTechnology(result.source.split(":", 1)[1])
                 corpus.privacy_requests[technology] = result.recorded
 
-        self._merge_tables(corpus, results, bot_records, user_records)
+        if all(result.columns is not None for result in results):
+            self._merge_columnar(corpus, results)
+        else:
+            self._merge_records(site, results)
         return corpus
 
-    def _merge_tables(
-        self,
-        corpus: Corpus,
-        results: Sequence[ShardResult],
-        bot_records: List[RecordedRequest],
-        user_records: List[RecordedRequest],
-    ) -> None:
-        """Merge shard-emitted columnar payloads into ``corpus.columnar_tables``.
+    def _merge_records(self, site: HoneySite, results: Sequence[ShardResult]) -> None:
+        """Object-transport merge (legacy generation engine).
 
-        Only complete subsets merge (every bot shard must have emitted — the
-        legacy generation engine emits nothing), so a table is either exactly
-        what extraction would produce or absent.
+        Renumbers request ids in merged order: ``WebRequest`` draws ids
+        from a process-global counter, so shard-local ids depend on what
+        else ran in the worker process.  Sequential renumbering restores
+        the serial-path invariant (ids are 1..N in store order)
+        independent of executor and worker count.  The coordinator owns
+        every shard record exclusively — worker sites are discarded
+        (inline/thread) or the records arrived as pickled copies (process
+        pool) — so renumbering mutates in place instead of copying two
+        frozen dataclasses per record.
         """
 
-        bot_payloads = [result.table for result in results if result.kind == "bots"]
-        if bot_records and bot_payloads and all(payload is not None for payload in bot_payloads):
-            corpus.columnar_tables["bots"] = merge_table_payloads(bot_payloads, bot_records)
-        user_payloads = [result.table for result in results if result.kind == "real_users"]
-        if user_records and user_payloads and all(payload is not None for payload in user_payloads):
-            corpus.columnar_tables["real_users"] = merge_table_payloads(
-                user_payloads, user_records
+        next_request_id = 1
+        for result in results:
+            for record in result.records:
+                record.request.__dict__["request_id"] = next_request_id
+                site.store.add(record)
+                next_request_id += 1
+
+    def _merge_columnar(self, corpus: Corpus, results: Sequence[ShardResult]) -> None:
+        """Columnar-transport merge: concatenate payloads, renumber ids,
+        attach a lazy store, and assemble the per-subset fingerprint tables
+        — all without materialising a single record object.
+        """
+
+        merged = RecordColumns.concat([result.columns for result in results])
+        # ``concat`` returns freshly allocated row arrays, so assigning the
+        # merged-order id sequence directly is safe (no aliasing with any
+        # shard payload).
+        merged.request_ids = np.arange(1, merged.n_rows + 1, dtype=np.int64)
+        corpus.site.store = LazyRequestStore(merged)
+        # Transfer volume as measured inside the workers; None when the
+        # payloads never crossed a process boundary (inline/thread builds
+        # serialise nothing, so there is nothing to bill).
+        measured = [result.payload_bytes for result in results]
+        self.last_plan["payload_bytes"] = (
+            sum(measured) if all(size is not None for size in measured) else None
+        )
+
+        # Per-subset table assembly: a subset's rows are the merged rows of
+        # its shards, in shard order (bots: every bot shard; privacy: one
+        # shard per technology).  Only complete subsets assemble (every
+        # shard must have emitted its attribute codes), so a table is
+        # either exactly what extraction would produce or absent.
+        offsets: Dict[int, int] = {}
+        offset = 0
+        for result in results:
+            offsets[result.index] = offset
+            offset += result.columns.n_rows
+        subsets: Dict[str, List[ShardResult]] = {}
+        for result in results:
+            key = result.kind if result.kind in ("bots", "real_users") else result.source
+            subsets.setdefault(key, []).append(result)
+        for key, group in subsets.items():
+            payloads = [result.table for result in group]
+            if not payloads or any(payload is None for payload in payloads):
+                continue
+            rows = np.concatenate(
+                [
+                    np.arange(
+                        offsets[result.index],
+                        offsets[result.index] + result.columns.n_rows,
+                        dtype=np.int64,
+                    )
+                    for result in group
+                ]
+            )
+            if not rows.size:
+                continue
+            part = merged.take(rows)
+            corpus.columnar_tables[key] = assemble_table(
+                payloads,
+                request_ids=part.request_ids,
+                timestamps=part.timestamps,
+                cookie_columns=part.cookie_columns(),
+                ip_columns=part.ip_columns(),
             )
 
 

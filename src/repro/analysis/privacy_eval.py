@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
+from repro.core.columnar import ColumnarTable
 from repro.core.detector import FPInconsistent
 from repro.honeysite.storage import RequestStore
 from repro.users.privacy import PrivacyTechnology
@@ -23,6 +24,23 @@ class PrivacyTechnologyResult:
     fp_temporal_rate: float
 
 
+def corpus_privacy_tables(corpus) -> Dict[PrivacyTechnology, ColumnarTable]:
+    """Pre-extracted privacy-technology tables a corpus carries.
+
+    The vectorized corpus engine emits one ``privacy:<technology>`` table
+    per generated technology (and the corpus cache persists them inside
+    the columnar archive); feeding them to
+    :func:`evaluate_privacy_technologies` skips per-store extraction.
+    """
+
+    tables: Dict[PrivacyTechnology, ColumnarTable] = {}
+    for technology in PrivacyTechnology:
+        table = corpus.columnar_tables.get(f"privacy:{technology.value}")
+        if table is not None:
+            tables[technology] = table
+    return tables
+
+
 def evaluate_privacy_technologies(
     stores: Dict[PrivacyTechnology, RequestStore],
     detector: FPInconsistent,
@@ -30,6 +48,7 @@ def evaluate_privacy_technologies(
     engine: str = "columnar",
     workers: int = 1,
     executor=None,
+    tables: Optional[Dict[PrivacyTechnology, ColumnarTable]] = None,
 ) -> Tuple[PrivacyTechnologyResult, ...]:
     """Run the fitted FP-Inconsistent detector over each technology's traffic.
 
@@ -39,15 +58,29 @@ def evaluate_privacy_technologies(
     inconsistencies on every request.  *engine* / *workers* / *executor*
     select the detection engine per store, as in
     :meth:`FPInconsistent.classify_store`.
+
+    *tables* optionally maps technologies to pre-extracted
+    :class:`~repro.core.columnar.ColumnarTable` instances (see
+    :func:`corpus_privacy_tables`); a table is used only when it verifiably
+    corresponds to its store and carries every attribute the detector
+    reads, so results never depend on where it came from.
     """
 
     results = []
     for technology, store in stores.items():
         if len(store) == 0:
             continue
-        verdicts = detector.classify_store(
-            store, engine=engine, workers=workers, executor=executor
-        )
+        table = None if tables is None else tables.get(technology)
+        if (
+            engine == "columnar"
+            and table is not None
+            and detector.accepts_table(table, store)
+        ):
+            verdicts = detector.classify_table(table, workers=workers, executor=executor)
+        else:
+            verdicts = detector.classify_store(
+                store, engine=engine, workers=workers, executor=executor
+            )
         total = len(store)
         spatial = temporal = combined = 0
         for verdict in verdicts.values():

@@ -13,6 +13,7 @@ installing via ``PYTHONPATH=src python -m repro ...``.
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import os
 import sys
@@ -285,10 +286,13 @@ def run_scaling_benchmark(
     For every scale, times the legacy serial path
     (:func:`~repro.analysis.corpus.build_corpus_serial`) as the baseline,
     then the sharded engine per generation engine and worker count,
-    recording requests/second, the speedup over serial and the execution
-    plan the engine actually chose (sub-sharded services, effective
-    workers after the min-records-per-worker clamp).  Returns the result
-    document written to ``BENCH_corpus_scaling.json``.
+    recording requests/second, the speedup over serial, the execution plan
+    the engine actually chose (sub-sharded services, effective workers
+    after the min-records-per-worker clamp, shard payload bytes for the
+    columnar transport) and the cost of materialising record objects out
+    of a columnar-backed store (``materialize_seconds`` — the price the
+    lazy store defers, and what consumers that stay columnar never pay).
+    Returns the result document written to ``BENCH_corpus_scaling.json``.
     """
 
     document = {
@@ -309,6 +313,11 @@ def run_scaling_benchmark(
             "serial_rps": round(len(serial.store) / serial_seconds, 1),
             "engine": [],
         }
+        # Drop finished corpora before every engine run: a process-pool
+        # fork inherits the coordinator's whole heap, so leftover corpora
+        # would bill earlier runs' memory to the run being timed.
+        del serial
+        gc.collect()
         for generation in generations:
             for workers in worker_counts:
                 engine = CorpusEngine(
@@ -317,13 +326,21 @@ def run_scaling_benchmark(
                 started = time.perf_counter()
                 corpus = engine.build(workers=workers, executor=executor)
                 seconds = time.perf_counter() - started
+                started = time.perf_counter()
+                corpus.store.records  # force object materialisation
+                materialize_seconds = time.perf_counter() - started
+                n_records = len(corpus.store)
+                del corpus
+                gc.collect()
                 entry["engine"].append(
                     {
                         "generation": generation,
                         "workers": workers,
                         "seconds": round(seconds, 3),
-                        "rps": round(len(corpus.store) / seconds, 1),
+                        "rps": round(n_records / seconds, 1),
                         "speedup_vs_serial": round(serial_seconds / seconds, 2),
+                        "payload_bytes": engine.last_plan.get("payload_bytes"),
+                        "materialize_seconds": round(materialize_seconds, 3),
                         "plan": engine.last_plan,
                     }
                 )

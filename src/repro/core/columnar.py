@@ -256,6 +256,23 @@ class ColumnarTable:
         code = self._codes[attribute][row]
         return self._values[attribute][code] if code >= 0 else None
 
+    def matches_store(self, store) -> bool:
+        """Whether this table's rows verifiably correspond to *store*.
+
+        The one binding rule shared by every consumer of pre-extracted
+        tables (detector, cache, archive loader): row count plus
+        request-id equality.  Request ids are renumbered 1..N in store
+        order, so an id match binds the table to the exact row sequence;
+        ``store.request_id_array`` answers from the columns of a lazy
+        store, so the check never materialises records.
+        """
+
+        if self.request_ids is None:
+            return False
+        if self.n_rows != len(store):
+            return False
+        return bool(np.array_equal(self.request_ids, store.request_id_array()))
+
     def cookie_at(self, row: int) -> Optional[str]:
         code = self.cookie_codes[row]
         return self.cookie_values[code] if code >= 0 else None
@@ -284,36 +301,96 @@ class ColumnarTable:
 
     # -- persistence -----------------------------------------------------------
 
-    def save_npz(self, path) -> None:
-        """Persist the table (codes, decode lists, request metadata) as
-        a compressed ``.npz`` archive.
+    def to_arrays(self, prefix: str = "") -> Tuple[Dict[str, np.ndarray], Dict]:
+        """Split the table into (numeric arrays, JSON-able meta) for ``.npz``
+        persistence, with every array key *prefix*-ed.
 
         Only tables built with :meth:`from_store` (request metadata
-        present) can be persisted — that is what the corpus cache sidecar
-        stores.  Decode lists ride along as a JSON document; grouping
-        values are JSON scalars (strings, ints, floats, bools) by
-        construction, and JSON round-trips them exactly.
+        present) can be persisted — that is what the corpus cache stores.
+        Decode lists ride along in the meta document; grouping values are
+        JSON scalars (strings, ints, floats, bools) by construction, and
+        JSON round-trips them exactly.  Inverse of :meth:`from_arrays`.
         """
 
         if self.request_ids is None or self.cookie_codes is None or self.ip_codes is None:
             raise ValueError("only tables built with from_store can be persisted")
         attributes = list(self._codes)
         meta = {
-            "version": TABLE_FORMAT_VERSION,
             "attributes": [attribute.value for attribute in attributes],
             "values": [self._values[attribute] for attribute in attributes],
             "cookie_values": self.cookie_values,
             "ip_values": self.ip_values,
         }
         arrays: Dict[str, np.ndarray] = {
-            "meta": np.array(json.dumps(meta)),
-            "request_ids": self.request_ids,
-            "timestamps": self.timestamps,
-            "cookie_codes": self.cookie_codes,
-            "ip_codes": self.ip_codes,
+            f"{prefix}request_ids": self.request_ids,
+            f"{prefix}timestamps": self.timestamps,
+            f"{prefix}cookie_codes": self.cookie_codes,
+            f"{prefix}ip_codes": self.ip_codes,
         }
         for position, attribute in enumerate(attributes):
-            arrays[f"codes_{position}"] = self._codes[attribute]
+            arrays[f"{prefix}codes_{position}"] = self._codes[attribute]
+        return arrays, meta
+
+    @classmethod
+    def from_arrays(
+        cls, data, meta: Dict, prefix: str = "", label: str = "columnar archive"
+    ) -> "ColumnarTable":
+        """Rebuild a table from :meth:`to_arrays` output (*data* is any
+        mapping of array names — an open ``.npz`` works directly).
+
+        Raises :class:`ValueError` on out-of-range codes or ragged
+        columns; *label* names the source in error messages.
+        """
+
+        attributes = [Attribute(name) for name in meta["attributes"]]
+        value_lists = meta["values"]
+        if len(value_lists) != len(attributes):
+            raise ValueError(f"{label} is inconsistent")
+        codes: Dict[Attribute, np.ndarray] = {}
+        values: Dict[Attribute, List[object]] = {}
+        indexes: Dict[Attribute, Dict[object, int]] = {}
+        n_rows: Optional[int] = None
+        for position, attribute in enumerate(attributes):
+            column = np.asarray(data[f"{prefix}codes_{position}"], dtype=np.int32)
+            decoded = list(value_lists[position])
+            if column.size and (
+                int(column.max()) >= len(decoded) or int(column.min()) < -1
+            ):
+                raise ValueError(f"{label} has out-of-range codes")
+            if n_rows is None:
+                n_rows = int(column.size)
+            elif n_rows != int(column.size):
+                raise ValueError(f"{label} has ragged columns")
+            codes[attribute] = column
+            values[attribute] = decoded
+            indexes[attribute] = {value: code for code, value in enumerate(decoded)}
+        request_ids = np.asarray(data[f"{prefix}request_ids"], dtype=np.int64)
+        if n_rows is None:
+            n_rows = int(request_ids.size)
+        if request_ids.size != n_rows:
+            raise ValueError(f"{label} has ragged metadata")
+        table = cls(codes=codes, values=values, indexes=indexes, n_rows=n_rows)
+        table.request_ids = request_ids
+        table.timestamps = np.asarray(data[f"{prefix}timestamps"], dtype=np.float64)
+        table.cookie_codes = np.asarray(data[f"{prefix}cookie_codes"], dtype=np.int32)
+        table.cookie_values = [str(value) for value in meta["cookie_values"]]
+        table.ip_codes = np.asarray(data[f"{prefix}ip_codes"], dtype=np.int32)
+        table.ip_values = [str(value) for value in meta["ip_values"]]
+        if (
+            table.timestamps.size != n_rows
+            or table.cookie_codes.size != n_rows
+            or table.ip_codes.size != n_rows
+        ):
+            raise ValueError(f"{label} has ragged metadata")
+        return table
+
+    def save_npz(self, path) -> None:
+        """Persist the table (codes, decode lists, request metadata) as
+        a compressed ``.npz`` archive."""
+
+        arrays, meta = self.to_arrays()
+        meta = {"version": TABLE_FORMAT_VERSION, **meta}
+        arrays = {"meta": np.array(json.dumps(meta)), **arrays}
         with open(path, "wb") as handle:
             np.savez_compressed(handle, **arrays)
 
@@ -334,43 +411,7 @@ class ColumnarTable:
                     f"columnar archive {path} has format version {version}; "
                     f"this build reads up to {TABLE_FORMAT_VERSION}"
                 )
-            attributes = [Attribute(name) for name in meta["attributes"]]
-            value_lists = meta["values"]
-            if len(value_lists) != len(attributes):
-                raise ValueError(f"columnar archive {path} is inconsistent")
-            codes: Dict[Attribute, np.ndarray] = {}
-            values: Dict[Attribute, List[object]] = {}
-            indexes: Dict[Attribute, Dict[object, int]] = {}
-            n_rows: Optional[int] = None
-            for position, attribute in enumerate(attributes):
-                column = np.asarray(data[f"codes_{position}"], dtype=np.int32)
-                decoded = list(value_lists[position])
-                if column.size and (
-                    int(column.max()) >= len(decoded) or int(column.min()) < -1
-                ):
-                    raise ValueError(f"columnar archive {path} has out-of-range codes")
-                if n_rows is None:
-                    n_rows = int(column.size)
-                elif n_rows != int(column.size):
-                    raise ValueError(f"columnar archive {path} has ragged columns")
-                codes[attribute] = column
-                values[attribute] = decoded
-                indexes[attribute] = {value: code for code, value in enumerate(decoded)}
-            request_ids = np.asarray(data["request_ids"], dtype=np.int64)
-            if n_rows is None:
-                n_rows = int(request_ids.size)
-            if request_ids.size != n_rows:
-                raise ValueError(f"columnar archive {path} has ragged metadata")
-            table = cls(codes=codes, values=values, indexes=indexes, n_rows=n_rows)
-            table.request_ids = request_ids
-            table.timestamps = np.asarray(data["timestamps"], dtype=np.float64)
-            table.cookie_codes = np.asarray(data["cookie_codes"], dtype=np.int32)
-            table.cookie_values = [str(value) for value in meta["cookie_values"]]
-            table.ip_codes = np.asarray(data["ip_codes"], dtype=np.int32)
-            table.ip_values = [str(value) for value in meta["ip_values"]]
-            if table.timestamps.size != n_rows or table.cookie_codes.size != n_rows or table.ip_codes.size != n_rows:
-                raise ValueError(f"columnar archive {path} has ragged metadata")
-        return table
+            return cls.from_arrays(data, meta, label=f"columnar archive {path}")
 
     def take(self, rows: np.ndarray) -> "ColumnarTable":
         """Row-sliced view sharing decode lists (cheap to pickle per shard)."""
@@ -496,14 +537,27 @@ class TableEmitter:
         )
 
 
-def merge_table_payloads(payloads: Sequence[TablePayload], records) -> ColumnarTable:
+def assemble_table(
+    payloads: Sequence[TablePayload],
+    *,
+    request_ids,
+    timestamps,
+    cookies: Optional[Sequence[str]] = None,
+    ips: Optional[Sequence[str]] = None,
+    cookie_columns: Optional[Tuple[np.ndarray, List[str]]] = None,
+    ip_columns: Optional[Tuple[np.ndarray, List[str]]] = None,
+) -> ColumnarTable:
     """Merge shard payloads (in shard order) into one :class:`ColumnarTable`.
 
-    *records* are the already-merged (and renumbered) store records the
-    payload rows correspond to, in the same order; they supply the request
-    metadata columns.  Local value codes are remapped into one global code
-    space assigned in merged-row first-occurrence order, so the result is
-    byte-identical to ``ColumnarTable.from_store`` over those records.
+    The cookie/address metadata comes in either as plain value sequences
+    (*cookies* / *ips*, factorized here) or — the columnar shard
+    transport's path — as already first-occurrence-coded ``(codes,
+    values)`` pairs (*cookie_columns* / *ip_columns*,
+    :meth:`~repro.honeysite.storage.RecordColumns.cookie_columns`), which
+    skips decoding one string per row.  Local attribute codes are remapped
+    into one global code space assigned in merged-row first-occurrence
+    order, so the result is byte-identical to
+    ``ColumnarTable.from_store`` over the corresponding records.
     """
 
     if not payloads:
@@ -542,22 +596,37 @@ def merge_table_payloads(payloads: Sequence[TablePayload], records) -> ColumnarT
         indexes[attribute] = global_index
 
     n_rows = int(codes[attributes[0]].size) if attributes else 0
-    records = list(records)
-    if len(records) != n_rows:
-        raise ValueError(
-            f"table payloads cover {n_rows} rows but {len(records)} records were merged"
-        )
+
+    def _metadata(
+        decoded: Optional[Sequence[str]],
+        coded: Optional[Tuple[np.ndarray, List[str]]],
+        label: str,
+    ) -> Tuple[np.ndarray, List[str]]:
+        if (decoded is None) == (coded is None):
+            raise ValueError(f"supply exactly one of {label} values or columns")
+        if coded is not None:
+            column, column_values = coded
+            column = np.asarray(column, dtype=np.int32)
+        else:
+            column, column_values, _ = _factorize(list(decoded))
+        if column.size != n_rows:
+            raise ValueError(
+                f"table payloads cover {n_rows} rows but the {label} column "
+                f"has {column.size}"
+            )
+        return column, list(column_values)
+
     table = ColumnarTable(
         codes=codes, values=values, indexes=indexes, n_rows=n_rows
     )
-    table.request_ids = np.array(
-        [record.request.request_id for record in records], dtype=np.int64
-    )
-    table.timestamps = np.array([record.timestamp for record in records], dtype=np.float64)
-    cookie_codes, cookie_values, _ = _factorize([record.cookie for record in records])
-    table.cookie_codes, table.cookie_values = cookie_codes, cookie_values
-    ip_codes, ip_values, _ = _factorize([record.request.ip_address for record in records])
-    table.ip_codes, table.ip_values = ip_codes, ip_values
+    table.request_ids = np.asarray(request_ids, dtype=np.int64)
+    table.timestamps = np.asarray(timestamps, dtype=np.float64)
+    if table.request_ids.size != n_rows or table.timestamps.size != n_rows:
+        raise ValueError(
+            f"table payloads cover {n_rows} rows but id/timestamp columns disagree"
+        )
+    table.cookie_codes, table.cookie_values = _metadata(cookies, cookie_columns, "cookie")
+    table.ip_codes, table.ip_values = _metadata(ips, ip_columns, "address")
     return table
 
 

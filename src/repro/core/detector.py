@@ -170,12 +170,8 @@ class FPInconsistent:
             return False
         if not all(table.has_attribute(attribute) for attribute in self.table_attributes()):
             return False
-        if store is not None:
-            if table.n_rows != len(store):
-                return False
-            for row, record in enumerate(store):
-                if int(table.request_ids[row]) != record.request.request_id:
-                    return False
+        if store is not None and not table.matches_store(store):
+            return False
         return True
 
     def extract_table(self, store: RequestStore) -> ColumnarTable:

@@ -17,7 +17,6 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.columnar import _factorize
 from repro.core.detector import FPInconsistent, InconsistencyVerdict
 from repro.honeysite.storage import RequestStore, split_rows
 
@@ -72,22 +71,22 @@ class _StoreColumns:
     """
 
     def __init__(self, store: RequestStore, verdicts: Dict[int, InconsistencyVerdict]):
-        records = list(store)
-        self.n = len(records)
+        # Every column routes through the store's columnar accessors
+        # (request_id_array / evaded_rows / source_rows): a lazy
+        # columnar-backed store answers them from its arrays without
+        # materialising a single record object, an object store walks its
+        # records exactly as this constructor used to.
+        self.n = len(store)
         spatial_ids, temporal_ids = _verdict_id_sets(verdicts)
+        request_ids = store.request_id_array().tolist()
         self.spatial = np.fromiter(
-            (record.request.request_id in spatial_ids for record in records), bool, self.n
+            (request_id in spatial_ids for request_id in request_ids), bool, self.n
         )
         self.temporal = np.fromiter(
-            (record.request.request_id in temporal_ids for record in records), bool, self.n
+            (request_id in temporal_ids for request_id in request_ids), bool, self.n
         )
-        self.evaded = {
-            name: np.fromiter((record.evaded(name) for record in records), bool, self.n)
-            for name in DETECTOR_NAMES
-        }
-        self.source_codes, _source_names, self.source_index = _factorize(
-            [record.source for record in records]
-        )
+        self.evaded = {name: store.evaded_rows(name) for name in DETECTOR_NAMES}
+        self.source_codes, _source_names, self.source_index = store.source_rows()
 
     def improved_count(self, detector: str, hits: np.ndarray, mask=None) -> int:
         """Requests detected once the service's decision is OR-ed with *hits*."""
@@ -231,12 +230,11 @@ def true_negative_rate(
 
     if len(store) == 0:
         return 1.0
-    flagged = sum(
-        1
-        for record in store
-        if verdicts.get(record.request.request_id)
-        and verdicts[record.request.request_id].is_inconsistent
-    )
+    flagged = 0
+    for request_id in store.request_id_array().tolist():
+        verdict = verdicts.get(request_id)
+        if verdict and verdict.is_inconsistent:
+            flagged += 1
     return 1.0 - flagged / len(store)
 
 

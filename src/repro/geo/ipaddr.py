@@ -114,14 +114,62 @@ def parse_ipv4(address: str) -> Tuple[int, int, int, int]:
     return octets[0], octets[1], octets[2], octets[3]
 
 
+class AddressSpaceExhausted(RuntimeError):
+    """A kind's configured first-octet segments are fully allocated."""
+
+
+#: Default first-octet segments per ASN kind, as ``(base, span)`` pairs
+#: (``span`` first octets starting at ``base``).  The *primary* segment of
+#: each kind keeps its historical base — residential ``100.x``–``109.x``,
+#: mobile ``110.x``–``119.x``, cloud ``34.x``–``44.x``, hosting
+#: ``45.x``–``54.x`` — so every address any previous revision allocated is
+#: unchanged; the *extension* segments only come into play once the
+#: primary segment is full, giving ``--scale`` values well beyond 1.0 (and
+#: wider shard fan-outs) 3–4× the historical block capacity per kind.
+DEFAULT_KIND_OCTET_RANGES: Dict[AsnKind, Tuple[Tuple[int, int], ...]] = {
+    AsnKind.RESIDENTIAL_ISP: ((100, 10), (160, 32)),
+    AsnKind.MOBILE_CARRIER: ((110, 10), (192, 32)),
+    AsnKind.CLOUD_PROVIDER: ((34, 11), (120, 20)),
+    AsnKind.HOSTING_PROVIDER: ((45, 10), (140, 20)),
+}
+
+
+def _validate_kind_ranges(
+    kind_ranges: Dict[AsnKind, Tuple[Tuple[int, int], ...]],
+) -> Dict[AsnKind, Tuple[Tuple[int, int], ...]]:
+    """Check segment sanity and global disjointness across kinds."""
+
+    claimed: Dict[int, AsnKind] = {}
+    validated: Dict[AsnKind, Tuple[Tuple[int, int], ...]] = {}
+    for kind, segments in kind_ranges.items():
+        normalized = tuple((int(base), int(span)) for base, span in segments)
+        if not normalized:
+            raise ValueError(f"{kind} needs at least one octet segment")
+        for base, span in normalized:
+            if span < 1 or base < 1 or base + span > 256:
+                raise ValueError(
+                    f"invalid octet segment ({base}, {span}) for {kind}: "
+                    f"need 1 <= base and base + span <= 256"
+                )
+            for octet in range(base, base + span):
+                owner = claimed.get(octet)
+                if owner is not None:
+                    raise ValueError(
+                        f"octet {octet} claimed by both {owner} and {kind}; "
+                        f"kind segments must be disjoint"
+                    )
+                claimed[octet] = kind
+        validated[kind] = normalized
+    return validated
+
+
 class IpAddressSpace:
     """Deterministic allocator of synthetic IPv4 addresses.
 
     The space assigns a distinct /16 to every (ASN, region) combination as
-    blocks are requested, starting from disjoint first-octet ranges for
-    residential (``100.x``–``109.x``), mobile (``110.x``–``119.x``), cloud
-    (``34.x``–``44.x``) and hosting (``45.x``–``54.x``) address space so
-    that block kinds never collide.
+    blocks are requested, drawing from disjoint per-kind first-octet
+    segments (:data:`DEFAULT_KIND_OCTET_RANGES`) so that block kinds never
+    collide.
 
     Parameters
     ----------
@@ -132,20 +180,27 @@ class IpAddressSpace:
         independently generated shards can later be merged (via
         :meth:`adopt`) into one space without prefix collisions.  The
         default ``(0, 1)`` reproduces the legacy demand-ordered sequence.
+    kind_ranges:
+        Optional override of the per-kind octet segments (merged over the
+        defaults; segments must be disjoint across kinds).  Widening a
+        kind's segments never changes already-allocatable addresses — it
+        only raises the point at which :class:`AddressSpaceExhausted` is
+        raised.
     """
 
-    _KIND_OCTET_RANGES = {
-        AsnKind.RESIDENTIAL_ISP: (100, 10),
-        AsnKind.MOBILE_CARRIER: (110, 10),
-        AsnKind.CLOUD_PROVIDER: (34, 11),
-        AsnKind.HOSTING_PROVIDER: (45, 10),
-    }
-
-    def __init__(self, partition: Tuple[int, int] = (0, 1)) -> None:
+    def __init__(
+        self,
+        partition: Tuple[int, int] = (0, 1),
+        kind_ranges: Optional[Dict[AsnKind, Tuple[Tuple[int, int], ...]]] = None,
+    ) -> None:
         index, count = int(partition[0]), int(partition[1])
         if count < 1 or not 0 <= index < count:
             raise ValueError(f"invalid partition {partition!r}; need 0 <= index < count")
         self._partition = (index, count)
+        merged = dict(DEFAULT_KIND_OCTET_RANGES)
+        if kind_ranges:
+            merged.update(kind_ranges)
+        self._kind_ranges = _validate_kind_ranges(merged)
         self._assignments: Dict[Tuple[int, str, str], PrefixAssignment] = {}
         self._by_prefix: Dict[Tuple[int, int], PrefixAssignment] = {}
         #: per-kind count of blocks this partition has allocated so far
@@ -159,12 +214,26 @@ class IpAddressSpace:
     def assignments(self) -> List[PrefixAssignment]:
         return list(self._by_prefix.values())
 
+    def kind_capacity(self, kind: AsnKind) -> int:
+        """Total /16 blocks the configured segments give *kind*."""
+
+        return sum(span * 256 for _base, span in self._kind_ranges[kind])
+
     def _block_octets(self, kind: AsnKind, global_index: int) -> Tuple[int, int]:
-        base, span = self._KIND_OCTET_RANGES[kind]
-        first = base + global_index // 256
-        if first >= base + span:
-            raise RuntimeError("address space for this ASN kind is exhausted")
-        return first, global_index % 256
+        remaining = int(global_index)
+        for base, span in self._kind_ranges[kind]:
+            segment_blocks = span * 256
+            if remaining < segment_blocks:
+                return base + remaining // 256, remaining % 256
+            remaining -= segment_blocks
+        index, count = self._partition
+        raise AddressSpaceExhausted(
+            f"synthetic address space for {kind.value!r} is exhausted: block "
+            f"{global_index} requested but the configured segments "
+            f"{self._kind_ranges[kind]} hold only {self.kind_capacity(kind)} /16 "
+            f"blocks (partition {index}/{count}).  Widen the kind's segments via "
+            f"IpAddressSpace(kind_ranges=...) or reduce the shard count / scale."
+        )
 
     def assignment_for(self, asn: int, region: GeoRegion) -> PrefixAssignment:
         """Return (allocating if needed) the /16 owned by *asn* in *region*."""

@@ -142,6 +142,7 @@ class SessionMaterial:
         "codes",
         "request_proto",
         "record_proto",
+        "payload_code",
     )
 
     def __init__(
@@ -167,6 +168,9 @@ class SessionMaterial:
         #: lazily on the session's first emit
         self.request_proto: Optional[Dict[str, Any]] = None
         self.record_proto: Optional[Dict[str, Any]] = None
+        #: session index assigned by a columnar payload sink
+        #: (:class:`~repro.honeysite.storage.RecordColumnsBuilder`)
+        self.payload_code: Optional[int] = None
 
 
 class SessionRecorder:
@@ -183,10 +187,21 @@ class SessionRecorder:
 
     Byte-for-byte equivalence with :meth:`HoneySite.handle` for every
     emitted record is the contract (``tests/test_vectorized.py`` pins it).
+
+    *sink* optionally redirects emission into a
+    :class:`~repro.honeysite.storage.RecordColumnsBuilder`: instead of
+    constructing the two frozen record objects per request and appending
+    them to the site's store, :meth:`emit` appends one row of codes to the
+    builder (cookie issuance still runs — it consumes the site's cookie
+    stream).  The builder's columns are what shard workers ship back to
+    the corpus coordinator; materialising them through
+    :class:`~repro.honeysite.storage.LazyRequestStore` reproduces the
+    object path byte for byte.
     """
 
-    def __init__(self, site: HoneySite):
+    def __init__(self, site: HoneySite, *, sink=None):
         self._site = site
+        self._sink = sink
         self._decisions: Dict[Tuple, Tuple[Decision, Decision]] = {}
         self._headers: Dict[Tuple, Mapping[str, str]] = {}
         #: /16-prefix string → GeoRecord (or None): every address of a
@@ -307,6 +322,17 @@ class SessionRecorder:
 
         site = self._site
         cookie = site.cookies.ensure(presented_cookie)
+        sink = self._sink
+        if sink is not None:
+            sink.append(
+                material,
+                url_path=url_path,
+                source=source,
+                timestamp=timestamp,
+                presented=presented_cookie,
+                served=cookie,
+            )
+            return cookie
         # Construct both frozen records directly from per-session field
         # prototypes: the generator guarantees the invariants __post_init__
         # would re-check (the url path is a registered "/..."-path,

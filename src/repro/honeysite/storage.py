@@ -6,6 +6,23 @@ value after issuance and the decisions of both anti-bot services (mirroring
 Figure 3 — "decisions from DataDome and BotD are stored in the database
 alongside other request data").  The :class:`RequestStore` is the query
 surface every analysis in Sections 5–7 runs against.
+
+Records exist in two physical representations:
+
+* **object form** — a list of :class:`RecordedRequest` instances, the
+  representation the legacy generators produce and every per-record
+  analysis consumes;
+* **columnar form** (:class:`RecordColumns`) — per-row arrays (timestamps,
+  cookie codes, source codes, session codes) over session-deduplicated
+  dictionaries (fingerprints, headers, detector decisions), the compact
+  layout shard workers ship back to the corpus coordinator and the corpus
+  cache persists.
+
+:class:`LazyRequestStore` bridges the two: it is a drop-in
+:class:`RequestStore` over a :class:`RecordColumns` that answers the
+columnar pipeline's queries (lengths, splits, source subsets, request-id /
+evasion columns) straight from the arrays and only materialises record
+objects when a consumer genuinely iterates them.
 """
 
 from __future__ import annotations
@@ -14,10 +31,24 @@ import gzip
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
 
 from repro.antibot.base import Decision
 from repro.fingerprint.attributes import Attribute
+from repro.fingerprint.fingerprint import Fingerprint
 from repro.network.request import WebRequest
 
 SECONDS_PER_DAY = 86_400.0
@@ -28,7 +59,10 @@ SECONDS_PER_DAY = 86_400.0
 #: rather than mis-parsing (or silently serving outdated) archives.
 #: Version 2: sub-sharded generation of large services changed default
 #: corpora, and archives gained the ``columnar_*.npz`` sidecars.
-CORPUS_FORMAT_VERSION = 2
+#: Version 3: corpora built by the columnar shard transport persist as one
+#: ``store_columnar.npz`` archive (record columns + embedded fingerprint
+#: tables); version-2 JSONL archives remain readable.
+CORPUS_FORMAT_VERSION = 3
 
 #: Marker identifying the header line of a versioned store file.
 _STORE_HEADER_MARKER = "repro-request-store"
@@ -144,6 +178,519 @@ class RecordedRequest:
         )
 
 
+class RecordColumns:
+    """Columnar representation of a record sequence.
+
+    Per-row quantities are plain arrays; everything a traffic-generator
+    session keeps constant (the fingerprint, the synthesised headers, both
+    detector decisions, the source address) is stored once per session and
+    referenced through ``session_codes``.  The layout is what shard workers
+    return to the corpus coordinator — pickling it costs a handful of
+    array copies plus one fingerprint per *session* instead of seven
+    objects per *request* — and what the corpus cache persists.
+
+    ``request_ids`` may be ``None`` on a freshly built shard payload; the
+    coordinator assigns merged-order ids through :meth:`renumbered`.
+    Record objects never live here: :class:`LazyRequestStore` rebuilds
+    them on demand, byte-identical to what the object-at-a-time path
+    produces.
+    """
+
+    __slots__ = (
+        "timestamps",
+        "session_codes",
+        "presented_codes",
+        "served_codes",
+        "source_codes",
+        "request_ids",
+        "cookie_values",
+        "sources",
+        "url_paths",
+        "session_fingerprints",
+        "session_headers",
+        "session_datadome",
+        "session_botd",
+        "session_ips",
+        "headers",
+        "decisions",
+    )
+
+    def __init__(
+        self,
+        *,
+        timestamps: np.ndarray,
+        session_codes: np.ndarray,
+        presented_codes: np.ndarray,
+        served_codes: np.ndarray,
+        source_codes: np.ndarray,
+        cookie_values: List[str],
+        sources: List[str],
+        url_paths: List[str],
+        session_fingerprints: List[Fingerprint],
+        session_headers: np.ndarray,
+        session_datadome: np.ndarray,
+        session_botd: np.ndarray,
+        session_ips: List[str],
+        headers: List[Mapping[str, str]],
+        decisions: List[Decision],
+        request_ids: Optional[np.ndarray] = None,
+    ):
+        self.timestamps = timestamps
+        self.session_codes = session_codes
+        self.presented_codes = presented_codes
+        self.served_codes = served_codes
+        self.source_codes = source_codes
+        self.request_ids = request_ids
+        self.cookie_values = cookie_values
+        self.sources = sources
+        self.url_paths = url_paths
+        self.session_fingerprints = session_fingerprints
+        self.session_headers = session_headers
+        self.session_datadome = session_datadome
+        self.session_botd = session_botd
+        self.session_ips = session_ips
+        self.headers = headers
+        self.decisions = decisions
+
+    @property
+    def n_rows(self) -> int:
+        return int(self.timestamps.size)
+
+    @property
+    def n_sessions(self) -> int:
+        return len(self.session_fingerprints)
+
+    def renumbered(self, start: int = 1) -> "RecordColumns":
+        """Copy with sequential request ids ``start..start+n-1``.
+
+        The coordinator calls this after merging shards, restoring the
+        serial-path invariant that ids are 1..N in store order regardless
+        of executor and worker count.
+        """
+
+        clone = self.take(np.arange(self.n_rows, dtype=np.int64))
+        clone.request_ids = np.arange(start, start + self.n_rows, dtype=np.int64)
+        return clone
+
+    def take(self, rows: np.ndarray) -> "RecordColumns":
+        """Row-sliced copy sharing the session/value dictionaries."""
+
+        rows = np.asarray(rows, dtype=np.int64)
+        return RecordColumns(
+            timestamps=self.timestamps[rows],
+            session_codes=self.session_codes[rows],
+            presented_codes=self.presented_codes[rows],
+            served_codes=self.served_codes[rows],
+            source_codes=self.source_codes[rows],
+            request_ids=None if self.request_ids is None else self.request_ids[rows],
+            cookie_values=self.cookie_values,
+            sources=self.sources,
+            url_paths=self.url_paths,
+            session_fingerprints=self.session_fingerprints,
+            session_headers=self.session_headers,
+            session_datadome=self.session_datadome,
+            session_botd=self.session_botd,
+            session_ips=self.session_ips,
+            headers=self.headers,
+            decisions=self.decisions,
+        )
+
+    @classmethod
+    def concat(cls, parts: Iterable["RecordColumns"]) -> "RecordColumns":
+        """Merge shard columns in order into one columnar record sequence.
+
+        Shard-local codes are offset into the merged dictionaries.  Cookie
+        values never repeat across shards (each shard issues from its own
+        stream) so cookie offsets are pure concatenation; sources *do*
+        repeat across sub-shards of one split service and are deduplicated
+        by name (their URL paths must agree).
+        """
+
+        parts = list(parts)
+        if not parts:
+            raise ValueError("cannot concatenate zero record column sets")
+        timestamps, session_codes = [], []
+        presented_codes, served_codes, source_codes = [], [], []
+        cookie_values: List[str] = []
+        sources: List[str] = []
+        url_paths: List[str] = []
+        source_index: Dict[str, int] = {}
+        session_fingerprints: List[Fingerprint] = []
+        session_headers, session_datadome, session_botd = [], [], []
+        session_ips: List[str] = []
+        headers: List[Mapping[str, str]] = []
+        decisions: List[Decision] = []
+        for part in parts:
+            cookie_offset = len(cookie_values)
+            session_offset = len(session_fingerprints)
+            headers_offset = len(headers)
+            decisions_offset = len(decisions)
+            source_map = np.empty(len(part.sources), dtype=np.int32)
+            for local, (name, url_path) in enumerate(zip(part.sources, part.url_paths)):
+                code = source_index.get(name)
+                if code is None:
+                    code = len(sources)
+                    source_index[name] = code
+                    sources.append(name)
+                    url_paths.append(url_path)
+                elif url_paths[code] != url_path:
+                    raise ValueError(
+                        f"source {name!r} maps to conflicting URL paths "
+                        f"{url_paths[code]!r} and {url_path!r}"
+                    )
+                source_map[local] = code
+            timestamps.append(part.timestamps)
+            session_codes.append(part.session_codes + session_offset)
+            presented = part.presented_codes.copy()
+            presented[presented >= 0] += cookie_offset
+            presented_codes.append(presented)
+            served_codes.append(part.served_codes + cookie_offset)
+            source_codes.append(
+                source_map[part.source_codes] if len(part.sources) else part.source_codes
+            )
+            cookie_values.extend(part.cookie_values)
+            session_fingerprints.extend(part.session_fingerprints)
+            session_headers.append(part.session_headers + headers_offset)
+            session_datadome.append(part.session_datadome + decisions_offset)
+            session_botd.append(part.session_botd + decisions_offset)
+            session_ips.extend(part.session_ips)
+            headers.extend(part.headers)
+            decisions.extend(part.decisions)
+        return cls(
+            timestamps=np.concatenate(timestamps),
+            session_codes=np.concatenate(session_codes),
+            presented_codes=np.concatenate(presented_codes),
+            served_codes=np.concatenate(served_codes),
+            source_codes=np.concatenate(source_codes),
+            cookie_values=cookie_values,
+            sources=sources,
+            url_paths=url_paths,
+            session_fingerprints=session_fingerprints,
+            session_headers=np.concatenate(session_headers)
+            if session_headers
+            else np.empty(0, dtype=np.int32),
+            session_datadome=np.concatenate(session_datadome)
+            if session_datadome
+            else np.empty(0, dtype=np.int32),
+            session_botd=np.concatenate(session_botd)
+            if session_botd
+            else np.empty(0, dtype=np.int32),
+            session_ips=session_ips,
+            headers=headers,
+            decisions=decisions,
+        )
+
+    # -- decoded row views ------------------------------------------------------
+
+    def row_cookies(self) -> List[str]:
+        """Served cookie value per row (what ``record.cookie`` holds)."""
+
+        values = self.cookie_values
+        return [values[code] for code in self.served_codes.tolist()]
+
+    def row_ips(self) -> List[str]:
+        """Source address per row (``record.request.ip_address``)."""
+
+        ips = self.session_ips
+        return [ips[code] for code in self.session_codes.tolist()]
+
+    def cookie_columns(self) -> Tuple[np.ndarray, List[str]]:
+        """Served-cookie column re-coded in row first-occurrence order —
+        exactly what factorizing :meth:`row_cookies` would produce, without
+        decoding a string per row."""
+
+        return _first_occurrence_recode(self.served_codes, self.cookie_values)
+
+    def ip_columns(self) -> Tuple[np.ndarray, List[str]]:
+        """Source-address column re-coded in row first-occurrence order."""
+
+        return _first_occurrence_recode(self.session_codes, self.session_ips)
+
+    def evaded_rows(self, detector: str) -> np.ndarray:
+        """Boolean per-row evasion column of *detector*, straight from the
+        session-deduplicated decision dictionary."""
+
+        if detector == "DataDome":
+            per_session_decision = self.session_datadome
+        elif detector == "BotD":
+            per_session_decision = self.session_botd
+        else:
+            raise KeyError(f"unknown detector {detector!r}")
+        evaded = np.fromiter(
+            (decision.evaded for decision in self.decisions), dtype=bool, count=len(self.decisions)
+        )
+        if not self.n_sessions:
+            return np.zeros(self.n_rows, dtype=bool)
+        return evaded[per_session_decision][self.session_codes]
+
+    # -- persistence ------------------------------------------------------------
+
+    def to_payload(self) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+        """Split into a (numeric arrays, JSON-able meta) pair for ``.npz``
+        persistence; inverse of :meth:`from_payload`."""
+
+        if self.request_ids is None:
+            raise ValueError("only renumbered record columns can be persisted")
+        arrays = {
+            "timestamps": self.timestamps,
+            "session_codes": self.session_codes,
+            "presented_codes": self.presented_codes,
+            "served_codes": self.served_codes,
+            "source_codes": self.source_codes,
+            "request_ids": self.request_ids,
+            "session_headers": self.session_headers,
+            "session_datadome": self.session_datadome,
+            "session_botd": self.session_botd,
+        }
+        meta = {
+            "cookie_values": list(self.cookie_values),
+            "sources": list(self.sources),
+            "url_paths": list(self.url_paths),
+            "session_fingerprints": [
+                fingerprint.to_dict() for fingerprint in self.session_fingerprints
+            ],
+            "session_ips": list(self.session_ips),
+            "headers": [dict(entry) for entry in self.headers],
+            "decisions": [
+                {
+                    "detector": decision.detector,
+                    "is_bot": decision.is_bot,
+                    "score": decision.score,
+                    "signals": list(decision.signals),
+                }
+                for decision in self.decisions
+            ],
+        }
+        return arrays, meta
+
+    @classmethod
+    def from_payload(cls, arrays: Mapping[str, Any], meta: Mapping[str, Any]) -> "RecordColumns":
+        """Rebuild record columns persisted by :meth:`to_payload`.
+
+        Raises :class:`StoreFormatError` on any internal inconsistency
+        (ragged arrays, out-of-range codes) so a truncated or corrupt
+        archive reads as a cache miss, never as a silently wrong corpus.
+        """
+
+        def _int32(name: str) -> np.ndarray:
+            return np.asarray(arrays[name], dtype=np.int32)
+
+        columns = cls(
+            timestamps=np.asarray(arrays["timestamps"], dtype=np.float64),
+            session_codes=np.asarray(arrays["session_codes"], dtype=np.int64),
+            presented_codes=_int32("presented_codes"),
+            served_codes=_int32("served_codes"),
+            source_codes=_int32("source_codes"),
+            request_ids=np.asarray(arrays["request_ids"], dtype=np.int64),
+            cookie_values=[str(value) for value in meta["cookie_values"]],
+            sources=[str(value) for value in meta["sources"]],
+            url_paths=[str(value) for value in meta["url_paths"]],
+            session_fingerprints=[
+                Fingerprint.from_dict(entry) for entry in meta["session_fingerprints"]
+            ],
+            session_headers=_int32("session_headers"),
+            session_datadome=_int32("session_datadome"),
+            session_botd=_int32("session_botd"),
+            session_ips=[str(value) for value in meta["session_ips"]],
+            headers=[
+                {str(key): str(value) for key, value in entry.items()}
+                for entry in meta["headers"]
+            ],
+            decisions=[
+                Decision(
+                    detector=str(entry["detector"]),
+                    is_bot=bool(entry["is_bot"]),
+                    score=float(entry["score"]),
+                    signals=tuple(entry.get("signals", ())),
+                )
+                for entry in meta["decisions"]
+            ],
+        )
+        columns.validate()
+        return columns
+
+    def validate(self) -> None:
+        """Check internal consistency; raises :class:`StoreFormatError`."""
+
+        n = self.n_rows
+        per_row = (
+            self.session_codes,
+            self.presented_codes,
+            self.served_codes,
+            self.source_codes,
+        ) + (() if self.request_ids is None else (self.request_ids,))
+        if any(column.size != n for column in per_row):
+            raise StoreFormatError("record columns are ragged")
+        n_sessions = self.n_sessions
+        per_session = (self.session_headers, self.session_datadome, self.session_botd)
+        if any(column.size != n_sessions for column in per_session) or len(
+            self.session_ips
+        ) != n_sessions:
+            raise StoreFormatError("session dictionaries are ragged")
+        if len(self.sources) != len(self.url_paths):
+            raise StoreFormatError("source and URL dictionaries disagree")
+
+        def _in_range(codes: np.ndarray, size: int, allow_missing: bool = False) -> bool:
+            if not codes.size:
+                return True
+            low = -1 if allow_missing else 0
+            return int(codes.min()) >= low and int(codes.max()) < size
+
+        if not (
+            _in_range(self.session_codes, n_sessions)
+            and _in_range(self.presented_codes, len(self.cookie_values), allow_missing=True)
+            and _in_range(self.served_codes, len(self.cookie_values))
+            and _in_range(self.source_codes, len(self.sources))
+            and _in_range(self.session_headers, len(self.headers))
+            and _in_range(self.session_datadome, len(self.decisions))
+            and _in_range(self.session_botd, len(self.decisions))
+        ):
+            raise StoreFormatError("record columns contain out-of-range codes")
+
+
+def _first_occurrence_recode(
+    row_codes: np.ndarray, values: Sequence
+) -> Tuple[np.ndarray, List]:
+    """Re-code a (non-missing) row column into value codes assigned in row
+    first-occurrence order.
+
+    Byte-identical to factorizing the decoded per-row values — equal
+    values under different input codes collapse onto one output code, and
+    output codes count up in the order their values first appear in row
+    order — but works on the ``int`` code column directly instead of
+    allocating one Python string per row.
+    """
+
+    n_values = len(values)
+    row_codes = np.asarray(row_codes, dtype=np.int64)
+    if not row_codes.size:
+        return np.empty(0, dtype=np.int32), []
+    canonical: Dict[object, int] = {}
+    canon = np.empty(n_values, dtype=np.int64)
+    for code, value in enumerate(values):
+        canon[code] = canonical.setdefault(value, code)
+    canon_rows = canon[row_codes]
+    first_row = np.full(n_values, row_codes.size, dtype=np.int64)
+    np.minimum.at(first_row, canon_rows, np.arange(row_codes.size, dtype=np.int64))
+    used = np.nonzero(first_row < row_codes.size)[0]
+    used = used[np.argsort(first_row[used], kind="stable")]
+    remap = np.full(n_values, -1, dtype=np.int64)
+    remap[used] = np.arange(used.size, dtype=np.int64)
+    return remap[canon_rows].astype(np.int32), [values[int(code)] for code in used]
+
+
+class RecordColumnsBuilder:
+    """Shard-side accumulator filling a :class:`RecordColumns`.
+
+    A :class:`~repro.honeysite.site.SessionRecorder` whose ``sink`` is a
+    builder appends one row per emitted request here instead of
+    constructing record objects; session-constant objects register once
+    (the builder's dictionaries pin every registered object, so identity
+    keys can never alias a collected object).
+    """
+
+    def __init__(self):
+        self._timestamps: List[float] = []
+        self._session_rows: List[int] = []
+        self._presented: List[int] = []
+        self._served: List[int] = []
+        self._source_rows: List[int] = []
+        self._cookie_index: Dict[str, int] = {}
+        self.cookie_values: List[str] = []
+        self._source_index: Dict[str, int] = {}
+        self.sources: List[str] = []
+        self.url_paths: List[str] = []
+        self.session_fingerprints: List[Fingerprint] = []
+        self._session_headers: List[int] = []
+        self._session_datadome: List[int] = []
+        self._session_botd: List[int] = []
+        self.session_ips: List[str] = []
+        self._headers_index: Dict[int, int] = {}
+        self.headers: List[Mapping[str, str]] = []
+        self._decisions_index: Dict[int, int] = {}
+        self.decisions: List[Decision] = []
+
+    def _cookie_code(self, value: Optional[str]) -> int:
+        if not value:
+            return -1
+        code = self._cookie_index.get(value)
+        if code is None:
+            code = len(self.cookie_values)
+            self._cookie_index[value] = code
+            self.cookie_values.append(value)
+        return code
+
+    def _decision_code(self, decision: Decision) -> int:
+        code = self._decisions_index.get(id(decision))
+        if code is None:
+            code = len(self.decisions)
+            self._decisions_index[id(decision)] = code
+            self.decisions.append(decision)
+        return code
+
+    def _session_code(self, material) -> int:
+        code = material.payload_code
+        if code is None:
+            code = len(self.session_fingerprints)
+            material.payload_code = code
+            self.session_fingerprints.append(material.fingerprint)
+            headers_code = self._headers_index.get(id(material.headers))
+            if headers_code is None:
+                headers_code = len(self.headers)
+                self._headers_index[id(material.headers)] = headers_code
+                self.headers.append(material.headers)
+            self._session_headers.append(headers_code)
+            self._session_datadome.append(self._decision_code(material.datadome))
+            self._session_botd.append(self._decision_code(material.botd))
+            self.session_ips.append(material.ip_address)
+        return code
+
+    def append(
+        self,
+        material,
+        *,
+        url_path: str,
+        source: str,
+        timestamp: float,
+        presented: Optional[str],
+        served: str,
+    ) -> None:
+        """Record one request of *material*'s session."""
+
+        source_code = self._source_index.get(source)
+        if source_code is None:
+            source_code = len(self.sources)
+            self._source_index[source] = source_code
+            self.sources.append(source)
+            self.url_paths.append(url_path)
+        self._session_rows.append(self._session_code(material))
+        self._timestamps.append(timestamp)
+        self._presented.append(self._cookie_code(presented))
+        self._served.append(self._cookie_code(served))
+        self._source_rows.append(source_code)
+
+    def columns(self) -> RecordColumns:
+        """Freeze the accumulated rows into a :class:`RecordColumns`."""
+
+        return RecordColumns(
+            timestamps=np.array(self._timestamps, dtype=np.float64),
+            session_codes=np.array(self._session_rows, dtype=np.int64),
+            presented_codes=np.array(self._presented, dtype=np.int32),
+            served_codes=np.array(self._served, dtype=np.int32),
+            source_codes=np.array(self._source_rows, dtype=np.int32),
+            cookie_values=self.cookie_values,
+            sources=self.sources,
+            url_paths=self.url_paths,
+            session_fingerprints=self.session_fingerprints,
+            session_headers=np.array(self._session_headers, dtype=np.int32),
+            session_datadome=np.array(self._session_datadome, dtype=np.int32),
+            session_botd=np.array(self._session_botd, dtype=np.int32),
+            session_ips=self.session_ips,
+            headers=self.headers,
+            decisions=self.decisions,
+        )
+
+
 class RequestStore:
     """In-memory store of recorded requests with the query helpers the
     analyses need, plus JSONL persistence."""
@@ -188,6 +735,32 @@ class RequestStore:
 
         return self.filter(lambda record: record.source == source)
 
+    def by_sources(self, sources: Iterable[str]) -> "RequestStore":
+        """Records attributed to any source in *sources*.
+
+        :class:`LazyRequestStore` answers this from its source-code column
+        without materialising a single record, which is why the corpus
+        subsets (:attr:`~repro.analysis.corpus.Corpus.bot_store` et al.)
+        route through it instead of :meth:`filter`.
+        """
+
+        names = frozenset(sources)
+        return self.filter(lambda record: record.source in names)
+
+    def request_id_array(self) -> np.ndarray:
+        """Request ids in store order as an ``int64`` array.
+
+        Consumers that only need ids (table/store binding checks, verdict
+        joins) should prefer this over iterating records: the lazy store
+        serves it straight from its columns.
+        """
+
+        return np.fromiter(
+            (record.request.request_id for record in self._records),
+            dtype=np.int64,
+            count=len(self._records),
+        )
+
     def sources(self) -> Tuple[str, ...]:
         """Source labels present, ordered by descending request count."""
 
@@ -214,6 +787,33 @@ class RequestStore:
         if not self._records:
             return 0.0
         return sum(1 for record in self._records if record.evaded(detector)) / len(self._records)
+
+    def evaded_rows(self, detector: str) -> np.ndarray:
+        """Boolean per-row evasion column of *detector* in store order.
+
+        The vectorized evaluation tables consume this; the lazy store
+        computes it from its decision dictionary without materialising."""
+
+        return np.fromiter(
+            (record.evaded(detector) for record in self._records),
+            dtype=bool,
+            count=len(self._records),
+        )
+
+    def source_rows(self) -> Tuple[np.ndarray, List[str], Dict[str, int]]:
+        """``(codes, names, name → code)`` of the per-row source column."""
+
+        codes = np.empty(len(self._records), dtype=np.int32)
+        names: List[str] = []
+        index: Dict[str, int] = {}
+        for position, record in enumerate(self._records):
+            code = index.get(record.source)
+            if code is None:
+                code = len(names)
+                index[record.source] = code
+                names.append(record.source)
+            codes[position] = code
+        return codes, names, index
 
     def detection_rate(self, detector: str) -> float:
         """Fraction of records flagged by *detector* (0 when empty)."""
@@ -373,3 +973,188 @@ class RequestStore:
                 f"found {len(records)}"
             )
         return cls(records)
+
+
+class LazyRequestStore(RequestStore):
+    """A :class:`RequestStore` backed by :class:`RecordColumns`.
+
+    Columnar consumers — lengths, source subsets, splits, the vectorized
+    evaluation columns — are answered straight from the arrays; record
+    objects are materialised (once, lazily, byte-identical to the
+    object-at-a-time path) only when a consumer actually iterates them.
+    The store is immutable: the corpus coordinator builds it after the
+    merge, and mutating it would desynchronise objects and columns.
+    """
+
+    def __init__(self, columns: RecordColumns):
+        if columns.request_ids is None:
+            raise ValueError(
+                "a lazy store needs renumbered columns (RecordColumns.renumbered)"
+            )
+        self._columns = columns
+        self._cache: Optional[List[RecordedRequest]] = None
+
+    @property
+    def columns(self) -> RecordColumns:
+        return self._columns
+
+    # Base-class methods read ``self._records``; route them through lazy
+    # materialisation so every inherited query keeps working unchanged.
+    @property
+    def _records(self) -> List[RecordedRequest]:
+        if self._cache is None:
+            self._cache = self._materialize()
+        return self._cache
+
+    @property
+    def materialized(self) -> bool:
+        """Whether record objects have been built (observability/tests)."""
+
+        return self._cache is not None
+
+    def _materialize(self) -> List[RecordedRequest]:
+        columns = self._columns
+        sources = columns.sources
+        url_paths = columns.url_paths
+        cookie_values = columns.cookie_values
+        fingerprints = columns.session_fingerprints
+        headers_list = columns.headers
+        decisions = columns.decisions
+        session_headers = columns.session_headers.tolist()
+        session_datadome = columns.session_datadome.tolist()
+        session_botd = columns.session_botd.tolist()
+        session_ips = columns.session_ips
+        records: List[RecordedRequest] = []
+        append = records.append
+        # Construct both frozen records through ``__new__`` + ``__dict__``
+        # (as SessionRecorder.emit does): the columns were produced by
+        # generators that already guaranteed the __post_init__ invariants,
+        # and the guarded per-field ``object.__setattr__`` of a frozen
+        # dataclass dominates bulk materialisation cost.
+        for timestamp, session, presented, served, source_code, request_id in zip(
+            columns.timestamps.tolist(),
+            columns.session_codes.tolist(),
+            columns.presented_codes.tolist(),
+            columns.served_codes.tolist(),
+            columns.source_codes.tolist(),
+            columns.request_ids.tolist(),
+        ):
+            request = WebRequest.__new__(WebRequest)
+            object.__setattr__(
+                request,
+                "__dict__",
+                {
+                    "url_path": url_paths[source_code],
+                    "timestamp": timestamp,
+                    "ip_address": session_ips[session],
+                    "fingerprint": fingerprints[session],
+                    "cookie": cookie_values[presented] if presented >= 0 else None,
+                    "headers": headers_list[session_headers[session]],
+                    "request_id": request_id,
+                },
+            )
+            record = RecordedRequest.__new__(RecordedRequest)
+            object.__setattr__(
+                record,
+                "__dict__",
+                {
+                    "request": request,
+                    "source": sources[source_code],
+                    "cookie": cookie_values[served],
+                    "datadome": decisions[session_datadome[session]],
+                    "botd": decisions[session_botd[session]],
+                },
+            )
+            append(record)
+        return records
+
+    # -- immutability ----------------------------------------------------------
+
+    def add(self, record: RecordedRequest) -> None:
+        raise TypeError(
+            "LazyRequestStore is immutable; copy it into a RequestStore "
+            "(RequestStore(store)) to mutate"
+        )
+
+    def extend(self, records: Iterable[RecordedRequest]) -> None:
+        raise TypeError(
+            "LazyRequestStore is immutable; copy it into a RequestStore "
+            "(RequestStore(store)) to mutate"
+        )
+
+    # -- columnar fast paths ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._columns.n_rows
+
+    def request_id_array(self) -> np.ndarray:
+        return self._columns.request_ids
+
+    def evaded_rows(self, detector: str) -> np.ndarray:
+        return self._columns.evaded_rows(detector)
+
+    def source_rows(self) -> Tuple[np.ndarray, List[str], Dict[str, int]]:
+        columns = self._columns
+        index = {name: code for code, name in enumerate(columns.sources)}
+        return columns.source_codes, list(columns.sources), index
+
+    def evasion_rate(self, detector: str) -> float:
+        if not len(self):
+            return 0.0
+        return int(np.count_nonzero(self._columns.evaded_rows(detector))) / len(self)
+
+    def _take(self, rows: np.ndarray) -> "LazyRequestStore":
+        return LazyRequestStore(self._columns.take(rows))
+
+    def by_sources(self, sources: Iterable[str]) -> "LazyRequestStore":
+        names = frozenset(sources)
+        columns = self._columns
+        wanted = np.fromiter(
+            (name in names for name in columns.sources),
+            dtype=bool,
+            count=len(columns.sources),
+        )
+        if not wanted.size:
+            rows = np.empty(0, dtype=np.int64)
+        else:
+            rows = np.nonzero(wanted[columns.source_codes])[0]
+        return self._take(rows)
+
+    def by_source(self, source: str) -> "LazyRequestStore":
+        return self.by_sources((source,))
+
+    def evading(self, detector: str) -> "LazyRequestStore":
+        return self._take(np.nonzero(self._columns.evaded_rows(detector))[0])
+
+    def detected_by(self, detector: str) -> "LazyRequestStore":
+        return self._take(np.nonzero(~self._columns.evaded_rows(detector))[0])
+
+    def split(self, fraction: float, rng) -> Tuple["LazyRequestStore", "LazyRequestStore"]:
+        first, second = split_rows(len(self), fraction, rng)
+        return self._take(first), self._take(second)
+
+    def sources(self) -> Tuple[str, ...]:
+        columns = self._columns
+        codes = columns.source_codes
+        counts = np.bincount(codes, minlength=len(columns.sources))
+        first_row = np.full(counts.size, codes.size, dtype=np.int64)
+        np.minimum.at(first_row, codes, np.arange(codes.size, dtype=np.int64))
+        present = np.nonzero(counts)[0].tolist()
+        # First-occurrence order, then a stable sort by descending count —
+        # exactly the tie-breaking of the dict-insertion reference path.
+        present.sort(key=lambda code: int(first_row[code]))
+        present.sort(key=lambda code: int(counts[code]), reverse=True)
+        return tuple(columns.sources[code] for code in present)
+
+    def unique_ips(self) -> int:
+        columns = self._columns
+        used = np.unique(columns.session_codes).tolist()
+        return len({columns.session_ips[code] for code in used})
+
+    def unique_cookies(self) -> int:
+        return int(np.unique(self._columns.served_codes).size)
+
+    def unique_fingerprints(self) -> int:
+        columns = self._columns
+        used = np.unique(columns.session_codes).tolist()
+        return len({columns.session_fingerprints[code].stable_hash() for code in used})

@@ -105,8 +105,12 @@ def test_run_shard_is_self_contained():
     first = run_shard(spec)
     second = run_shard(spec)
     assert first.recorded == second.recorded
-    assert [r.request.ip_address for r in first.records] == [
-        r.request.ip_address for r in second.records
+    # Columnar transport: the shard ships a payload, not record objects.
+    assert not first.records and first.columns is not None
+    first_store, second_store = first.store(), second.store()
+    assert len(first_store) == first.recorded
+    assert [r.request.ip_address for r in first_store] == [
+        r.request.ip_address for r in second_store
     ]
 
 
@@ -277,6 +281,6 @@ def test_corrupt_cache_entry_is_rebuilt(tmp_path):
     cache = CorpusCache(tmp_path)
     _, first = build_or_load_corpus(**TINY, workers=1, cache=cache)
     key = next(iter(cache.keys()))
-    (cache.path_for(key) / "store.jsonl.gz").write_bytes(b"not gzip at all")
+    (cache.path_for(key) / "store_columnar.npz").write_bytes(b"not an archive at all")
     _, second = build_or_load_corpus(**TINY, workers=1, cache=cache)
     assert (first, second) == ("miss", "miss")

@@ -1,0 +1,368 @@
+"""Tests for the columnar shard transport and the lazy request store.
+
+Covers the PR-4 contract surface: payload round-trips are byte-identical
+to the object path (records ↔ payload ↔ records), version-2 archives stay
+readable, the lazy store answers splits and subsets exactly like an
+object store, the fan-out clamp derives from the transport's transfer
+cost, and the widened synthetic address space fails loudly instead of
+silently colliding.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.cache import load_corpus, save_corpus
+from repro.analysis.engine import (
+    MIN_RECORDS_PER_WORKER,
+    MIN_RECORDS_PER_WORKER_COLUMNAR,
+    CorpusEngine,
+    run_shard,
+)
+from repro.geo.asn import ASN_REGISTRY, AsnKind
+from repro.geo.ipaddr import (
+    DEFAULT_KIND_OCTET_RANGES,
+    AddressSpaceExhausted,
+    GEO_REGIONS,
+    IpAddressSpace,
+)
+from repro.honeysite.storage import (
+    LazyRequestStore,
+    RecordColumns,
+    RequestStore,
+    StoreFormatError,
+    split_rows,
+)
+
+TINY = dict(
+    seed=29,
+    scale=0.004,
+    include_real_users=True,
+    include_privacy=True,
+    real_user_requests=120,
+    privacy_requests_each=12,
+)
+
+
+def record_dicts(store, drop_ids: bool = False):
+    out = []
+    for record in store:
+        data = record.to_dict()
+        if drop_ids:
+            data["request"].pop("request_id")
+        out.append(data)
+    return out
+
+
+@pytest.fixture(scope="module")
+def columnar_corpus():
+    """A corpus built over the columnar shard transport (the default)."""
+
+    return CorpusEngine(**TINY).build(workers=1)
+
+
+@pytest.fixture(scope="module")
+def object_corpus():
+    """The object-transport reference (legacy generation engine)."""
+
+    return CorpusEngine(**TINY, generation="legacy").build(workers=1)
+
+
+# -- records ↔ payload ↔ records byte identity -----------------------------------
+
+
+def test_columnar_transport_is_byte_identical_to_object_transport(
+    columnar_corpus, object_corpus
+):
+    assert isinstance(columnar_corpus.store, LazyRequestStore)
+    assert not isinstance(object_corpus.store, LazyRequestStore)
+    assert not columnar_corpus.store.materialized
+    assert record_dicts(columnar_corpus.store) == record_dicts(object_corpus.store)
+    assert columnar_corpus.store.materialized
+
+
+def test_shard_payload_materialises_to_the_object_shard(columnar_corpus):
+    spec = CorpusEngine(**TINY).plan()[3]
+    columnar = run_shard(spec)
+    legacy_spec = CorpusEngine(**TINY, generation="legacy").plan()[3]
+    legacy = run_shard(legacy_spec)
+    assert columnar.columns is not None and not columnar.records
+    assert legacy.columns is None and legacy.records
+    # Shard-local request ids come from a process-global counter on the
+    # object path and a renumbered 1..n sequence on the columnar path —
+    # everything else must match bit for bit.
+    assert record_dicts(columnar.store(), drop_ids=True) == record_dicts(
+        legacy.store(), drop_ids=True
+    )
+
+
+def test_record_columns_persistence_roundtrip(columnar_corpus):
+    columns = columnar_corpus.store.columns
+    arrays, meta = columns.to_payload()
+    meta = json.loads(json.dumps(meta))  # the JSON boundary the archive crosses
+    rebuilt = RecordColumns.from_payload(arrays, meta)
+    assert record_dicts(LazyRequestStore(rebuilt)) == record_dicts(columnar_corpus.store)
+
+
+def test_record_columns_validate_rejects_corruption(columnar_corpus):
+    columns = columnar_corpus.store.columns
+    arrays, meta = columns.to_payload()
+    broken = dict(arrays)
+    broken["served_codes"] = arrays["served_codes"].copy()
+    broken["served_codes"][0] = len(columns.cookie_values) + 7
+    with pytest.raises(StoreFormatError):
+        RecordColumns.from_payload(broken, meta)
+    truncated = dict(arrays)
+    truncated["timestamps"] = arrays["timestamps"][:-1]
+    with pytest.raises(StoreFormatError):
+        RecordColumns.from_payload(truncated, meta)
+
+
+def test_concat_rejects_conflicting_source_urls(columnar_corpus):
+    columns = columnar_corpus.store.columns
+    clone = columns.take(np.arange(columns.n_rows, dtype=np.int64))
+    clone.url_paths = ["/different" + path for path in columns.url_paths]
+    with pytest.raises(ValueError):
+        RecordColumns.concat([columns, clone])
+
+
+# -- lazy store equivalence -------------------------------------------------------
+
+
+def test_lazy_store_is_immutable(columnar_corpus):
+    with pytest.raises(TypeError):
+        columnar_corpus.store.add(columnar_corpus.store[0])
+    with pytest.raises(TypeError):
+        columnar_corpus.store.extend([])
+    # ...but copying into a plain store unlocks mutation
+    copy = RequestStore(columnar_corpus.store)
+    copy.add(columnar_corpus.store[0])
+    assert len(copy) == len(columnar_corpus.store) + 1
+
+
+def test_lazy_split_matches_object_split(columnar_corpus):
+    lazy = columnar_corpus.store
+    reference = RequestStore(list(lazy))
+    lazy_a, lazy_b = lazy.split(0.8, np.random.default_rng(11))
+    ref_a, ref_b = reference.split(0.8, np.random.default_rng(11))
+    assert isinstance(lazy_a, LazyRequestStore) and not lazy_a.materialized
+    assert record_dicts(lazy_a) == record_dicts(ref_a)
+    assert record_dicts(lazy_b) == record_dicts(ref_b)
+    # and the split rows themselves agree with the shared helper
+    first, second = split_rows(len(reference), 0.8, np.random.default_rng(11))
+    assert np.array_equal(lazy_a.request_id_array(), reference.request_id_array()[first])
+    assert np.array_equal(lazy_b.request_id_array(), reference.request_id_array()[second])
+
+
+def test_lazy_subsets_and_columns_match_object_store(columnar_corpus):
+    lazy = columnar_corpus.store
+    reference = RequestStore(list(lazy))
+    assert lazy.sources() == reference.sources()
+    for source in reference.sources()[:4]:
+        assert record_dicts(lazy.by_source(source)) == record_dicts(
+            reference.by_source(source)
+        )
+    two = set(reference.sources()[:2])
+    assert record_dicts(lazy.by_sources(two)) == record_dicts(reference.by_sources(two))
+    for detector in ("DataDome", "BotD"):
+        assert np.array_equal(lazy.evaded_rows(detector), reference.evaded_rows(detector))
+        assert lazy.evasion_rate(detector) == reference.evasion_rate(detector)
+        assert record_dicts(lazy.evading(detector)) == record_dicts(
+            reference.evading(detector)
+        )
+        assert record_dicts(lazy.detected_by(detector)) == record_dicts(
+            reference.detected_by(detector)
+        )
+    assert np.array_equal(lazy.request_id_array(), reference.request_id_array())
+    codes, names, index = lazy.source_rows()
+    assert [names[code] for code in codes.tolist()] == [
+        record.source for record in reference
+    ]
+    assert lazy.unique_ips() == reference.unique_ips()
+    assert lazy.unique_cookies() == reference.unique_cookies()
+    assert lazy.unique_fingerprints() == reference.unique_fingerprints()
+
+
+def test_subset_stores_answer_without_materialising(columnar_corpus):
+    bots = columnar_corpus.bot_store
+    assert isinstance(bots, LazyRequestStore)
+    assert len(bots) == sum(columnar_corpus.service_volumes.values())
+    assert bots.evasion_rate("DataDome") >= 0.0
+    assert not bots.materialized
+
+
+# -- archive compatibility --------------------------------------------------------
+
+
+def write_v2_archive(corpus, directory):
+    """Persist *corpus* as a faithful format-version-2 archive.
+
+    Forces the JSONL + sidecar layout by swapping in an object store, then
+    rewrites the version fields to 2 — byte-wise what a PR-3 build wrote.
+    """
+
+    site = corpus.site
+    original = site.store
+    site.store = RequestStore(list(original))
+    try:
+        save_corpus(corpus, directory)
+    finally:
+        site.store = original
+    meta_path = directory / "meta.json"
+    meta = json.loads(meta_path.read_text())
+    meta["format_version"] = 2
+    meta_path.write_text(json.dumps(meta, indent=1, sort_keys=True))
+    store_path = directory / "store.jsonl.gz"
+    with gzip.open(store_path, "rt", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    header = json.loads(lines[0])
+    header["version"] = 2
+    lines[0] = json.dumps(header)
+    with gzip.open(store_path, "wt", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
+
+
+def test_v2_archive_read_compat(tmp_path, columnar_corpus):
+    archive = tmp_path / "v2"
+    write_v2_archive(columnar_corpus, archive)
+    assert (archive / "store.jsonl.gz").is_file()
+    assert not (archive / "store_columnar.npz").exists()
+    restored = load_corpus(archive)
+    assert record_dicts(restored.store) == record_dicts(columnar_corpus.store)
+    # version-2 archives carried sidecars for the bots/real_users subsets
+    assert set(restored.columnar_tables) == {"bots", "real_users"}
+    assert restored.service_volumes == columnar_corpus.service_volumes
+
+
+def test_tampered_embedded_table_evicts_the_archive(tmp_path, columnar_corpus):
+    archive = tmp_path / "v3"
+    save_corpus(columnar_corpus, archive)
+    path = archive / "store_columnar.npz"
+    with np.load(path, allow_pickle=False) as data:
+        arrays = {name: data[name] for name in data.files}
+    meta = json.loads(str(arrays["meta"][()]))
+    prefix = meta["tables"][0]["prefix"]
+    arrays[f"{prefix}request_ids"] = arrays[f"{prefix}request_ids"] + 1000
+    with open(path, "wb") as handle:
+        np.savez_compressed(handle, **arrays)
+    with pytest.raises(StoreFormatError):
+        load_corpus(archive)
+
+
+# -- fan-out clamp ----------------------------------------------------------------
+
+
+def test_clamp_derives_from_transport_cost():
+    vectorized = CorpusEngine(seed=7, scale=0.05)
+    legacy = CorpusEngine(seed=7, scale=0.05, generation="legacy")
+    assert vectorized.records_per_worker_floor() == MIN_RECORDS_PER_WORKER_COLUMNAR
+    assert legacy.records_per_worker_floor() == MIN_RECORDS_PER_WORKER
+    assert MIN_RECORDS_PER_WORKER_COLUMNAR < MIN_RECORDS_PER_WORKER
+
+    specs = vectorized.plan()
+    planned = sum(
+        spec.request_budget
+        if spec.request_budget is not None
+        else spec.profile.scaled_requests(vectorized.scale)
+        if spec.kind == "bots"
+        else spec.num_requests
+        for spec in specs
+    )
+    # The columnar transport makes scale-0.05 defaults choose fan-out...
+    expected = min(8, planned // MIN_RECORDS_PER_WORKER_COLUMNAR, len(specs))
+    assert expected > 1
+    assert vectorized.effective_workers(8, specs) == expected
+    # ...while the object transport still clamps the same plan to serial.
+    assert planned < MIN_RECORDS_PER_WORKER
+    assert legacy.effective_workers(8, legacy.plan()) == 1
+
+
+def test_clamp_override_and_plan_reporting():
+    engine = CorpusEngine(**TINY, min_records_per_worker=1)
+    assert engine.records_per_worker_floor() == 1
+    corpus = engine.build(workers=3, executor="thread")
+    assert engine.last_plan["transport"] == "columnar"
+    assert engine.last_plan["effective_workers"] == 3
+    assert engine.last_plan["min_records_per_worker"] == 1
+    # Thread pools never pickle payloads, so no transfer volume is billed.
+    assert engine.last_plan["payload_bytes"] is None
+    assert len(corpus.store) == engine.last_plan["planned_records"] == sum(
+        corpus.service_volumes.values()
+    ) + corpus.real_user_requests + sum(corpus.privacy_requests.values())
+    with pytest.raises(ValueError):
+        CorpusEngine(**TINY, min_records_per_worker=0)
+
+
+def test_payload_bytes_recorded_for_process_transfers():
+    engine = CorpusEngine(**TINY, min_records_per_worker=1)
+    engine.build(workers=2, executor="process")
+    assert engine.last_plan["payload_bytes"] > 0
+
+
+def test_first_occurrence_recode_matches_factorize():
+    from repro.core.columnar import _factorize
+    from repro.honeysite.storage import _first_occurrence_recode
+
+    # values contain duplicates under distinct codes (sessions sharing an
+    # address) and an unused entry; rows visit them out of dictionary order
+    values = ["b", "a", "b", "c", "unused"]
+    rows = np.array([3, 0, 2, 1, 0, 3, 2], dtype=np.int64)
+    codes, recoded = _first_occurrence_recode(rows, values)
+    expected_codes, expected_values, _ = _factorize([values[code] for code in rows])
+    assert np.array_equal(codes, expected_codes)
+    assert recoded == expected_values
+    empty_codes, empty_values = _first_occurrence_recode(np.empty(0, np.int64), [])
+    assert empty_codes.size == 0 and empty_values == []
+
+
+# -- widened address space --------------------------------------------------------
+
+
+def test_default_segments_preserve_primary_bases():
+    # The primary segment of every kind keeps its historical base/span, so
+    # previously generated corpora keep their exact addresses.
+    assert DEFAULT_KIND_OCTET_RANGES[AsnKind.RESIDENTIAL_ISP][0] == (100, 10)
+    assert DEFAULT_KIND_OCTET_RANGES[AsnKind.MOBILE_CARRIER][0] == (110, 10)
+    assert DEFAULT_KIND_OCTET_RANGES[AsnKind.CLOUD_PROVIDER][0] == (34, 11)
+    assert DEFAULT_KIND_OCTET_RANGES[AsnKind.HOSTING_PROVIDER][0] == (45, 10)
+    space = IpAddressSpace()
+    # capacity = sum of all configured segments
+    assert space.kind_capacity(AsnKind.CLOUD_PROVIDER) == (11 + 20) * 256
+
+
+def test_allocation_flows_into_extension_segment():
+    space = IpAddressSpace()
+    primary_base, primary_span = DEFAULT_KIND_OCTET_RANGES[AsnKind.CLOUD_PROVIDER][0]
+    extension_base, _ = DEFAULT_KIND_OCTET_RANGES[AsnKind.CLOUD_PROVIDER][1]
+    last_primary = primary_span * 256 - 1
+    assert space._block_octets(AsnKind.CLOUD_PROVIDER, last_primary) == (
+        primary_base + primary_span - 1,
+        255,
+    )
+    assert space._block_octets(AsnKind.CLOUD_PROVIDER, last_primary + 1) == (
+        extension_base,
+        0,
+    )
+
+
+def test_exhaustion_raises_a_clear_error():
+    space = IpAddressSpace(kind_ranges={AsnKind.CLOUD_PROVIDER: ((34, 1),)})
+    cloud_asns = [asn for asn, record in ASN_REGISTRY.items() if record.kind is AsnKind.CLOUD_PROVIDER]
+    with pytest.raises(AddressSpaceExhausted, match="cloud_provider.*256 /16 blocks"):
+        for _round in range(2000):
+            for asn in cloud_asns:
+                for region in GEO_REGIONS:
+                    space.assignment_for(asn, region)
+
+
+def test_kind_ranges_must_be_disjoint_and_sane():
+    with pytest.raises(ValueError, match="disjoint"):
+        IpAddressSpace(kind_ranges={AsnKind.CLOUD_PROVIDER: ((100, 5),)})
+    with pytest.raises(ValueError, match="base \\+ span"):
+        IpAddressSpace(kind_ranges={AsnKind.CLOUD_PROVIDER: ((250, 20),)})
+    with pytest.raises(ValueError, match="at least one"):
+        IpAddressSpace(kind_ranges={AsnKind.CLOUD_PROVIDER: ()})

@@ -161,7 +161,10 @@ def assert_tables_equal(table: ColumnarTable, reference: ColumnarTable) -> None:
 
 
 def test_emitted_tables_identical_to_extraction(vectorized_corpus):
-    assert set(vectorized_corpus.columnar_tables) == {"bots", "real_users"}
+    expected = {"bots", "real_users"} | {
+        f"privacy:{technology.value}" for technology in vectorized_corpus.privacy_requests
+    }
+    assert set(vectorized_corpus.columnar_tables) == expected
     assert_tables_equal(
         vectorized_corpus.columnar_tables["bots"],
         ColumnarTable.from_store(vectorized_corpus.bot_store),
@@ -170,6 +173,11 @@ def test_emitted_tables_identical_to_extraction(vectorized_corpus):
         vectorized_corpus.columnar_tables["real_users"],
         ColumnarTable.from_store(vectorized_corpus.real_user_store),
     )
+    for technology in vectorized_corpus.privacy_requests:
+        assert_tables_equal(
+            vectorized_corpus.columnar_tables[f"privacy:{technology.value}"],
+            ColumnarTable.from_store(vectorized_corpus.privacy_store(technology)),
+        )
 
 
 def test_legacy_generation_emits_no_tables(legacy_corpus):
@@ -186,29 +194,58 @@ def test_table_npz_roundtrip(tmp_path, vectorized_corpus):
     assert_tables_equal(ColumnarTable.load_npz(path), table)
 
 
-def test_sidecar_roundtrip_through_archive(tmp_path, vectorized_corpus):
+def save_v2_layout(corpus, directory):
+    """Write *corpus* in the legacy JSONL + sidecar archive layout.
+
+    Temporarily swaps the (lazy) store for an object store so
+    ``save_corpus`` takes the version-2 branch; the ``_load_sidecars``
+    read-compat path keeps being exercised through archives produced here.
+    """
+
+    from repro.honeysite.storage import RequestStore
+
+    site = corpus.site
+    original = site.store
+    site.store = RequestStore(list(original))
+    try:
+        save_corpus(corpus, directory)
+    finally:
+        site.store = original
+
+
+def test_columnar_archive_roundtrip(tmp_path, vectorized_corpus):
     save_corpus(vectorized_corpus, tmp_path / "archive")
-    assert (tmp_path / "archive" / "columnar_bots.npz").is_file()
+    assert (tmp_path / "archive" / "store_columnar.npz").is_file()
+    assert not (tmp_path / "archive" / "store.jsonl.gz").exists()
     restored = load_corpus(tmp_path / "archive")
-    assert set(restored.columnar_tables) == {"bots", "real_users"}
+    assert set(restored.columnar_tables) == set(vectorized_corpus.columnar_tables)
     assert_tables_equal(
         restored.columnar_tables["bots"],
         ColumnarTable.from_store(restored.bot_store),
     )
 
 
-def test_corrupt_sidecar_degrades_to_extraction(tmp_path, vectorized_corpus):
+def test_corrupt_columnar_archive_is_a_cache_miss(tmp_path, vectorized_corpus):
+    from repro.honeysite.storage import StoreFormatError
+
     save_corpus(vectorized_corpus, tmp_path / "archive")
+    (tmp_path / "archive" / "store_columnar.npz").write_bytes(b"definitely not npz")
+    with pytest.raises(StoreFormatError):
+        load_corpus(tmp_path / "archive")
+
+
+def test_corrupt_sidecar_degrades_to_extraction(tmp_path, vectorized_corpus):
+    # Version-2 layout: a broken sidecar drops only its subset.
+    save_v2_layout(vectorized_corpus, tmp_path / "archive")
     (tmp_path / "archive" / "columnar_bots.npz").write_bytes(b"definitely not npz")
     restored = load_corpus(tmp_path / "archive")
-    # the corpus itself still loads; only the broken subset is dropped
     assert "bots" not in restored.columnar_tables
     assert "real_users" in restored.columnar_tables
     assert len(restored.store) == len(vectorized_corpus.store)
 
 
 def test_missing_sidecar_is_not_an_error(tmp_path, vectorized_corpus):
-    save_corpus(vectorized_corpus, tmp_path / "archive")
+    save_v2_layout(vectorized_corpus, tmp_path / "archive")
     (tmp_path / "archive" / "columnar_bots.npz").unlink()
     (tmp_path / "archive" / "columnar_real_users.npz").unlink()
     restored = load_corpus(tmp_path / "archive")
@@ -217,7 +254,7 @@ def test_missing_sidecar_is_not_an_error(tmp_path, vectorized_corpus):
 
 
 def test_stale_sidecar_is_discarded(tmp_path, vectorized_corpus):
-    save_corpus(vectorized_corpus, tmp_path / "archive")
+    save_v2_layout(vectorized_corpus, tmp_path / "archive")
     table = vectorized_corpus.columnar_tables["bots"]
     shifted = table.take(np.arange(table.n_rows, dtype=np.int64))
     shifted.request_ids = shifted.request_ids + 1000  # no longer matches the store
@@ -229,7 +266,7 @@ def test_stale_sidecar_is_discarded(tmp_path, vectorized_corpus):
 def test_sidecar_from_same_config_different_seed_is_discarded(tmp_path, vectorized_corpus):
     # Request ids are renumbered 1..N and collide across same-configuration
     # corpora of different seeds; the timestamp stream does not.
-    save_corpus(vectorized_corpus, tmp_path / "archive")
+    save_v2_layout(vectorized_corpus, tmp_path / "archive")
     table = vectorized_corpus.columnar_tables["bots"]
     foreign = table.take(np.arange(table.n_rows, dtype=np.int64))
     foreign.request_ids = table.request_ids  # identical id vector...
@@ -239,14 +276,16 @@ def test_sidecar_from_same_config_different_seed_is_discarded(tmp_path, vectoriz
     assert "bots" not in restored.columnar_tables
 
 
-def test_resaving_without_tables_removes_old_sidecars(tmp_path, vectorized_corpus, legacy_corpus):
+def test_resaving_without_tables_removes_columnar_store(tmp_path, vectorized_corpus, legacy_corpus):
     save_corpus(vectorized_corpus, tmp_path / "archive")
-    assert (tmp_path / "archive" / "columnar_bots.npz").is_file()
-    # A legacy-generation corpus has no tables; saving it over the same
-    # directory must not leave the previous corpus's sidecars behind.
+    assert (tmp_path / "archive" / "store_columnar.npz").is_file()
+    # A legacy-generation corpus has an object store and no tables; saving
+    # it over the same directory must not leave the previous corpus's
+    # columnar archive (or sidecars) behind.
     save_corpus(legacy_corpus, tmp_path / "archive")
+    assert not (tmp_path / "archive" / "store_columnar.npz").exists()
     assert not (tmp_path / "archive" / "columnar_bots.npz").exists()
-    assert not (tmp_path / "archive" / "columnar_real_users.npz").exists()
+    assert (tmp_path / "archive" / "store.jsonl.gz").is_file()
 
 
 def test_load_npz_rejects_negative_codes(tmp_path, vectorized_corpus):
@@ -274,15 +313,15 @@ def test_accepts_table_rejects_mismatched_store(vectorized_corpus):
     assert result.table_sources == {"bots": "extracted"}
 
 
-def test_cache_hit_restores_sidecar_tables(tmp_path):
+def test_cache_hit_restores_embedded_tables(tmp_path):
     cache = CorpusCache(tmp_path)
     cold, cold_status = build_or_load_corpus(**TINY, workers=1, cache=cache)
     warm, warm_status = build_or_load_corpus(**TINY, workers=1, cache=cache)
     assert (cold_status, warm_status) == ("miss", "hit")
-    assert set(warm.columnar_tables) == {"bots", "real_users"}
-    assert_tables_equal(
-        warm.columnar_tables["bots"], cold.columnar_tables["bots"]
-    )
+    assert set(warm.columnar_tables) == set(cold.columnar_tables)
+    assert set(warm.columnar_tables) >= {"bots", "real_users"}
+    for subset in cold.columnar_tables:
+        assert_tables_equal(warm.columnar_tables[subset], cold.columnar_tables[subset])
 
 
 # -- sub-sharding + fan-out planning ----------------------------------------------
