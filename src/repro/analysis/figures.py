@@ -15,7 +15,12 @@ import numpy as np
 from repro.devices.profiles import CHROMIUM_PDF_PLUGINS
 from repro.devices.screens import is_real_iphone_resolution
 from repro.fingerprint.attributes import Attribute, parse_resolution
-from repro.honeysite.storage import RequestStore
+from repro.honeysite.storage import (
+    SECONDS_PER_DAY,
+    LazyRequestStore,
+    RecordColumns,
+    RequestStore,
+)
 
 
 # ---------------------------------------------------------------------------
@@ -304,7 +309,22 @@ class DailySeries:
 
 
 def figure9_daily_series(store: RequestStore) -> DailySeries:
-    """Per-day request / unique-IP / unique-cookie / unique-fingerprint counts."""
+    """Per-day request / unique-IP / unique-cookie / unique-fingerprint counts.
+
+    A columnar-backed store computes straight from its
+    :class:`~repro.honeysite.storage.RecordColumns` arrays — no record
+    object is materialised, and fingerprints hash once per *session*
+    instead of once per request; the object path below is the reference
+    oracle (``tests/test_analysis_integration.py`` pins equality).
+    """
+
+    if isinstance(store, LazyRequestStore):
+        return _figure9_from_columns(store.columns)
+    return _figure9_from_records(store)
+
+
+def _figure9_from_records(store: RequestStore) -> DailySeries:
+    """Object-path reference implementation of :func:`figure9_daily_series`."""
 
     series = store.daily_series()
     days = tuple(sorted(series))
@@ -317,8 +337,79 @@ def figure9_daily_series(store: RequestStore) -> DailySeries:
     )
 
 
+def _canonical_fingerprint_rows(columns: RecordColumns) -> np.ndarray:
+    """Per-row fingerprint codes, canonicalised by stable hash.
+
+    One hash per *session*; sessions whose browser-side attributes hash
+    identically collapse onto one code, exactly like the object path's
+    set-of-hashes semantics.  (Cookie and address columns go through
+    :meth:`RecordColumns.cookie_columns` / :meth:`~RecordColumns.ip_columns`
+    instead — only the hash case needs a bespoke canonicalisation.)
+    """
+
+    canonical: Dict[str, int] = {}
+    session_codes = np.fromiter(
+        (
+            canonical.setdefault(fingerprint.stable_hash(), position)
+            for position, fingerprint in enumerate(columns.session_fingerprints)
+        ),
+        dtype=np.int64,
+        count=columns.n_sessions,
+    )
+    return session_codes[columns.session_codes]
+
+
+def _row_days(columns: RecordColumns) -> np.ndarray:
+    return (columns.timestamps // SECONDS_PER_DAY).astype(np.int64)
+
+
+def _figure9_from_columns(columns: RecordColumns) -> DailySeries:
+    """Columnar implementation over per-row code arrays (object-free)."""
+
+    if columns.n_rows == 0:
+        return DailySeries(days=(), requests=(), unique_ips=(), unique_cookies=(),
+                           unique_fingerprints=())
+    unique_days, day_rank = np.unique(_row_days(columns), return_inverse=True)
+    requests = np.bincount(day_rank, minlength=unique_days.size)
+
+    def distinct_per_day(row_codes: np.ndarray, n_codes: int) -> np.ndarray:
+        keys = np.unique(day_rank.astype(np.int64) * n_codes + row_codes)
+        return np.bincount(keys // n_codes, minlength=unique_days.size)
+
+    ip_rows, ip_values = columns.ip_columns()
+    cookie_rows, cookie_values = columns.cookie_columns()
+    fingerprint_rows = _canonical_fingerprint_rows(columns)
+    return DailySeries(
+        days=tuple(int(day) for day in unique_days),
+        requests=tuple(int(count) for count in requests),
+        unique_ips=tuple(
+            int(count) for count in distinct_per_day(ip_rows, len(ip_values))
+        ),
+        unique_cookies=tuple(
+            int(count) for count in distinct_per_day(cookie_rows, len(cookie_values))
+        ),
+        unique_fingerprints=tuple(
+            int(count)
+            for count in distinct_per_day(fingerprint_rows, columns.n_sessions)
+        ),
+    )
+
+
 def new_fingerprints_over_time(store: RequestStore) -> Tuple[int, ...]:
-    """Per-day count of never-before-seen fingerprints (Section 6.3)."""
+    """Per-day count of never-before-seen fingerprints (Section 6.3).
+
+    Like :func:`figure9_daily_series`, a columnar-backed store answers
+    from its arrays (one hash per session, vectorized first-occurrence
+    scan); the object path is the reference oracle.
+    """
+
+    if isinstance(store, LazyRequestStore):
+        return _new_fingerprints_from_columns(store.columns)
+    return _new_fingerprints_from_records(store)
+
+
+def _new_fingerprints_from_records(store: RequestStore) -> Tuple[int, ...]:
+    """Object-path reference implementation of :func:`new_fingerprints_over_time`."""
 
     seen = set()
     per_day: Dict[int, int] = {}
@@ -328,6 +419,25 @@ def new_fingerprints_over_time(store: RequestStore) -> Tuple[int, ...]:
             seen.add(digest)
             per_day[record.day] = per_day.get(record.day, 0) + 1
     return tuple(per_day.get(day, 0) for day in sorted(set(record.day for record in store)))
+
+
+def _new_fingerprints_from_columns(columns: RecordColumns) -> Tuple[int, ...]:
+    """Columnar implementation over per-row code arrays (object-free)."""
+
+    if columns.n_rows == 0:
+        return ()
+    days = _row_days(columns)
+    order = np.argsort(columns.timestamps, kind="stable")
+    fingerprint_rows = _canonical_fingerprint_rows(columns)[order]
+    # First time-ordered occurrence of each distinct fingerprint, and the
+    # day it landed on.
+    _unique, first_positions = np.unique(fingerprint_rows, return_index=True)
+    first_days = days[order][first_positions]
+    unique_days = np.unique(days)
+    per_day = np.bincount(
+        np.searchsorted(unique_days, first_days), minlength=unique_days.size
+    )
+    return tuple(int(count) for count in per_day)
 
 
 # ---------------------------------------------------------------------------

@@ -1,9 +1,10 @@
 """The ``repro`` command line interface.
 
-Three subcommands cover the reproduction workflow end to end::
+Four subcommands cover the reproduction workflow end to end::
 
     repro corpus    build (or load from cache) a measurement corpus
     repro pipeline  build a corpus and run the FP-Inconsistent evaluation
+    repro stream    replay a corpus through the online streaming detector
     repro bench     measure serial vs. sharded corpus-build throughput
 
 Installed as a console script by ``setup.py``; also runnable without
@@ -33,27 +34,86 @@ from repro.analysis.engine import (
 )
 
 
-def _add_corpus_arguments(parser: argparse.ArgumentParser) -> None:
-    group = parser.add_argument_group("corpus")
+def _add_execution_knobs(parser: argparse.ArgumentParser, *, lists: bool = False) -> None:
+    """The seed/scale/workers/executor knob set every subcommand shares.
+
+    ``corpus``/``pipeline``/``stream`` take one scale and one worker count;
+    ``bench`` (*lists*) sweeps comma-separated value lists instead.  One
+    definition keeps defaults, env-variable fallbacks and help text
+    identical everywhere.
+    """
+
+    group = parser.add_argument_group("execution")
     group.add_argument("--seed", type=int, default=7, help="master seed (default 7)")
-    group.add_argument(
-        "--scale",
-        type=float,
-        default=None,
-        help="fraction of the paper's volumes (default: REPRO_SCALE or 0.05; 1.0 = 507,080 requests)",
-    )
-    group.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        help=f"shard worker count (default: {WORKERS_ENV_VAR} or 1)",
-    )
+    if lists:
+        group.add_argument(
+            "--scales",
+            type=_parse_float_list,
+            default=[0.01, 0.05],
+            help="comma-separated corpus scales (default 0.01,0.05)",
+        )
+        group.add_argument(
+            "--workers-list",
+            type=_parse_int_list,
+            default=[1, 4],
+            help="comma-separated worker counts (default 1,4)",
+        )
+    else:
+        group.add_argument(
+            "--scale",
+            type=float,
+            default=None,
+            help="fraction of the paper's volumes (default: REPRO_SCALE or 0.05; 1.0 = 507,080 requests)",
+        )
+        group.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help=f"shard worker count (default: {WORKERS_ENV_VAR} or 1)",
+        )
     group.add_argument(
         "--executor",
         choices=("process", "thread"),
         default=None,
         help=f"pool kind for workers > 1 (default: {EXECUTOR_ENV_VAR} or process)",
     )
+
+
+_ABSENT = object()
+
+
+def _validate_execution_knobs(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None:
+    """Reject bad execution knobs up front with a usage error.
+
+    Covers the command-line flags and the environment fallbacks they
+    default to (``REPRO_WORKERS`` / ``REPRO_EXECUTOR`` / ``REPRO_SCALE``),
+    so a typo'd knob fails before minutes of corpus generation start.
+    Knobs a subcommand does not define are skipped, so one validator
+    serves the single-value and list-sweep (``bench``) forms alike.
+    """
+
+    if getattr(args, "seed", _ABSENT) is not _ABSENT and args.seed < 0:
+        parser.error(f"--seed must be non-negative, got {args.seed}")
+    workers = getattr(args, "workers", _ABSENT)
+    if workers is not _ABSENT and workers is not None and workers < 1:
+        parser.error(f"--workers must be >= 1, got {workers}")
+    scale = getattr(args, "scale", _ABSENT)
+    if scale is not _ABSENT and scale is not None and scale <= 0:
+        parser.error(f"--scale must be positive, got {scale}")
+    try:
+        if workers is None:
+            default_workers()
+        if getattr(args, "executor", _ABSENT) is None:
+            default_executor()
+        if scale is None:
+            default_scale()
+    except ValueError as exc:
+        parser.error(str(exc))
+
+
+def _add_corpus_arguments(parser: argparse.ArgumentParser) -> None:
+    _add_execution_knobs(parser)
+    group = parser.add_argument_group("corpus")
     group.add_argument(
         "--generation",
         choices=GENERATIONS,
@@ -94,34 +154,15 @@ def _add_corpus_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _validate_corpus_args(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None:
-    """Reject bad knobs up front with a usage error, not a deep traceback.
+    """Validate the shared execution knobs plus the corpus-only flags."""
 
-    Covers both the command-line flags and the environment fallbacks they
-    default to (``REPRO_WORKERS`` / ``REPRO_EXECUTOR`` / ``REPRO_SCALE``),
-    so a typo'd knob fails before minutes of corpus generation start.
-    """
-
-    if args.workers is not None and args.workers < 1:
-        parser.error(f"--workers must be >= 1, got {args.workers}")
-    if args.scale is not None and args.scale <= 0:
-        parser.error(f"--scale must be positive, got {args.scale}")
-    if args.seed < 0:
-        parser.error(f"--seed must be non-negative, got {args.seed}")
+    _validate_execution_knobs(parser, args)
     if args.real_user_requests < 0:
         parser.error(f"--real-user-requests cannot be negative, got {args.real_user_requests}")
     if args.privacy_requests < 0:
         parser.error(f"--privacy-requests cannot be negative, got {args.privacy_requests}")
     if args.campaign_days < 1:
         parser.error(f"--campaign-days must be >= 1, got {args.campaign_days}")
-    try:
-        if args.workers is None:
-            default_workers()
-        if args.executor is None:
-            default_executor()
-        if args.scale is None:
-            default_scale()
-    except ValueError as exc:
-        parser.error(str(exc))
 
 
 def _build_from_args(args: argparse.Namespace) -> Corpus:
@@ -255,6 +296,108 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from repro.core.detector import FPInconsistent
+    from repro.stream import (
+        DEFAULT_BATCH_SIZE,
+        FilterListRefresher,
+        ReplayDriver,
+        verdicts_digest,
+    )
+
+    parser = args.parser
+    _validate_corpus_args(parser, args)
+    batch_size = DEFAULT_BATCH_SIZE if args.batch_size is None else args.batch_size
+    if batch_size < 1:
+        parser.error(f"--batch-size must be >= 1, got {batch_size}")
+    if args.refresh_every < 0:
+        parser.error(f"--refresh-every cannot be negative, got {args.refresh_every}")
+    if args.window < 1:
+        parser.error(f"--window must be >= 1, got {args.window}")
+    if args.verify_batch and args.refresh_every:
+        parser.error(
+            "--verify-batch compares against the batch pipeline, which has no "
+            "refresh; drop --refresh-every (the oracle needs a frozen filter list)"
+        )
+
+    corpus = _build_from_args(args)
+    workers = args.workers or default_workers() or 1
+    bot_store = corpus.bot_store
+
+    # Mine the initial filter list exactly as the batch pipeline would,
+    # reusing the corpus's pre-extracted table when it is acceptable.
+    detector = FPInconsistent()
+    started = time.perf_counter()
+    table, table_source = detector.resolve_table(
+        bot_store, corpus.columnar_tables.get("bots")
+    )
+    detector.fit_table(table, workers=workers, executor=args.executor)
+    print(
+        f"stream: filter list mined in {time.perf_counter() - started:.2f}s "
+        f"({len(detector.filter_list)} rules, table {table_source})",
+        file=sys.stderr,
+    )
+
+    refresher = None
+    if args.refresh_every:
+        refresher = FilterListRefresher(
+            detector.miner,
+            interval_batches=args.refresh_every,
+            window_rows=args.window,
+            workers=workers,
+            executor=args.executor,
+        )
+    driver = ReplayDriver(detector, batch_size=batch_size, refresher=refresher)
+    result = driver.replay(bot_store)
+    print(
+        f"stream: replayed {result.rows} rows in {result.seconds:.2f}s "
+        f"({result.rows_per_second:.0f} rows/s, {result.batches} batch(es) of "
+        f"{batch_size}, {len(result.refreshes)} refresh(es))",
+        file=sys.stderr,
+    )
+
+    # One serialisation pass covers both the oracle check and the JSON
+    # document (at full scale the verdict set is large).
+    digest = (
+        verdicts_digest(result.verdicts) if args.verify_batch or args.json else None
+    )
+    if args.verify_batch:
+        batch_verdicts = detector.classify_table(table, workers=1)
+        if digest != verdicts_digest(batch_verdicts):
+            print(
+                "stream: FAIL — streaming verdicts diverge from the batch pipeline",
+                file=sys.stderr,
+            )
+            return 1
+        print("stream: verdicts byte-identical to batch pipeline", file=sys.stderr)
+
+    summary = {
+        "rows": result.rows,
+        "batches": result.batches,
+        "batch_size": batch_size,
+        "rules": len(detector.filter_list),
+        "rows_per_second": round(result.rows_per_second, 1),
+        "p50_batch_ms": round(result.latency_quantile(0.50) * 1000, 3),
+        "p99_batch_ms": round(result.latency_quantile(0.99) * 1000, 3),
+        "refreshes": result.refreshes,
+        "verdicts": result.counts(),
+        "table_source": table_source,
+    }
+    if args.json:
+        document = dict(summary)
+        document["seconds"] = round(result.seconds, 3)
+        document["batch_seconds"] = [round(value, 6) for value in result.batch_seconds]
+        document["verdicts_digest"] = digest
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        summary["saved_to"] = str(args.json)
+        print(f"stream: wrote {args.json}", file=sys.stderr)
+    json.dump(summary, sys.stdout, indent=1, sort_keys=True)
+    print()
+    return 0
+
+
 def _parse_float_list(raw: str) -> List[float]:
     values = [float(part) for part in raw.split(",") if part.strip()]
     if not values:
@@ -359,6 +502,7 @@ def run_scaling_benchmark(
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    _validate_execution_knobs(args.parser, args)
     document = run_scaling_benchmark(
         scales=args.scales,
         worker_counts=args.workers_list,
@@ -430,23 +574,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pipeline_parser.set_defaults(func=_cmd_pipeline, parser=pipeline_parser)
 
+    stream_parser = subparsers.add_parser(
+        "stream", help="replay a corpus through the online streaming detector"
+    )
+    _add_corpus_arguments(stream_parser)
+    stream_group = stream_parser.add_argument_group("stream")
+    stream_group.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        metavar="ROWS",
+        help="micro-batch size of the replay (default 1024)",
+    )
+    stream_group.add_argument(
+        "--refresh-every",
+        type=int,
+        default=0,
+        metavar="BATCHES",
+        help="re-mine the filter list every N batches and hot-swap it "
+        "(default 0 = frozen list)",
+    )
+    stream_group.add_argument(
+        "--window",
+        type=int,
+        default=25_000,
+        metavar="ROWS",
+        help="sliding window of ingested rows the refresher mines over (default 25000)",
+    )
+    stream_group.add_argument(
+        "--verify-batch",
+        action="store_true",
+        help="also run the batch classification and assert the streaming "
+        "verdicts are byte-identical (requires a frozen list)",
+    )
+    stream_group.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the full replay document (latencies, refreshes, digest) as JSON",
+    )
+    stream_parser.set_defaults(func=_cmd_stream, parser=stream_parser)
+
     bench_parser = subparsers.add_parser(
         "bench", help="measure serial vs. sharded corpus-build throughput"
     )
-    bench_parser.add_argument("--seed", type=int, default=7)
-    bench_parser.add_argument(
-        "--scales",
-        type=_parse_float_list,
-        default=[0.01, 0.05],
-        help="comma-separated corpus scales (default 0.01,0.05)",
-    )
-    bench_parser.add_argument(
-        "--workers-list",
-        type=_parse_int_list,
-        default=[1, 4],
-        help="comma-separated worker counts (default 1,4)",
-    )
-    bench_parser.add_argument("--executor", choices=("process", "thread"), default=None)
+    _add_execution_knobs(bench_parser, lists=True)
     bench_parser.add_argument(
         "--output", default="BENCH_corpus_scaling.json", help="result file (JSON)"
     )
@@ -457,7 +629,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="X",
         help="exit non-zero unless some engine run is at least X times faster than serial",
     )
-    bench_parser.set_defaults(func=_cmd_bench)
+    bench_parser.set_defaults(func=_cmd_bench, parser=bench_parser)
     return parser
 
 

@@ -413,6 +413,34 @@ class ColumnarTable:
                 )
             return cls.from_arrays(data, meta, label=f"columnar archive {path}")
 
+    def with_columns(self, codes: Dict[Attribute, np.ndarray]) -> "ColumnarTable":
+        """A new table over *codes* decoding through this table's dictionaries.
+
+        Every attribute in *codes* must have a column here — the code
+        arrays are expected to have been produced against this table's
+        vocabulary (e.g. the stream refresher's retained batch columns,
+        which all share one growing-vocabulary ingestor).  Metadata-free:
+        the result is mineable, not classifiable.
+        """
+
+        codes = dict(codes)
+        n_rows: Optional[int] = None
+        for attribute, column in codes.items():
+            if attribute not in self._codes:
+                raise ValueError(
+                    f"this table has no dictionary for attribute {attribute.value!r}"
+                )
+            if n_rows is None:
+                n_rows = int(column.size)
+            elif n_rows != int(column.size):
+                raise ValueError("with_columns requires equally sized code columns")
+        return ColumnarTable(
+            codes=codes,
+            values={attribute: self._values[attribute] for attribute in codes},
+            indexes={attribute: self._indexes[attribute] for attribute in codes},
+            n_rows=0 if n_rows is None else n_rows,
+        )
+
     def take(self, rows: np.ndarray) -> "ColumnarTable":
         """Row-sliced view sharing decode lists (cheap to pickle per shard)."""
 

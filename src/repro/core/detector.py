@@ -87,6 +87,20 @@ class FPInconsistent:
     def filter_list(self) -> FilterList:
         return self._filter_list
 
+    @filter_list.setter
+    def filter_list(self, filter_list: FilterList) -> None:
+        """Hot-swap the deployed rule set.
+
+        The streaming subsystem's refresher re-mines periodically and
+        swaps the list between batches; matching is stateless (the list is
+        recompiled against every batch), so a swap takes effect exactly at
+        the next batch boundary.
+        """
+
+        if not isinstance(filter_list, FilterList):
+            raise TypeError(f"expected a FilterList, got {type(filter_list).__name__}")
+        self._filter_list = filter_list
+
     @property
     def temporal_detector(self) -> TemporalInconsistencyDetector:
         return self._temporal
@@ -94,6 +108,12 @@ class FPInconsistent:
     @property
     def miner(self) -> SpatialInconsistencyMiner:
         return self._miner
+
+    @property
+    def location_predicate(self) -> bool:
+        """Whether the generalised Location check backs filter-list misses."""
+
+        return self._location_predicate
 
     # -- fitting -----------------------------------------------------------------
 
@@ -178,6 +198,23 @@ class FPInconsistent:
         """Extract *store* into the columnar layout this detector needs."""
 
         return ColumnarTable.from_store(store, attributes=self.table_attributes())
+
+    def resolve_table(
+        self, store: RequestStore, candidate: Optional[ColumnarTable] = None
+    ) -> Tuple[ColumnarTable, str]:
+        """The table to use for *store*: *candidate* when acceptable, else
+        a fresh extraction.
+
+        Returns ``(table, source)`` with source ``"reused"`` or
+        ``"extracted"`` — the one reuse-or-extract decision shared by the
+        batch pipeline, the stream CLI and the benchmarks, so the
+        acceptance rules live in exactly one place
+        (:meth:`accepts_table`).
+        """
+
+        if candidate is not None and self.accepts_table(candidate, store):
+            return candidate, "reused"
+        return self.extract_table(store), "extracted"
 
     # -- single-fingerprint API ------------------------------------------------------
 
@@ -274,6 +311,7 @@ class FPInconsistent:
         use_temporal: bool = True,
         workers: int = 1,
         executor: Optional[str] = None,
+        temporal_state=None,
     ) -> Dict[int, InconsistencyVerdict]:
         """Classify every row of a columnar table (vectorized engine).
 
@@ -284,6 +322,15 @@ class FPInconsistent:
         in device-closed groups (every cookie's and every source address's
         rows stay on one shard), so temporal flags — whose state is keyed
         on those identifiers — are identical to a single-shard evaluation.
+
+        *temporal_state* switches temporal detection from the
+        self-contained batch evaluation (state reset, whole table replayed)
+        to the **incremental** streaming mode: the given
+        :class:`~repro.core.temporal.TemporalStreamState` is updated in
+        place and carried across calls, so the streaming subsystem scores
+        one micro-batch per call without re-reading history.  Incremental
+        calls are single-shard by contract (the stream is one arrival
+        order; ``workers`` must stay 1).
         """
 
         if table.request_ids is None:
@@ -294,6 +341,11 @@ class FPInconsistent:
         workers = 1 if workers is None else int(workers)
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if temporal_state is not None and workers > 1:
+            raise ValueError(
+                "incremental temporal state is inherently ordered; "
+                "classify_table(temporal_state=...) requires workers=1"
+            )
         if workers > 1 and table.n_rows > 1:
             return self._classify_table_sharded(
                 table,
@@ -305,7 +357,10 @@ class FPInconsistent:
 
         temporal_flags: Dict[int, List[TemporalFlag]] = {}
         if use_temporal:
-            temporal_flags = self._temporal.evaluate_table(table)
+            if temporal_state is not None:
+                temporal_flags = self._temporal.observe_table(table, temporal_state)
+            else:
+                temporal_flags = self._temporal.evaluate_table(table)
 
         spatial_rules: List[Optional[InconsistencyRule]] = [None] * table.n_rows
         if use_spatial:

@@ -160,15 +160,11 @@ class FPInconsistentPipeline:
             verdicts = detector.classify_store(bot_store, engine="legacy")
             table = None
         else:
-            # extract_table, not ColumnarTable.from_store: the detector
-            # appends its tracked temporal attributes, so a custom temporal
-            # configuration keeps the columnar/legacy verdicts identical.
-            if bot_table is not None and detector.accepts_table(bot_table, bot_store):
-                table = bot_table
-                table_sources["bots"] = "reused"
-            else:
-                table = detector.extract_table(bot_store)
-                table_sources["bots"] = "extracted"
+            # resolve_table extracts through the detector (not bare
+            # ColumnarTable.from_store): it appends the tracked temporal
+            # attributes, so a custom temporal configuration keeps the
+            # columnar/legacy verdicts identical.
+            table, table_sources["bots"] = detector.resolve_table(bot_store, bot_table)
             detector.fit_table(table, workers=workers, executor=executor)
             verdicts = detector.classify_table(table, workers=workers, executor=executor)
 
@@ -182,18 +178,14 @@ class FPInconsistentPipeline:
         )
 
         if real_user_store is not None and len(real_user_store) > 0:
-            if (
-                engine == "columnar"
-                and real_user_table is not None
-                and detector.accepts_table(real_user_table, real_user_store)
-            ):
-                table_sources["real_users"] = "reused"
+            if engine == "columnar":
+                user_table, table_sources["real_users"] = detector.resolve_table(
+                    real_user_store, real_user_table
+                )
                 user_verdicts = detector.classify_table(
-                    real_user_table, workers=workers, executor=executor
+                    user_table, workers=workers, executor=executor
                 )
             else:
-                if engine == "columnar":
-                    table_sources["real_users"] = "extracted"
                 user_verdicts = detector.classify_store(
                     real_user_store, engine=engine, workers=workers, executor=executor
                 )

@@ -50,6 +50,38 @@ DEFAULT_COOKIE_TOLERANCE = 1
 DEFAULT_IP_TOLERANCE = 2
 
 
+class TemporalStreamState:
+    """Per-device seen-state carried across micro-batches.
+
+    The streaming subsystem (:mod:`repro.stream`) scores traffic batch by
+    batch; temporal detection is the one stateful part, so its state lives
+    in an explicit object handed back to
+    :meth:`TemporalInconsistencyDetector.observe_table` on every batch
+    instead of being rebuilt from the whole history.  Keys are the decoded
+    device identifiers (cookie / address *strings*), never table-local
+    value codes, so state survives vocabulary growth and is meaningful
+    across any sequence of tables.
+    """
+
+    __slots__ = ("seen",)
+
+    def __init__(self):
+        #: (key_kind, key, attribute) -> observed values, insertion-ordered
+        #: (a dict-as-ordered-set, exactly like the detector's ``_seen``).
+        self.seen: Dict[Tuple[str, str, Attribute], Dict[object, None]] = {}
+
+    @property
+    def tracked_devices(self) -> int:
+        """Number of distinct (device key, attribute) entries tracked."""
+
+        return len(self.seen)
+
+    def observed_values(self) -> int:
+        """Total distinct values recorded across all tracked entries."""
+
+        return sum(len(values) for values in self.seen.values())
+
+
 @dataclass(frozen=True)
 class TemporalFlag:
     """Why one request was considered temporally inconsistent."""
@@ -323,6 +355,100 @@ class TemporalInconsistencyDetector:
                 )
             seen[value_code] = None
         return flags
+
+    # -- incremental (streaming) API ---------------------------------------------
+
+    def new_stream_state(self) -> TemporalStreamState:
+        """Fresh cross-batch seen-state for :meth:`observe_table`."""
+
+        return TemporalStreamState()
+
+    def observe_table(
+        self, table, state: TemporalStreamState
+    ) -> Dict[int, List[TemporalFlag]]:
+        """Stream one columnar table (a micro-batch) through *state*.
+
+        The incremental counterpart of :meth:`evaluate_table`: per-device
+        seen-state lives in the caller-held *state* and carries across
+        calls instead of being reset, so feeding a table's row slices
+        through consecutive calls in timestamp order raises exactly the
+        flags a single :meth:`evaluate_table` over the whole table would.
+        State keys on the *decoded* device identifiers and attribute
+        values, never on table-local codes, so any sequence of tables —
+        including the growing-vocabulary batches the stream ingestor
+        emits — shares one coherent state.
+
+        Rows are processed in timestamp order within the batch; ordering
+        across batches is the caller's contract (the replay driver feeds
+        batches in global timestamp order).  Returns ``request_id`` →
+        flags for the rows this batch flagged.
+        """
+
+        if table.timestamps is None or table.cookie_codes is None or table.ip_codes is None:
+            raise ValueError("temporal observation requires a table built with from_store")
+
+        time_order = np.argsort(table.timestamps, kind="stable")
+        time_rank = np.empty(table.n_rows, dtype=np.int64)
+        time_rank[time_order] = np.arange(table.n_rows)
+
+        # One map per (key kind, attribute) in the order :meth:`observe`
+        # raises flags; state is independent per (key, attribute), so
+        # streaming column-wise is equivalent to row-wise observation.
+        flag_maps: List[Dict[int, TemporalFlag]] = []
+        seen_map = state.seen
+        for kind, key_codes, key_values, attributes, tolerance in (
+            ("cookie", table.cookie_codes, table.cookie_values,
+             self._cookie_attributes, self._cookie_tolerance),
+            ("ip", table.ip_codes, table.ip_values,
+             self._ip_attributes, self._ip_tolerance),
+        ):
+            key_valid = key_codes >= 0
+            for attribute in attributes:
+                table.require_attribute(attribute, "tracked attribute")
+                codes = table.codes_of(attribute)
+                values = table.values_of(attribute)
+                rows = np.nonzero(key_valid & (codes >= 0))[0]
+                flags: Dict[int, TemporalFlag] = {}
+                if rows.size:
+                    rows = rows[np.argsort(time_rank[rows], kind="stable")]
+                    row_keys = key_codes[rows].tolist()
+                    row_values = codes[rows].tolist()
+                    for row, key_code, value_code in zip(
+                        rows.tolist(), row_keys, row_values
+                    ):
+                        key = key_values[key_code]
+                        if not key:
+                            # Falsy keys ("" cookie) track nothing, exactly
+                            # like the falsy-key guard in :meth:`observe`.
+                            continue
+                        value = values[value_code]
+                        state_key = (kind, key, attribute)
+                        seen = seen_map.get(state_key)
+                        if seen is None:
+                            seen = {}
+                            seen_map[state_key] = seen
+                        if value in seen:
+                            continue
+                        if len(seen) >= tolerance:
+                            flags[row] = TemporalFlag(
+                                key_kind=kind,
+                                key=key,
+                                attribute=attribute,
+                                previous_values=tuple(seen),
+                                new_value=value,
+                            )
+                        seen[value] = None
+                flag_maps.append(flags)
+
+        per_row: Dict[int, List[TemporalFlag]] = {}
+        for flag_map in flag_maps:
+            for row, flag in flag_map.items():
+                per_row.setdefault(row, []).append(flag)
+        request_ids = table.request_ids
+        return {
+            int(request_ids[row]): per_row[row]
+            for row in sorted(per_row, key=lambda row: time_rank[row])
+        }
 
     def flagged_request_ids(self, store: RequestStore) -> Set[int]:
         """The request ids flagged when evaluating *store*."""

@@ -1,0 +1,45 @@
+"""Streaming detection subsystem: online FP-Inconsistent scoring.
+
+Every other layer of the reproduction is batch-only — verdicts exist once
+a whole corpus has been assembled and mined.  This package turns the
+detection stack into a *servable* engine that scores requests as they
+arrive, in four pieces:
+
+* :class:`~repro.stream.ingest.StreamIngestor` — encodes arriving
+  micro-batches (record objects or ``RecordColumns`` row slices) against a
+  growing attribute-code vocabulary, emitting ``core.columnar`` tables;
+* :class:`~repro.stream.classifier.OnlineClassifier` — vectorized compiled
+  filter-list matching per batch plus **incremental** temporal detection
+  (cross-batch :class:`~repro.core.temporal.TemporalStreamState`);
+* :class:`~repro.stream.refresh.FilterListRefresher` — periodic re-mining
+  over a sliding window of ingested rows, hot-swapped at batch boundaries;
+* :class:`~repro.stream.replay.ReplayDriver` — replays any cached corpus
+  through the stream in timestamp order; with a frozen filter list the
+  verdicts are identical to the batch pipeline's (the subsystem's oracle).
+
+``repro stream`` on the command line and
+``benchmarks/bench_stream_scaling.py`` drive this package; the
+architecture is documented in ``docs/streaming.md``.
+"""
+
+from repro.stream.classifier import OnlineClassifier
+from repro.stream.ingest import StreamIngestor
+from repro.stream.refresh import FilterListRefresher
+from repro.stream.replay import (
+    DEFAULT_BATCH_SIZE,
+    ReplayDriver,
+    ReplayResult,
+    verdicts_digest,
+    verdicts_to_jsonable,
+)
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "FilterListRefresher",
+    "OnlineClassifier",
+    "ReplayDriver",
+    "ReplayResult",
+    "StreamIngestor",
+    "verdicts_digest",
+    "verdicts_to_jsonable",
+]

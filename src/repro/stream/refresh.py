@@ -1,0 +1,135 @@
+"""Periodic filter-list refresh over a sliding window of ingested rows.
+
+A deployed filter list ages: bot services rotate configurations, so the
+rule set mined from last month's traffic slowly loses coverage.  The
+:class:`FilterListRefresher` keeps the most recent ``window_rows`` rows of
+every observed batch (just the attribute code columns — the decode lists
+are the ingestor's live vocabulary, shared by reference) and every
+``interval_batches`` batches re-mines a fresh
+:class:`~repro.core.rules.FilterList` over that window with the exact
+batch miner (:meth:`SpatialInconsistencyMiner.mine_table`), optionally
+fanned out over the shard worker pool.
+
+Mining over window columns encoded in the stream's global vocabulary is
+equivalent to mining a fresh extraction of the same rows: co-occurrence
+counts are code-numbering-independent, and
+:func:`~repro.core.spatial.columnar_pair_statistics` rebuilds its value
+dictionaries in window-row first-occurrence order either way
+(``tests/test_stream.py`` pins the equivalence).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.columnar import ColumnarTable
+from repro.core.rules import FilterList
+from repro.core.spatial import SpatialInconsistencyMiner
+
+
+class FilterListRefresher:
+    """Re-mines the filter list over the last ``window_rows`` ingested rows."""
+
+    def __init__(
+        self,
+        miner: Optional[SpatialInconsistencyMiner] = None,
+        *,
+        interval_batches: int,
+        window_rows: int,
+        workers: int = 1,
+        executor: Optional[str] = None,
+    ):
+        if interval_batches < 1:
+            raise ValueError(f"interval_batches must be >= 1, got {interval_batches}")
+        if window_rows < 1:
+            raise ValueError(f"window_rows must be >= 1, got {window_rows}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self._miner = miner if miner is not None else SpatialInconsistencyMiner()
+        self.interval_batches = int(interval_batches)
+        self.window_rows = int(window_rows)
+        self._workers = int(workers)
+        self._executor = executor
+        #: retained per-batch code columns, oldest first
+        self._recent: List[Dict] = []
+        self._rows_in_window = 0
+        self._batches_seen = 0
+        #: the latest observed batch: every batch shares the ingestor's
+        #: live vocabulary, so any one of them can decode the window
+        self._template: Optional[ColumnarTable] = None
+
+    @property
+    def rows_in_window(self) -> int:
+        return self._rows_in_window
+
+    @property
+    def batches_seen(self) -> int:
+        return self._batches_seen
+
+    def observe_batch(self, batch: ColumnarTable) -> None:
+        """Retain *batch*'s code columns and trim the window to size.
+
+        The oldest retained batch is sliced — not just dropped whole — so
+        the window is exactly the last ``window_rows`` rows regardless of
+        how batch boundaries fall.
+        """
+
+        self._template = batch
+        if batch.n_rows:
+            self._recent.append(
+                {attribute: batch.codes_of(attribute) for attribute in batch.attributes}
+            )
+            self._rows_in_window += batch.n_rows
+        overflow = self._rows_in_window - self.window_rows
+        while overflow > 0:
+            oldest = self._recent[0]
+            oldest_rows = int(next(iter(oldest.values())).size)
+            if overflow >= oldest_rows:
+                self._recent.pop(0)
+                self._rows_in_window -= oldest_rows
+                overflow -= oldest_rows
+            else:
+                self._recent[0] = {
+                    attribute: column[overflow:] for attribute, column in oldest.items()
+                }
+                self._rows_in_window -= overflow
+                overflow = 0
+        self._batches_seen += 1
+
+    def window_table(self) -> ColumnarTable:
+        """The current window as one mineable columnar table.
+
+        Columns are concatenations of the retained batch slices; decode
+        lists are the ingestor's live vocabulary.  No request metadata —
+        mining never reads it.
+        """
+
+        if not self._recent:
+            raise ValueError("the refresh window is empty; observe at least one batch")
+        attributes = list(self._recent[0])
+        return self._template.with_columns(
+            {
+                attribute: np.concatenate([part[attribute] for part in self._recent])
+                for attribute in attributes
+            }
+        )
+
+    def refresh(self) -> FilterList:
+        """Mine a fresh filter list over the current window."""
+
+        return self._miner.mine_table(
+            self.window_table(), workers=self._workers, executor=self._executor
+        )
+
+    def maybe_refresh(self) -> Optional[FilterList]:
+        """A fresh list when a refresh interval just completed, else ``None``.
+
+        Call once per batch, after :meth:`observe_batch`; the driver swaps
+        the returned list into the classifier before the next batch.
+        """
+
+        if self._batches_seen and self._batches_seen % self.interval_batches == 0:
+            return self.refresh()
+        return None

@@ -137,6 +137,48 @@ def test_pipeline_engines_agree(capsys):
     assert columnar == legacy
 
 
+def test_stream_replays_and_verifies_against_batch(capsys, tmp_path):
+    out_path = tmp_path / "stream.json"
+    code, out, err = run_cli(
+        capsys,
+        "stream",
+        "--seed", "5",
+        "--scale", "0.003",
+        "--no-cache",
+        "--batch-size", "200",
+        "--verify-batch",
+        "--json", str(out_path),
+    )
+    assert code == 0
+    assert "verdicts byte-identical to batch pipeline" in err
+    summary = json.loads(out)
+    assert summary["batch_size"] == 200
+    assert summary["batches"] == -(-summary["rows"] // 200)
+    assert summary["rules"] > 0
+    assert summary["verdicts"]["inconsistent"] > 0
+    assert 0 < summary["p50_batch_ms"] <= summary["p99_batch_ms"]
+    document = json.loads(out_path.read_text())
+    assert len(document["batch_seconds"]) == summary["batches"]
+    assert len(document["verdicts_digest"]) == 64
+
+
+def test_stream_refresh_hot_swaps(capsys):
+    code, out, err = run_cli(
+        capsys,
+        "stream",
+        "--seed", "5",
+        "--scale", "0.003",
+        "--no-cache",
+        "--batch-size", "250",
+        "--refresh-every", "3",
+        "--window", "1000",
+    )
+    assert code == 0
+    summary = json.loads(out)
+    assert summary["refreshes"]
+    assert all(entry["rules"] > 0 for entry in summary["refreshes"])
+
+
 @pytest.mark.parametrize(
     "argv, message",
     [
@@ -147,6 +189,12 @@ def test_pipeline_engines_agree(capsys):
         (("corpus", "--real-user-requests", "-5"), "cannot be negative"),
         (("bench", "--scales", "0"), "scales must be positive"),
         (("bench", "--workers-list", "0"), "worker counts must be >= 1"),
+        (("bench", "--seed", "-1"), "--seed must be non-negative"),
+        (("stream", "--batch-size", "0"), "--batch-size must be >= 1"),
+        (("stream", "--refresh-every", "-1"), "--refresh-every cannot be negative"),
+        (("stream", "--window", "0"), "--window must be >= 1"),
+        (("stream", "--verify-batch", "--refresh-every", "2"), "frozen filter list"),
+        (("stream", "--workers", "0"), "--workers must be >= 1"),
     ],
 )
 def test_bad_knobs_fail_fast(capsys, argv, message):

@@ -195,6 +195,106 @@ def test_subset_stores_answer_without_materialising(columnar_corpus):
     assert not bots.materialized
 
 
+# -- lazy store edges -------------------------------------------------------------
+
+
+def empty_lazy_store() -> LazyRequestStore:
+    from repro.honeysite.storage import RecordColumnsBuilder
+
+    return LazyRequestStore(RecordColumnsBuilder().columns().renumbered())
+
+
+def test_empty_lazy_store_answers_every_query(columnar_corpus):
+    store = empty_lazy_store()
+    assert len(store) == 0
+    assert list(store) == []
+    assert store.sources() == ()
+    assert store.unique_ips() == store.unique_cookies() == store.unique_fingerprints() == 0
+    assert store.request_id_array().size == 0
+    for detector in ("DataDome", "BotD"):
+        assert store.evaded_rows(detector).size == 0
+        assert store.evasion_rate(detector) == 0.0
+        assert len(store.evading(detector)) == 0
+    assert len(store.by_sources({"S1", "S2"})) == 0
+    first, second = store.split(0.8, np.random.default_rng(3))
+    assert len(first) == len(second) == 0
+    assert store.daily_series() == {}
+
+
+def test_single_session_shard_store(columnar_corpus):
+    columns = columnar_corpus.store.columns
+    busiest = int(np.argmax(np.bincount(columns.session_codes)))
+    rows = np.nonzero(columns.session_codes == busiest)[0]
+    assert rows.size > 1  # the busiest session spans several requests
+    single = LazyRequestStore(columns.take(rows).renumbered())
+    reference = RequestStore(list(single))
+    assert single.unique_ips() == 1
+    assert single.unique_fingerprints() == 1
+    assert len(single.sources()) == 1
+    assert single.unique_cookies() == reference.unique_cookies()
+    assert record_dicts(single) == record_dicts(reference)
+
+
+def test_iteration_is_stable_after_partial_array_level_consumption(columnar_corpus):
+    store = columnar_corpus.bot_store
+    # Array-level consumption first: none of this may materialise records.
+    ids = store.request_id_array()
+    evaded = store.evaded_rows("BotD")
+    sources = store.sources()
+    first, _second = store.split(0.8, np.random.default_rng(7))
+    assert not store.materialized and not first.materialized
+    # Iterating afterwards materialises once; repeated iteration returns
+    # the same objects and still agrees with every array-level answer.
+    records_a = list(store)
+    assert store.materialized
+    records_b = list(store)
+    assert all(a is b for a, b in zip(records_a, records_b))
+    assert [record.request.request_id for record in records_a] == ids.tolist()
+    assert [record.evaded("BotD") for record in records_a] == evaded.tolist()
+    assert store.sources() == sources
+    # A slice taken before materialisation materialises independently and
+    # matches the parent's rows.
+    split_ids = first.request_id_array()
+    assert [record.request.request_id for record in first] == split_ids.tolist()
+
+
+# -- object-free figure series ----------------------------------------------------
+
+
+def test_figure9_columnar_matches_object_oracle(columnar_corpus):
+    from repro.analysis.figures import _figure9_from_records, figure9_daily_series
+
+    # Fresh lazy views over the shared columns: earlier tests may already
+    # have materialised the corpus-wide store.
+    whole = LazyRequestStore(columnar_corpus.store.columns)
+    for store in (whole, columnar_corpus.bot_store):
+        lazy_series = figure9_daily_series(store)
+        assert not store.materialized
+        assert lazy_series == _figure9_from_records(RequestStore(list(store)))
+
+
+def test_new_fingerprints_columnar_matches_object_oracle(columnar_corpus):
+    from repro.analysis.figures import (
+        _new_fingerprints_from_records,
+        new_fingerprints_over_time,
+    )
+
+    whole = LazyRequestStore(columnar_corpus.store.columns)
+    for store in (whole, columnar_corpus.real_user_store):
+        lazy_counts = new_fingerprints_over_time(store)
+        assert not store.materialized
+        assert lazy_counts == _new_fingerprints_from_records(RequestStore(list(store)))
+        assert sum(lazy_counts) <= len(store)
+
+
+def test_figure_series_on_empty_lazy_store():
+    from repro.analysis.figures import figure9_daily_series, new_fingerprints_over_time
+
+    store = empty_lazy_store()
+    assert figure9_daily_series(store).days == ()
+    assert new_fingerprints_over_time(store) == ()
+
+
 # -- archive compatibility --------------------------------------------------------
 
 

@@ -1,0 +1,347 @@
+"""Tests for the streaming detection subsystem (``repro.stream``).
+
+The subsystem's contract is exactness, not approximation: a full corpus
+replay with a frozen filter list must reproduce the batch pipeline's
+verdicts bit for bit, for any micro-batch size, over either physical
+record representation.  These tests pin that oracle plus the pieces it
+rests on — growing-vocabulary ingestion identical to one-shot extraction,
+incremental temporal state identical to the self-contained batch
+evaluation, and window re-mining identical to mining a fresh extraction
+of the same rows.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.engine import CorpusEngine
+from repro.core.columnar import ColumnarTable
+from repro.core.detector import FPInconsistent
+from repro.core.pipeline import FPInconsistentPipeline
+from repro.core.rules import FilterList
+from repro.core.spatial import SpatialInconsistencyMiner
+from repro.core.temporal import TemporalInconsistencyDetector
+from repro.honeysite.storage import LazyRequestStore, RecordColumnsBuilder, RequestStore
+from repro.stream import (
+    FilterListRefresher,
+    OnlineClassifier,
+    ReplayDriver,
+    StreamIngestor,
+    verdicts_digest,
+    verdicts_to_jsonable,
+)
+
+TINY = dict(
+    seed=29,
+    scale=0.004,
+    include_real_users=True,
+    include_privacy=True,
+    real_user_requests=120,
+    privacy_requests_each=12,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    """A columnar-transport corpus (lazy store + pre-extracted tables)."""
+
+    return CorpusEngine(**TINY).build(workers=1)
+
+
+@pytest.fixture(scope="module")
+def fitted(corpus):
+    """(detector, bot table, batch verdicts): the streaming oracle."""
+
+    detector = FPInconsistent()
+    table = detector.extract_table(corpus.bot_store)
+    detector.fit_table(table)
+    verdicts = detector.classify_table(table)
+    return detector, table, verdicts
+
+
+# -- the replay oracle -----------------------------------------------------------
+
+
+@pytest.mark.parametrize("batch_size", [37, 256, 1_000_000])
+def test_replay_matches_batch_pipeline_across_batch_sizes(corpus, fitted, batch_size):
+    detector, _table, batch_verdicts = fitted
+    store = corpus.bot_store
+    result = ReplayDriver(detector, batch_size=batch_size).replay(store)
+    assert result.rows == len(store)
+    assert result.batches == -(-len(store) // batch_size)
+    assert result.verdicts == batch_verdicts
+    # ... and byte-identical once serialised (what the CI smoke asserts).
+    assert verdicts_digest(result.verdicts) == verdicts_digest(batch_verdicts)
+    assert not store.materialized  # the columnar replay path touches no record
+
+
+def test_replay_object_store_matches_columnar_replay(corpus, fitted):
+    detector, _table, batch_verdicts = fitted
+    object_store = RequestStore(list(corpus.bot_store))
+    result = ReplayDriver(detector, batch_size=313).replay(object_store)
+    assert result.verdicts == batch_verdicts
+
+
+def test_replay_reproduces_pipeline_verdicts(corpus):
+    pipeline = FPInconsistentPipeline()
+    outcome = pipeline.run(corpus.bot_store, bot_table=corpus.columnar_tables.get("bots"))
+    deployed = FPInconsistent(filter_list=outcome.filter_list)
+    result = ReplayDriver(deployed, batch_size=256).replay(corpus.bot_store)
+    assert result.verdicts == outcome.verdicts
+    counts = result.counts()
+    assert counts["spatial"] > 0 and counts["temporal"] > 0
+    assert counts["inconsistent"] >= max(counts["spatial"], counts["temporal"])
+
+
+def test_verdict_serialisation_is_canonical(fitted):
+    _detector, _table, batch_verdicts = fitted
+    document = verdicts_to_jsonable(batch_verdicts)
+    assert [entry["request_id"] for entry in document] == sorted(batch_verdicts)
+    json.dumps(document)  # strictly JSON-able
+    trimmed = dict(batch_verdicts)
+    trimmed.pop(next(iter(trimmed)))
+    assert verdicts_digest(trimmed) != verdicts_digest(batch_verdicts)
+
+
+# -- ingestion -------------------------------------------------------------------
+
+
+def test_single_batch_ingest_matches_from_store_extraction(corpus, fitted):
+    detector, _table, _verdicts = fitted
+    store = corpus.bot_store
+    attributes = detector.table_attributes()
+    reference = ColumnarTable.from_store(store, attributes=attributes)
+
+    ingestor = StreamIngestor(attributes=attributes)
+    rows = np.arange(len(store), dtype=np.int64)  # store order, like from_store
+    batch = ingestor.ingest_rows(store.columns, rows)
+    assert batch.attributes == reference.attributes
+    for attribute in attributes:
+        assert np.array_equal(batch.codes_of(attribute), reference.codes_of(attribute))
+        assert batch.values_of(attribute) == reference.values_of(attribute)
+    assert np.array_equal(batch.request_ids, reference.request_ids)
+    assert np.array_equal(batch.timestamps, reference.timestamps)
+    assert np.array_equal(batch.cookie_codes, reference.cookie_codes)
+    assert batch.cookie_values == reference.cookie_values
+    assert np.array_equal(batch.ip_codes, reference.ip_codes)
+    assert batch.ip_values == reference.ip_values
+
+
+def test_ingest_records_matches_ingest_rows(corpus, fitted):
+    detector, _table, _verdicts = fitted
+    store = corpus.bot_store
+    attributes = detector.table_attributes()
+    records = list(store)
+
+    from_rows = StreamIngestor(attributes=attributes)
+    from_records = StreamIngestor(attributes=attributes)
+    for start in range(0, len(store), 400):
+        rows = np.arange(start, min(start + 400, len(store)), dtype=np.int64)
+        row_batch = from_rows.ingest_rows(store.columns, rows)
+        record_batch = from_records.ingest_records(records[start : start + 400])
+        for attribute in attributes:
+            assert np.array_equal(
+                row_batch.codes_of(attribute), record_batch.codes_of(attribute)
+            )
+        assert np.array_equal(row_batch.cookie_codes, record_batch.cookie_codes)
+        assert np.array_equal(row_batch.ip_codes, record_batch.ip_codes)
+        assert np.array_equal(row_batch.request_ids, record_batch.request_ids)
+    for attribute in attributes:
+        assert from_rows.vocabulary_sizes()[attribute] == from_records.vocabulary_sizes()[
+            attribute
+        ]
+
+
+def test_vocabulary_only_grows_and_codes_stay_stable(corpus, fitted):
+    detector, _table, _verdicts = fitted
+    store = corpus.bot_store
+    half = len(store) // 2
+    ingestor = StreamIngestor(attributes=detector.table_attributes())
+    first = ingestor.ingest_rows(store.columns, np.arange(half, dtype=np.int64))
+    snapshot_codes = {
+        attribute: first.codes_of(attribute).copy() for attribute in first.attributes
+    }
+    snapshot_values = {
+        attribute: list(first.values_of(attribute)) for attribute in first.attributes
+    }
+    ingestor.ingest_rows(store.columns, np.arange(half, len(store), dtype=np.int64))
+    for attribute in first.attributes:
+        # Earlier batches stay decodable: codes unchanged, decode lists
+        # extended append-only.
+        assert np.array_equal(first.codes_of(attribute), snapshot_codes[attribute])
+        grown = first.values_of(attribute)
+        assert grown[: len(snapshot_values[attribute])] == snapshot_values[attribute]
+    assert ingestor.rows_ingested == len(store)
+    assert ingestor.batches_emitted == 2
+
+
+def test_ingest_rows_requires_renumbered_columns(corpus):
+    builder_columns = corpus.bot_store.columns.take(np.arange(5, dtype=np.int64))
+    builder_columns.request_ids = None
+    with pytest.raises(ValueError, match="renumbered"):
+        StreamIngestor().ingest_rows(builder_columns, np.arange(5, dtype=np.int64))
+
+
+# -- incremental temporal state --------------------------------------------------
+
+
+@pytest.mark.parametrize("slice_size", [53, 700])
+def test_incremental_temporal_matches_batch_evaluation(fitted, slice_size):
+    _detector, table, _verdicts = fitted
+    temporal = TemporalInconsistencyDetector()
+    full = temporal.evaluate_table(table)
+
+    streaming = TemporalInconsistencyDetector()
+    state = streaming.new_stream_state()
+    order = np.argsort(table.timestamps, kind="stable")
+    merged = {}
+    for start in range(0, table.n_rows, slice_size):
+        merged.update(
+            streaming.observe_table(table.take(order[start : start + slice_size]), state)
+        )
+    assert merged == full
+    assert state.tracked_devices > 0
+    assert state.observed_values() >= state.tracked_devices
+
+
+def test_observe_table_requires_metadata(fitted):
+    detector, table, _verdicts = fitted
+    temporal = detector.temporal_detector
+    bare = table.select(table.attributes)  # no request metadata
+    with pytest.raises(ValueError, match="from_store"):
+        temporal.observe_table(bare, temporal.new_stream_state())
+
+
+def test_classify_table_rejects_sharded_incremental_state(fitted):
+    detector, table, _verdicts = fitted
+    state = detector.temporal_detector.new_stream_state()
+    with pytest.raises(ValueError, match="workers=1"):
+        detector.classify_table(table, workers=2, temporal_state=state)
+
+
+# -- online classifier -----------------------------------------------------------
+
+
+def test_online_classifier_isolates_the_fitted_detector(fitted):
+    detector, table, _verdicts = fitted
+    rules_before = len(detector.filter_list)
+    classifier = OnlineClassifier(detector)
+    classifier.classify_batch(table.take(np.arange(50, dtype=np.int64)))
+    classifier.swap_filter_list(FilterList())
+    assert classifier.swaps == 1
+    assert len(classifier.filter_list) == 0
+    assert len(detector.filter_list) == rules_before  # source untouched
+    assert len(detector.temporal_detector._seen) == 0  # no state leaked
+
+
+def test_filter_list_setter_rejects_non_lists(fitted):
+    detector, _table, _verdicts = fitted
+    with pytest.raises(TypeError):
+        detector.filter_list = ["not", "a", "list"]
+
+
+# -- filter-list refresh ---------------------------------------------------------
+
+
+def test_window_mining_matches_fresh_extraction(corpus, fitted):
+    detector, _table, _verdicts = fitted
+    store = corpus.bot_store
+    attributes = detector.table_attributes()
+    ingestor = StreamIngestor(attributes=attributes)
+    refresher = FilterListRefresher(interval_batches=1, window_rows=10**9)
+    order = np.argsort(store.columns.timestamps, kind="stable")
+    for start in range(0, len(store), 500):
+        refresher.observe_batch(
+            ingestor.ingest_rows(store.columns, order[start : start + 500])
+        )
+    mined_stream = refresher.refresh()
+
+    ordered = sorted(store, key=lambda record: record.timestamp)
+    fresh = ColumnarTable.from_fingerprints(
+        [record.request.fingerprint for record in ordered], attributes
+    )
+    mined_fresh = SpatialInconsistencyMiner().mine_table(fresh)
+    assert [rule.to_dict() for rule in mined_stream] == [
+        rule.to_dict() for rule in mined_fresh
+    ]
+
+
+def test_sliding_window_keeps_exactly_the_last_rows(corpus, fitted):
+    detector, _table, _verdicts = fitted
+    store = corpus.bot_store
+    attributes = detector.table_attributes()
+    window = 700
+    ingestor = StreamIngestor(attributes=attributes)
+    refresher = FilterListRefresher(interval_batches=1, window_rows=window)
+    order = np.argsort(store.columns.timestamps, kind="stable")
+    for start in range(0, len(store), 256):  # misaligned with the window on purpose
+        refresher.observe_batch(
+            ingestor.ingest_rows(store.columns, order[start : start + 256])
+        )
+    assert refresher.rows_in_window == window
+
+    ordered = sorted(store, key=lambda record: record.timestamp)[-window:]
+    fresh = ColumnarTable.from_fingerprints(
+        [record.request.fingerprint for record in ordered], attributes
+    )
+    assert [rule.to_dict() for rule in refresher.refresh()] == [
+        rule.to_dict() for rule in SpatialInconsistencyMiner().mine_table(fresh)
+    ]
+
+
+def test_replay_hot_swaps_at_batch_boundaries(corpus, fitted):
+    detector, _table, _verdicts = fitted
+    refresher = FilterListRefresher(
+        detector.miner, interval_batches=2, window_rows=1_000
+    )
+    result = ReplayDriver(detector, batch_size=300, refresher=refresher).replay(
+        corpus.bot_store
+    )
+    assert result.refreshes
+    batches = [entry["batch"] for entry in result.refreshes]
+    assert batches == sorted(batches)
+    assert all((index + 1) % 2 == 0 for index in batches)
+    assert all(entry["rules"] > 0 for entry in result.refreshes)
+
+
+def test_refresher_validates_knobs():
+    with pytest.raises(ValueError):
+        FilterListRefresher(interval_batches=0, window_rows=10)
+    with pytest.raises(ValueError):
+        FilterListRefresher(interval_batches=1, window_rows=0)
+    with pytest.raises(ValueError):
+        FilterListRefresher(interval_batches=1, window_rows=10, workers=0)
+    with pytest.raises(ValueError, match="window is empty"):
+        FilterListRefresher(interval_batches=1, window_rows=10).refresh()
+
+
+# -- edges -----------------------------------------------------------------------
+
+
+def test_replay_of_an_empty_store(fitted):
+    detector, _table, _verdicts = fitted
+    empty = LazyRequestStore(RecordColumnsBuilder().columns().renumbered())
+    result = ReplayDriver(detector, batch_size=64).replay(empty)
+    assert result.rows == 0 and result.batches == 0
+    assert result.verdicts == {}
+    assert result.rows_per_second == 0.0
+    assert result.latency_quantile(0.5) == 0.0
+    assert result.counts() == {"spatial": 0, "temporal": 0, "inconsistent": 0}
+
+
+def test_replay_driver_validates_batch_size(fitted):
+    detector, _table, _verdicts = fitted
+    with pytest.raises(ValueError):
+        ReplayDriver(detector, batch_size=0)
+
+
+def test_latency_quantiles_are_ordered(corpus, fitted):
+    detector, _table, _verdicts = fitted
+    result = ReplayDriver(detector, batch_size=128).replay(corpus.bot_store)
+    p50, p99 = result.latency_quantile(0.50), result.latency_quantile(0.99)
+    assert 0 < p50 <= p99
+    with pytest.raises(ValueError):
+        result.latency_quantile(1.5)
