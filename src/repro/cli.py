@@ -1,10 +1,11 @@
 """The ``repro`` command line interface.
 
-Four subcommands cover the reproduction workflow end to end::
+Five subcommands cover the reproduction workflow end to end::
 
     repro corpus    build (or load from cache) a measurement corpus
     repro pipeline  build a corpus and run the FP-Inconsistent evaluation
     repro stream    replay a corpus through the online streaming detector
+    repro serve     replay a corpus through the parallel detection gateway
     repro bench     measure serial vs. sharded corpus-build throughput
 
 Installed as a console script by ``setup.py``; also runnable without
@@ -398,6 +399,119 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.core.detector import FPInconsistent
+    from repro.serve import DetectionGateway, DeviceRouter, GatewayReplayDriver
+    from repro.stream import DEFAULT_BATCH_SIZE, FilterListRefresher, verdicts_digest
+
+    parser = args.parser
+    _validate_corpus_args(parser, args)
+    batch_size = DEFAULT_BATCH_SIZE if args.batch_size is None else args.batch_size
+    if batch_size < 1:
+        parser.error(f"--batch-size must be >= 1, got {batch_size}")
+    if args.serve_workers < 1:
+        parser.error(f"--serve-workers must be >= 1, got {args.serve_workers}")
+    if args.refresh_days < 0:
+        parser.error(f"--refresh-days cannot be negative, got {args.refresh_days}")
+    if args.window < 1:
+        parser.error(f"--window must be >= 1, got {args.window}")
+    if args.verify_batch and args.refresh_days:
+        parser.error(
+            "--verify-batch compares against the batch pipeline, which has no "
+            "refresh; drop --refresh-days (the oracle needs a frozen filter list)"
+        )
+    if args.refresh_sync and not args.refresh_days:
+        parser.error("--refresh-sync needs --refresh-days (there is nothing to schedule)")
+
+    corpus = _build_from_args(args)
+    workers = args.workers or default_workers() or 1
+    bot_store = corpus.bot_store
+
+    # Mine the initial filter list exactly as the batch pipeline would,
+    # reusing the corpus's pre-extracted table when it is acceptable.
+    detector = FPInconsistent()
+    started = time.perf_counter()
+    table, table_source = detector.resolve_table(
+        bot_store, corpus.columnar_tables.get("bots")
+    )
+    detector.fit_table(table, workers=workers, executor=args.executor)
+    print(
+        f"serve: filter list mined in {time.perf_counter() - started:.2f}s "
+        f"({len(detector.filter_list)} rules, table {table_source})",
+        file=sys.stderr,
+    )
+
+    refresher = None
+    if args.refresh_days:
+        refresher = FilterListRefresher(
+            detector.miner,
+            interval_days=args.refresh_days,
+            window_rows=args.window,
+            workers=workers,
+            executor=args.executor,
+        )
+    # Replays know the whole corpus up front, so the router pre-pins the
+    # device partition the sharded batch classifier would use — routing
+    # is then a pure lookup and no state migration ever happens.
+    router = DeviceRouter.from_table(table, args.serve_workers)
+    with DetectionGateway(
+        detector,
+        router=router,
+        refresher=refresher,
+        refresh_mode="sync" if args.refresh_sync else "background",
+    ) as gateway:
+        result = GatewayReplayDriver(gateway, batch_size=batch_size).replay(bot_store)
+    print(
+        f"serve: replayed {result.rows} rows in {result.seconds:.2f}s "
+        f"({result.rows_per_second:.0f} rows/s, {result.workers} worker(s), "
+        f"{result.batches} batch(es) of {batch_size}, "
+        f"{result.migrations} migration(s), {len(result.refreshes)} refresh(es))",
+        file=sys.stderr,
+    )
+
+    digest = (
+        verdicts_digest(result.verdicts) if args.verify_batch or args.json else None
+    )
+    if args.verify_batch:
+        batch_verdicts = detector.classify_table(table, workers=1)
+        if digest != verdicts_digest(batch_verdicts):
+            print(
+                "serve: FAIL — gateway verdicts diverge from the batch pipeline",
+                file=sys.stderr,
+            )
+            return 1
+        print("serve: verdicts byte-identical to batch pipeline", file=sys.stderr)
+
+    summary = {
+        "rows": result.rows,
+        "batches": result.batches,
+        "batch_size": batch_size,
+        "serve_workers": result.workers,
+        "worker_rows": result.worker_rows,
+        "migrations": result.migrations,
+        "rules": len(detector.filter_list),
+        "rows_per_second": round(result.rows_per_second, 1),
+        "p50_batch_ms": round(result.latency_quantile(0.50) * 1000, 3),
+        "p99_batch_ms": round(result.latency_quantile(0.99) * 1000, 3),
+        "refreshes": result.refreshes,
+        "verdicts": result.counts(),
+        "table_source": table_source,
+    }
+    if args.json:
+        document = dict(summary)
+        document["seconds"] = round(result.seconds, 3)
+        document["batch_seconds"] = [round(value, 6) for value in result.batch_seconds]
+        document["verdicts_digest"] = digest
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        summary["saved_to"] = str(args.json)
+        print(f"serve: wrote {args.json}", file=sys.stderr)
+    json.dump(summary, sys.stdout, indent=1, sort_keys=True)
+    print()
+    return 0
+
+
 def _parse_float_list(raw: str) -> List[float]:
     values = [float(part) for part in raw.split(",") if part.strip()]
     if not values:
@@ -614,6 +728,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the full replay document (latencies, refreshes, digest) as JSON",
     )
     stream_parser.set_defaults(func=_cmd_stream, parser=stream_parser)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="replay a corpus through the parallel detection gateway"
+    )
+    _add_corpus_arguments(serve_parser)
+    serve_group = serve_parser.add_argument_group("serve")
+    serve_group.add_argument(
+        "--serve-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parallel scoring workers behind the gateway (default 1); "
+        "verdicts are byte-identical for every worker count",
+    )
+    serve_group.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        metavar="ROWS",
+        help="micro-batch size of the replay (default 1024)",
+    )
+    serve_group.add_argument(
+        "--refresh-days",
+        type=float,
+        default=0,
+        metavar="DAYS",
+        help="re-mine the filter list every N days of stream time, on a "
+        "background worker off the scoring path (default 0 = frozen list)",
+    )
+    serve_group.add_argument(
+        "--window",
+        type=int,
+        default=25_000,
+        metavar="ROWS",
+        help="sliding window of ingested rows the refresher mines over (default 25000)",
+    )
+    serve_group.add_argument(
+        "--refresh-sync",
+        action="store_true",
+        help="mine refreshes inline at the due batch boundary instead of on "
+        "the background worker (the `repro stream` cadence)",
+    )
+    serve_group.add_argument(
+        "--verify-batch",
+        action="store_true",
+        help="also run the batch classification and assert the gateway "
+        "verdicts are byte-identical (requires a frozen list)",
+    )
+    serve_group.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the full replay document (latencies, migrations, digest) as JSON",
+    )
+    serve_parser.set_defaults(func=_cmd_serve, parser=serve_parser)
 
     bench_parser = subparsers.add_parser(
         "bench", help="measure serial vs. sharded corpus-build throughput"

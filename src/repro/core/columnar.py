@@ -658,17 +658,24 @@ def assemble_table(
     return table
 
 
-def partition_rows_by_device(table: ColumnarTable, shards: int) -> List[np.ndarray]:
-    """Partition rows into *shards* device-closed groups.
+def device_components(table: ColumnarTable) -> np.ndarray:
+    """Per-row labels of the table's device-closed connected components.
 
     Temporal state is keyed on the first-party cookie and the source
-    address, so a correct row partition must keep every record of a cookie
-    AND every record of an address together.  Rows are grouped into
-    connected components over their (cookie, source address) keys, then
-    components are packed onto shards greedily largest first
-    (deterministic: ties resolve to the lowest shard index).  The returned
-    row-index arrays are sorted, and their concatenation covers every row
-    exactly once.
+    address, so any row partition that must preserve temporal verdicts has
+    to keep every record of a cookie AND every record of an address
+    together.  This function computes exactly that closure: rows are
+    grouped into connected components over their (cookie, source address)
+    keys, and the returned ``int64`` array gives each row its component
+    label.  Rows share a label iff they are linked through any chain of
+    shared cookies/addresses; rows with neither key become singleton
+    components.  Labels are arbitrary but deterministic for a given table.
+
+    Both consumers of device-closure route through here: the sharded batch
+    classifier (:func:`partition_rows_by_device`, which packs components
+    onto a fixed number of shards) and the serving gateway's router
+    (:class:`repro.serve.DeviceRouter`, which pins each component's keys
+    to one worker).
 
     The union-find runs over the table's ``int32`` cookie/address code
     columns offset into disjoint integer ranges — cookies ``[0, C)``,
@@ -679,12 +686,8 @@ def partition_rows_by_device(table: ColumnarTable, shards: int) -> List[np.ndarr
     """
 
     if table.cookie_codes is None or table.ip_codes is None:
-        raise ValueError("partitioning requires a table built with from_store")
-    shards = max(1, int(shards))
+        raise ValueError("device partitioning requires a table built with from_store")
     n = table.n_rows
-    if shards == 1 or n == 0:
-        return [np.arange(n, dtype=np.int64)]
-
     cookie_codes = table.cookie_codes
     ip_codes = table.ip_codes
     n_cookies = len(table.cookie_values)
@@ -735,6 +738,26 @@ def partition_rows_by_device(table: ColumnarTable, shards: int) -> List[np.ndarr
     labels[ip_rows] = parent[n_cookies + ip_codes[ip_rows]]
     cookie_rows = np.nonzero(has_cookie)[0]
     labels[cookie_rows] = parent[cookie_codes[cookie_rows]]
+    return labels
+
+
+def partition_rows_by_device(table: ColumnarTable, shards: int) -> List[np.ndarray]:
+    """Partition rows into *shards* device-closed groups.
+
+    The components come from :func:`device_components`; this function only
+    packs them onto shards, greedily largest first (deterministic: ties
+    resolve to the lowest shard index).  The returned row-index arrays are
+    sorted, and their concatenation covers every row exactly once.  Fewer
+    than *shards* arrays come back when the table has fewer components.
+    """
+
+    if table.cookie_codes is None or table.ip_codes is None:
+        raise ValueError("partitioning requires a table built with from_store")
+    shards = max(1, int(shards))
+    n = table.n_rows
+    if shards == 1 or n == 0:
+        return [np.arange(n, dtype=np.int64)]
+    labels = device_components(table)
 
     # Group rows by component label in row order (the stable sort keeps
     # each group's rows ascending, as the reference produced).

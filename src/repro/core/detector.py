@@ -115,6 +115,26 @@ class FPInconsistent:
 
         return self._location_predicate
 
+    def isolated_clone(self) -> "FPInconsistent":
+        """A detector sharing this one's read-only parts with fresh temporal state.
+
+        The filter list, miner and knowledge base are only ever read during
+        classification, so they are shared by reference; the temporal
+        detector is configuration *plus* per-device state, so the clone
+        gets an empty copy.  Every concurrent consumer — classification
+        shards, the streaming :class:`~repro.stream.OnlineClassifier`, the
+        serving gateway's workers — classifies through one of these so
+        that the fitted detector a caller hands in is never mutated and no
+        temporal state leaks between streams.
+        """
+
+        return FPInconsistent(
+            filter_list=self._filter_list,
+            temporal=self._temporal.clone(),
+            miner=self._miner,
+            location_predicate=self._location_predicate,
+        )
+
     # -- fitting -----------------------------------------------------------------
 
     def fit(
@@ -473,13 +493,7 @@ def _classify_shard(shard: _ClassificationShard) -> Dict[int, InconsistencyVerdi
     filter list, miner and knowledge base are only read.
     """
 
-    detector = shard.detector
-    isolated = FPInconsistent(
-        filter_list=detector.filter_list,
-        temporal=detector.temporal_detector.clone(),
-        miner=detector.miner,
-        location_predicate=detector._location_predicate,
-    )
+    isolated = shard.detector.isolated_clone()
     return isolated.classify_table(
         shard.table,
         use_spatial=shard.use_spatial,

@@ -1,0 +1,40 @@
+"""Serving subsystem: the parallel online detection gateway.
+
+``repro.stream`` made the detector *servable* — one ingest/score/refresh
+stream with verdicts byte-identical to the batch pipeline.  This package
+makes it *parallel* without giving that identity up, in three pieces:
+
+* :class:`~repro.serve.partition.DeviceRouter` — pins device keys
+  (cookies and addresses) to workers and routes each arriving micro-batch
+  device-closed, reusing the union-find partition of the sharded batch
+  classifier (:meth:`DeviceRouter.from_table`) or pinning keys on first
+  sight for live traffic, with deterministic cross-worker merges reported
+  as :class:`~repro.serve.partition.KeyMigration` records;
+* :class:`~repro.serve.gateway.DetectionGateway` — one
+  :class:`~repro.stream.ingest.StreamIngestor` feeding N
+  :class:`~repro.stream.classifier.OnlineClassifier` workers on a thread
+  pool, with :class:`~repro.stream.refresh.FilterListRefresher` re-mining
+  moved off the scoring path onto a background worker and hot-swapped
+  into every worker at a batch boundary;
+* :class:`~repro.serve.replay.GatewayReplayDriver` /
+  :class:`~repro.serve.replay.ServeResult` — corpus replay through the
+  gateway, the serving twin of :class:`~repro.stream.replay.ReplayDriver`.
+
+``repro serve`` on the command line and
+``benchmarks/bench_serve_scaling.py`` drive this package; the
+architecture is documented in ``docs/serving.md``.
+"""
+
+from repro.serve.gateway import REFRESH_MODES, DetectionGateway
+from repro.serve.partition import KEY_KINDS, DeviceRouter, KeyMigration
+from repro.serve.replay import GatewayReplayDriver, ServeResult
+
+__all__ = [
+    "DetectionGateway",
+    "DeviceRouter",
+    "GatewayReplayDriver",
+    "KEY_KINDS",
+    "KeyMigration",
+    "REFRESH_MODES",
+    "ServeResult",
+]

@@ -1,0 +1,273 @@
+"""The parallel detection gateway: one ingest stream, N scoring workers.
+
+:class:`DetectionGateway` is the serving front-end of the reproduction.
+It owns the full online scoring path for one arrival stream:
+
+* **one** :class:`~repro.stream.ingest.StreamIngestor` encodes every
+  arriving micro-batch against a single growing vocabulary (ingestion is
+  sequential and cheap; a shared vocabulary is what keeps N workers'
+  outputs mergeable and byte-identical to a single stream);
+* a :class:`~repro.serve.partition.DeviceRouter` splits each encoded
+  batch into device-closed row groups, one per worker;
+* **N** :class:`~repro.stream.classifier.OnlineClassifier` workers score
+  their row groups concurrently on a thread pool, each carrying only its
+  own devices' temporal state;
+* an optional :class:`~repro.stream.refresh.FilterListRefresher` re-mines
+  the filter list over a sliding window — by default on a **background**
+  worker, off the scoring path — and the gateway hot-swaps the result
+  into every worker at a batch boundary.
+
+The gateway's oracle, pinned by ``tests/test_serve.py`` and the CI serve
+smoke: with a frozen filter list, the merged verdicts are byte-identical
+to the single-stream :class:`~repro.stream.replay.ReplayDriver` and to
+one batch :meth:`FPInconsistent.classify_table` — for any worker count.
+The argument is short: ingestion is shared, each device key's rows form
+an identical subsequence on whichever single worker holds its state
+(migrations move state between batches, before dispatch), spatial
+matching is stateless per row, and verdict serialisation sorts by
+request id.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.columnar import ColumnarTable
+from repro.core.detector import FPInconsistent, InconsistencyVerdict
+from repro.core.rules import FilterList
+from repro.honeysite.storage import RecordColumns, RecordedRequest
+from repro.stream.classifier import OnlineClassifier
+from repro.stream.ingest import StreamIngestor
+from repro.stream.refresh import FilterListRefresher
+from repro.serve.partition import DeviceRouter, KeyMigration
+
+#: Refresh scheduling modes: mine on a background thread and deploy at a
+#: later batch boundary, or mine inline like the replay driver.
+REFRESH_MODES = ("background", "sync")
+
+
+class DetectionGateway:
+    """Parallel online scoring: shared ingest, device-closed workers."""
+
+    def __init__(
+        self,
+        detector: FPInconsistent,
+        *,
+        router: Optional[DeviceRouter] = None,
+        workers: int = 1,
+        refresher: Optional[FilterListRefresher] = None,
+        refresh_mode: str = "background",
+    ):
+        """Assemble a gateway around a fitted *detector*.
+
+        ``router`` defaults to a fresh dynamic :class:`DeviceRouter` with
+        ``workers`` workers; pass :meth:`DeviceRouter.from_table` output to
+        pre-pin the device partition (the replay path — zero migrations).
+        When a ``router`` is given, ``workers`` is taken from it.
+        ``refresh_mode`` is ``"background"`` (mine off the scoring path,
+        deploy at a later batch boundary) or ``"sync"`` (mine inline at the
+        due boundary — the :class:`ReplayDriver` cadence, byte-compatible
+        with it).
+        """
+
+        if refresh_mode not in REFRESH_MODES:
+            raise ValueError(
+                f"refresh_mode must be one of {REFRESH_MODES}, got {refresh_mode!r}"
+            )
+        self._router = router if router is not None else DeviceRouter(workers)
+        self.workers = self._router.workers
+        self._ingestor = StreamIngestor(attributes=detector.table_attributes())
+        self._classifiers = [OnlineClassifier(detector) for _ in range(self.workers)]
+        self._pool = (
+            ThreadPoolExecutor(max_workers=self.workers) if self.workers > 1 else None
+        )
+        self._refresher = refresher
+        self.refresh_mode = refresh_mode
+        self._refresh_pool = (
+            ThreadPoolExecutor(max_workers=1)
+            if refresher is not None and refresh_mode == "background"
+            else None
+        )
+        self._inflight: Optional[Future] = None
+        self._inflight_day: Optional[int] = None
+        self.batches = 0
+        self.migrations = 0
+        #: one entry per filter-list hot-swap: {"batch", "rules"[, "stream_day"]}
+        self.refreshes: List[Dict] = []
+        self._closed = False
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def router(self) -> DeviceRouter:
+        return self._router
+
+    @property
+    def ingestor(self) -> StreamIngestor:
+        return self._ingestor
+
+    @property
+    def classifiers(self) -> List[OnlineClassifier]:
+        """The per-worker scoring streams (observability/tests)."""
+
+        return self._classifiers
+
+    @property
+    def rows_scored(self) -> int:
+        return sum(classifier.rows_scored for classifier in self._classifiers)
+
+    def worker_rows(self) -> List[int]:
+        """Rows scored per worker — the gateway's load-balance report."""
+
+        return [classifier.rows_scored for classifier in self._classifiers]
+
+    # -- submission ------------------------------------------------------------
+
+    def submit_records(
+        self, records: Sequence[RecordedRequest]
+    ) -> Dict[int, InconsistencyVerdict]:
+        """Ingest and score one micro-batch of record objects.
+
+        Returns one verdict per request id, exactly as the single-stream
+        classifier would.  Batches must arrive in global timestamp order —
+        the same contract the replay driver and a live collector satisfy.
+        """
+
+        self._check_open()
+        return self._score(self._ingestor.ingest_records(records))
+
+    def submit_rows(
+        self, columns: RecordColumns, rows: np.ndarray
+    ) -> Dict[int, InconsistencyVerdict]:
+        """Ingest and score a row slice of cached record columns."""
+
+        self._check_open()
+        return self._score(self._ingestor.ingest_rows(columns, rows))
+
+    # -- the scoring path ------------------------------------------------------
+
+    def _score(self, batch: ColumnarTable) -> Dict[int, InconsistencyVerdict]:
+        # A background-mined list deploys at the earliest batch boundary
+        # after mining completes; every row of a batch sees one list.
+        self._apply_ready_refresh(block=False)
+
+        assignments, migrations = self._router.route(batch)
+        for migration in migrations:
+            self._migrate(migration)
+        self.migrations += len(migrations)
+
+        busy = [worker for worker, rows in enumerate(assignments) if rows.size]
+        if self._pool is not None and len(busy) > 1:
+            futures = {
+                worker: self._pool.submit(
+                    self._classifiers[worker].classify_batch,
+                    batch.take(assignments[worker]),
+                )
+                for worker in busy
+            }
+            partials = {worker: futures[worker].result() for worker in busy}
+        else:
+            partials = {
+                worker: self._classifiers[worker].classify_batch(
+                    batch.take(assignments[worker])
+                )
+                for worker in busy
+            }
+
+        merged: Dict[int, InconsistencyVerdict] = {}
+        for worker in busy:
+            merged.update(partials[worker])
+        # Re-emit in batch row order so callers see arrival-ordered
+        # verdicts regardless of how rows were scattered over workers.
+        verdicts = {int(rid): merged[int(rid)] for rid in batch.request_ids}
+
+        self.batches += 1
+        if self._refresher is not None:
+            self._refresher.observe_batch(batch)
+            if self.refresh_mode == "sync":
+                refreshed = self._refresher.maybe_refresh()
+                if refreshed is not None:
+                    self._deploy(refreshed)
+            elif self._inflight is None and self._refresher.poll_due():
+                # Snapshot the window on the scoring path (cheap copies),
+                # mine it off-path; at most one mining job is in flight.
+                window = self._refresher.window_table()
+                self._inflight_day = self._refresher.stream_day
+                self._inflight = self._refresh_pool.submit(self._refresher.mine, window)
+        return verdicts
+
+    def _migrate(self, migration: KeyMigration) -> None:
+        """Move one device key's temporal seen-state between workers.
+
+        State entries are independent per (kind, key, attribute), so a
+        straight dict move is exact: the target worker continues the key's
+        observation sequence precisely where the source left off.
+        """
+
+        source = self._classifiers[migration.source].temporal_state.seen
+        target = self._classifiers[migration.target].temporal_state.seen
+        attributes = self._classifiers[0]._detector.temporal_detector.tracked_attributes
+        for attribute in attributes:
+            state_key = (migration.kind, migration.key, attribute)
+            values = source.pop(state_key, None)
+            if values is not None:
+                target[state_key] = values
+
+    # -- refresh plumbing ------------------------------------------------------
+
+    def _apply_ready_refresh(self, *, block: bool) -> None:
+        if self._inflight is None:
+            return
+        if not block and not self._inflight.done():
+            return
+        refreshed = self._inflight.result()
+        self._inflight = None
+        day, self._inflight_day = self._inflight_day, None
+        self._deploy(refreshed, stream_day=day)
+
+    def _deploy(self, filter_list: FilterList, stream_day: Optional[int] = None) -> None:
+        for classifier in self._classifiers:
+            classifier.swap_filter_list(filter_list)
+        entry = {"batch": self.batches, "rules": len(filter_list)}
+        if stream_day is None and self._refresher is not None:
+            stream_day = self._refresher.stream_day
+        if stream_day is not None:
+            entry["stream_day"] = stream_day
+        self.refreshes.append(entry)
+
+    def drain(self) -> None:
+        """Wait for any in-flight background mining and deploy its result.
+
+        Call at end of stream (the replay drivers do) so a refresh that
+        was still mining when the last batch arrived is not silently lost.
+        """
+
+        self._check_open()
+        self._apply_ready_refresh(block=True)
+
+    def close(self) -> None:
+        """Shut the worker pools down; the gateway accepts no more batches."""
+
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+        if self._refresh_pool is not None:
+            if self._inflight is not None:
+                self._inflight.cancel()
+                self._inflight = None
+            self._refresh_pool.shutdown(wait=True)
+
+    def __enter__(self) -> "DetectionGateway":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("the gateway is closed")

@@ -1,0 +1,77 @@
+"""Corpus replay through the parallel detection gateway.
+
+The serving counterpart of :class:`~repro.stream.replay.ReplayDriver`:
+the same arrival-ordered micro-batching (via
+:class:`~repro.stream.replay.ArrivalStream`), but each batch is submitted
+to a :class:`~repro.serve.gateway.DetectionGateway`, which fans scoring
+out over its device-closed workers.  ``repro serve`` and
+``benchmarks/bench_serve_scaling.py`` drive this class.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.detector import InconsistencyVerdict
+from repro.honeysite.storage import RequestStore
+from repro.serve.gateway import DetectionGateway
+from repro.stream.replay import DEFAULT_BATCH_SIZE, ArrivalStream, ReplayResult
+
+
+@dataclass
+class ServeResult(ReplayResult):
+    """A :class:`ReplayResult` plus the gateway's parallelism counters."""
+
+    #: how many scoring workers the gateway ran
+    workers: int = 1
+    #: device keys whose state moved between workers during the replay
+    #: (always 0 when the router was pre-pinned with ``from_table``)
+    migrations: int = 0
+    #: rows scored per worker, the replay's load-balance report
+    worker_rows: List[int] = field(default_factory=list)
+
+
+class GatewayReplayDriver:
+    """Replays a request store through a :class:`DetectionGateway`."""
+
+    def __init__(self, gateway: DetectionGateway, *, batch_size: int = DEFAULT_BATCH_SIZE):
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self._gateway = gateway
+        self.batch_size = int(batch_size)
+
+    def replay(self, store: RequestStore) -> ServeResult:
+        """Stream every record of *store* through the gateway.
+
+        Batches are submitted in stable timestamp order — the contract
+        both the gateway and the single-stream driver assume.  The gateway
+        is drained at end of stream so an in-flight background refresh is
+        deployed (and counted) rather than lost, but it is left open:
+        closing is the caller's job (``with gateway: ...``).
+        """
+
+        arrivals = ArrivalStream(store)
+        total = arrivals.total
+
+        verdicts: Dict[int, InconsistencyVerdict] = {}
+        batch_seconds: List[float] = []
+        started = time.perf_counter()
+        for start in range(0, total, self.batch_size):
+            batch_started = time.perf_counter()
+            verdicts.update(arrivals.submit(self._gateway, start, self.batch_size))
+            batch_seconds.append(time.perf_counter() - batch_started)
+        self._gateway.drain()
+        seconds = time.perf_counter() - started
+        return ServeResult(
+            verdicts=verdicts,
+            rows=total,
+            batches=len(batch_seconds),
+            seconds=seconds,
+            batch_seconds=batch_seconds,
+            refreshes=list(self._gateway.refreshes),
+            workers=self._gateway.workers,
+            migrations=self._gateway.migrations,
+            worker_rows=self._gateway.worker_rows(),
+        )

@@ -27,6 +27,7 @@ from repro.stream.ingest import StreamIngestor
 from repro.stream.refresh import FilterListRefresher
 from repro.stream.replay import (
     DEFAULT_BATCH_SIZE,
+    ArrivalStream,
     ReplayDriver,
     ReplayResult,
     verdicts_digest,
@@ -34,6 +35,7 @@ from repro.stream.replay import (
 )
 
 __all__ = [
+    "ArrivalStream",
     "DEFAULT_BATCH_SIZE",
     "FilterListRefresher",
     "OnlineClassifier",

@@ -32,12 +32,7 @@ class OnlineClassifier:
         # A private clone: the temporal detector is configuration plus
         # state, and the stream must neither inherit nor leak state; the
         # filter list reference is swappable without touching the source.
-        self._detector = FPInconsistent(
-            filter_list=detector.filter_list,
-            temporal=detector.temporal_detector.clone(),
-            miner=detector.miner,
-            location_predicate=detector.location_predicate,
-        )
+        self._detector = detector.isolated_clone()
         self._state = self._detector.temporal_detector.new_stream_state()
         self._rows_scored = 0
         self._swaps = 0

@@ -4,11 +4,21 @@ A deployed filter list ages: bot services rotate configurations, so the
 rule set mined from last month's traffic slowly loses coverage.  The
 :class:`FilterListRefresher` keeps the most recent ``window_rows`` rows of
 every observed batch (just the attribute code columns — the decode lists
-are the ingestor's live vocabulary, shared by reference) and every
-``interval_batches`` batches re-mines a fresh
-:class:`~repro.core.rules.FilterList` over that window with the exact
-batch miner (:meth:`SpatialInconsistencyMiner.mine_table`), optionally
-fanned out over the shard worker pool.
+are the ingestor's live vocabulary, shared by reference) and periodically
+re-mines a fresh :class:`~repro.core.rules.FilterList` over that window
+with the exact batch miner (:meth:`SpatialInconsistencyMiner.mine_table`),
+optionally fanned out over the shard worker pool.
+
+Two refresh schedules are supported, selected by exactly one constructor
+knob:
+
+* ``interval_batches`` — every N observed batches, the original replay
+  cadence (``repro stream --refresh-every``);
+* ``interval_days`` — every N days of **stream time** (batch timestamps
+  are seconds since campaign start), which models filter-list staleness
+  faithfully: a deployment re-mines on wall-clock cadence, not on a
+  traffic-volume-dependent batch count.  The serving gateway
+  (``repro serve --refresh-days``) uses this mode.
 
 Mining over window columns encoded in the stream's global vocabulary is
 equivalent to mining a fresh extraction of the same rows: co-occurrence
@@ -16,6 +26,14 @@ counts are code-numbering-independent, and
 :func:`~repro.core.spatial.columnar_pair_statistics` rebuilds its value
 dictionaries in window-row first-occurrence order either way
 (``tests/test_stream.py`` pins the equivalence).
+
+Synchronous callers drive the refresher with
+:meth:`FilterListRefresher.maybe_refresh` (observe → due-check → mine in
+one call, as :class:`~repro.stream.replay.ReplayDriver` does).  The
+serving gateway mines **off the scoring path** instead: it calls
+:meth:`poll_due` after each observed batch, snapshots
+:meth:`window_table`, and runs :meth:`mine` on a background worker,
+hot-swapping the result at a later batch boundary.
 """
 
 from __future__ import annotations
@@ -27,28 +45,44 @@ import numpy as np
 from repro.core.columnar import ColumnarTable
 from repro.core.rules import FilterList
 from repro.core.spatial import SpatialInconsistencyMiner
+from repro.honeysite.storage import SECONDS_PER_DAY
 
 
 class FilterListRefresher:
-    """Re-mines the filter list over the last ``window_rows`` ingested rows."""
+    """Re-mines the filter list over the last ``window_rows`` ingested rows.
+
+    Exactly one of ``interval_batches`` (refresh every N batches) and
+    ``interval_days`` (refresh every N days of stream time) must be given;
+    ``window_rows`` bounds the sliding re-mining window, and ``workers`` /
+    ``executor`` fan the mining itself out over the shard worker pool.
+    """
 
     def __init__(
         self,
         miner: Optional[SpatialInconsistencyMiner] = None,
         *,
-        interval_batches: int,
+        interval_batches: Optional[int] = None,
+        interval_days: Optional[float] = None,
         window_rows: int,
         workers: int = 1,
         executor: Optional[str] = None,
     ):
-        if interval_batches < 1:
+        if (interval_batches is None) == (interval_days is None):
+            raise ValueError(
+                "set exactly one of interval_batches (refresh every N batches) "
+                "or interval_days (refresh every N stream days)"
+            )
+        if interval_batches is not None and interval_batches < 1:
             raise ValueError(f"interval_batches must be >= 1, got {interval_batches}")
+        if interval_days is not None and interval_days <= 0:
+            raise ValueError(f"interval_days must be positive, got {interval_days}")
         if window_rows < 1:
             raise ValueError(f"window_rows must be >= 1, got {window_rows}")
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self._miner = miner if miner is not None else SpatialInconsistencyMiner()
-        self.interval_batches = int(interval_batches)
+        self.interval_batches = None if interval_batches is None else int(interval_batches)
+        self.interval_days = None if interval_days is None else float(interval_days)
         self.window_rows = int(window_rows)
         self._workers = int(workers)
         self._executor = executor
@@ -59,6 +93,9 @@ class FilterListRefresher:
         #: the latest observed batch: every batch shares the ingestor's
         #: live vocabulary, so any one of them can decode the window
         self._template: Optional[ColumnarTable] = None
+        #: stream-clock bookkeeping (``interval_days`` mode only)
+        self._latest_ts: Optional[float] = None
+        self._next_due_ts: Optional[float] = None
 
     @property
     def rows_in_window(self) -> int:
@@ -68,15 +105,42 @@ class FilterListRefresher:
     def batches_seen(self) -> int:
         return self._batches_seen
 
+    @property
+    def stream_day(self) -> Optional[int]:
+        """The latest observed stream day (0-based), ``None`` before any.
+
+        Only tracked in ``interval_days`` mode, where batch timestamps
+        drive the refresh schedule.
+        """
+
+        if self._latest_ts is None:
+            return None
+        return int(self._latest_ts // SECONDS_PER_DAY)
+
     def observe_batch(self, batch: ColumnarTable) -> None:
         """Retain *batch*'s code columns and trim the window to size.
 
         The oldest retained batch is sliced — not just dropped whole — so
         the window is exactly the last ``window_rows`` rows regardless of
-        how batch boundaries fall.
+        how batch boundaries fall.  In ``interval_days`` mode the batch
+        must carry timestamps (every ingestor-emitted batch does); they
+        advance the stream clock the schedule runs on.
         """
 
         self._template = batch
+        if self.interval_days is not None:
+            if batch.timestamps is None:
+                raise ValueError(
+                    "day-driven refresh needs batches with timestamps "
+                    "(tables built by the stream ingestor or from_store)"
+                )
+            if batch.n_rows:
+                first = float(batch.timestamps.min())
+                latest = float(batch.timestamps.max())
+                if self._next_due_ts is None:
+                    self._next_due_ts = first + self.interval_days * SECONDS_PER_DAY
+                if self._latest_ts is None or latest > self._latest_ts:
+                    self._latest_ts = latest
         if batch.n_rows:
             self._recent.append(
                 {attribute: batch.codes_of(attribute) for attribute in batch.attributes}
@@ -103,7 +167,9 @@ class FilterListRefresher:
 
         Columns are concatenations of the retained batch slices; decode
         lists are the ingestor's live vocabulary.  No request metadata —
-        mining never reads it.
+        mining never reads it.  The concatenated arrays are fresh copies,
+        so the snapshot stays valid while later batches keep arriving —
+        which is what lets the gateway mine it on a background worker.
         """
 
         if not self._recent:
@@ -116,20 +182,53 @@ class FilterListRefresher:
             }
         )
 
+    def poll_due(self) -> bool:
+        """Whether a refresh interval just completed (call once per batch).
+
+        ``interval_batches`` mode is a pure batch-count check.
+        ``interval_days`` mode consumes the trigger: when the stream clock
+        has crossed the next due time, the schedule advances to
+        ``latest + interval`` so each crossing fires exactly once.
+        """
+
+        if self.interval_batches is not None:
+            return bool(
+                self._batches_seen and self._batches_seen % self.interval_batches == 0
+            )
+        if self._latest_ts is None or self._next_due_ts is None:
+            return False
+        if self._latest_ts >= self._next_due_ts:
+            self._next_due_ts = self._latest_ts + self.interval_days * SECONDS_PER_DAY
+            return True
+        return False
+
+    def mine(self, table: ColumnarTable) -> FilterList:
+        """Mine a filter list over *table* with this refresher's miner knobs.
+
+        Split out from :meth:`refresh` so a caller can snapshot
+        :meth:`window_table` on the scoring path and run the expensive
+        mining elsewhere (the serving gateway's background refresh worker).
+        """
+
+        return self._miner.mine_table(
+            table, workers=self._workers, executor=self._executor
+        )
+
     def refresh(self) -> FilterList:
         """Mine a fresh filter list over the current window."""
 
-        return self._miner.mine_table(
-            self.window_table(), workers=self._workers, executor=self._executor
-        )
+        return self.mine(self.window_table())
 
     def maybe_refresh(self) -> Optional[FilterList]:
         """A fresh list when a refresh interval just completed, else ``None``.
 
         Call once per batch, after :meth:`observe_batch`; the driver swaps
-        the returned list into the classifier before the next batch.
+        the returned list into the classifier before the next batch.  This
+        mines synchronously, on the calling thread — the replay driver's
+        cadence.  The serving gateway uses :meth:`poll_due` +
+        :meth:`mine` instead to keep mining off the scoring path.
         """
 
-        if self._batches_seen and self._batches_seen % self.interval_batches == 0:
+        if self.poll_due():
             return self.refresh()
         return None

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.core.columnar import ColumnarTable
 from repro.core.detector import FPInconsistent, InconsistencyVerdict
 from repro.honeysite.storage import LazyRequestStore, RequestStore
 from repro.stream.classifier import OnlineClassifier
@@ -34,6 +35,46 @@ from repro.stream.refresh import FilterListRefresher
 
 #: Default micro-batch size of the replay driver and the CLI.
 DEFAULT_BATCH_SIZE = 1024
+
+
+class ArrivalStream:
+    """A request store viewed in arrival (stable timestamp) order.
+
+    Both replay front-ends — the single-stream :class:`ReplayDriver` and
+    the parallel gateway's :class:`~repro.serve.GatewayReplayDriver` —
+    present a store to the online pipeline the same way: rows sorted by
+    timestamp (stable, so equal timestamps keep store order), sliced into
+    micro-batches.  This helper owns that ordering once.  A
+    :class:`LazyRequestStore` is replayed straight from its record columns
+    (no record object is materialised); an object store feeds record
+    micro-batches.
+    """
+
+    def __init__(self, store: RequestStore):
+        if isinstance(store, LazyRequestStore):
+            self._columns = store.columns
+            self._order = np.argsort(self._columns.timestamps, kind="stable")
+            self._records = None
+            self.total = int(self._columns.n_rows)
+        else:
+            self._columns = None
+            self._order = None
+            self._records = sorted(store, key=lambda record: record.timestamp)
+            self.total = len(self._records)
+
+    def ingest(self, ingestor: StreamIngestor, start: int, size: int) -> ColumnarTable:
+        """Encode arrival rows ``[start, start + size)`` through *ingestor*."""
+
+        if self._records is None:
+            return ingestor.ingest_rows(self._columns, self._order[start : start + size])
+        return ingestor.ingest_records(self._records[start : start + size])
+
+    def submit(self, gateway, start: int, size: int) -> Dict[int, InconsistencyVerdict]:
+        """Feed arrival rows ``[start, start + size)`` into a gateway."""
+
+        if self._records is None:
+            return gateway.submit_rows(self._columns, self._order[start : start + size])
+        return gateway.submit_records(self._records[start : start + size])
 
 
 @dataclass
@@ -80,7 +121,17 @@ class ReplayResult:
 
 
 class ReplayDriver:
-    """Replays a request store through the online pipeline in time order."""
+    """Replays a request store through the online pipeline in time order.
+
+    The single-stream replay front-end: one
+    :class:`~repro.stream.ingest.StreamIngestor` and one
+    :class:`~repro.stream.classifier.OnlineClassifier` (built fresh per
+    :meth:`replay` from the fitted *detector*, which is never mutated),
+    scoring ``batch_size``-row micro-batches in stable timestamp order.
+    An optional *refresher* re-mines the filter list synchronously at its
+    due batch boundaries and hot-swaps the result.  The parallel
+    counterpart is :class:`repro.serve.GatewayReplayDriver`.
+    """
 
     def __init__(
         self,
@@ -106,24 +157,8 @@ class ReplayDriver:
 
         ingestor = StreamIngestor(attributes=self._detector.table_attributes())
         classifier = OnlineClassifier(self._detector)
-
-        if isinstance(store, LazyRequestStore):
-            columns = store.columns
-            order = np.argsort(columns.timestamps, kind="stable")
-            batches = (
-                lambda start: ingestor.ingest_rows(
-                    columns, order[start : start + self.batch_size]
-                )
-            )
-            total = columns.n_rows
-        else:
-            records = sorted(store, key=lambda record: record.timestamp)
-            batches = (
-                lambda start: ingestor.ingest_records(
-                    records[start : start + self.batch_size]
-                )
-            )
-            total = len(records)
+        arrivals = ArrivalStream(store)
+        total = arrivals.total
 
         verdicts: Dict[int, InconsistencyVerdict] = {}
         batch_seconds: List[float] = []
@@ -131,7 +166,7 @@ class ReplayDriver:
         started = time.perf_counter()
         for index, start in enumerate(range(0, total, self.batch_size)):
             batch_started = time.perf_counter()
-            batch = batches(start)
+            batch = arrivals.ingest(ingestor, start, self.batch_size)
             verdicts.update(classifier.classify_batch(batch))
             batch_seconds.append(time.perf_counter() - batch_started)
             if self._refresher is not None:

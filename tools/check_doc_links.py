@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Check markdown files for dead relative links.
+
+Usage::
+
+    python tools/check_doc_links.py README.md docs [more files or dirs...]
+
+Every ``[text](target)`` and ``[text]: target`` reference in the given
+markdown files is resolved relative to the file that contains it;
+targets that do not exist on disk fail the check.  External schemes
+(``http(s)://``, ``mailto:``) and pure in-page anchors (``#section``)
+are skipped; a ``path#anchor`` target is checked for the path part only.
+Targets that climb *out of the repository* (above the nearest ancestor
+containing ``.git``) are skipped too: those are site-relative URLs only
+the hosting platform can resolve — the CI badge
+(``../../actions/workflows/ci.yml/badge.svg``) is the canonical example.
+Exit status is 0 when every link resolves, 1 otherwise — CI's docs job
+runs exactly this.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+#: inline links `[text](target)` — target ends at the first unnested `)`
+INLINE_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: reference definitions `[label]: target`
+REFERENCE_LINK = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_markdown_files(arguments: Iterable[str]) -> List[Path]:
+    files: List[Path] = []
+    for argument in arguments:
+        path = Path(argument)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.suffix.lower() == ".md":
+            files.append(path)
+        else:
+            raise SystemExit(f"not a markdown file or directory: {argument}")
+    if not files:
+        raise SystemExit("no markdown files found")
+    return files
+
+
+def repository_root(path: Path) -> Path:
+    """The nearest ancestor of *path* containing ``.git`` (else its parent)."""
+
+    for ancestor in path.resolve().parents:
+        if (ancestor / ".git").exists():
+            return ancestor
+    return path.resolve().parent
+
+
+def check_file(path: Path) -> List[Tuple[str, str]]:
+    """Dead links in *path* as (target, reason) pairs."""
+
+    # Fenced code blocks routinely contain `[x](y)`-shaped text that is
+    # not a link (badge markup examples, shell globs); strip them first.
+    text = re.sub(r"```.*?```", "", path.read_text(encoding="utf-8"), flags=re.DOTALL)
+    targets = INLINE_LINK.findall(text) + REFERENCE_LINK.findall(text)
+    root = repository_root(path)
+    dead: List[Tuple[str, str]] = []
+    for target in targets:
+        if target.startswith(SKIP_PREFIXES) or target.startswith("#"):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.is_relative_to(root):
+            continue  # site-relative (e.g. the CI badge); not checkable on disk
+        if not resolved.exists():
+            dead.append((target, f"resolves to missing {resolved}"))
+    return dead
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print(__doc__, file=sys.stderr)
+        return 2
+    failures = 0
+    for path in iter_markdown_files(argv):
+        for target, reason in check_file(path):
+            print(f"{path}: dead link {target!r} ({reason})", file=sys.stderr)
+            failures += 1
+    if failures:
+        print(f"{failures} dead link(s)", file=sys.stderr)
+        return 1
+    print("all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
