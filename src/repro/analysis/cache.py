@@ -23,10 +23,13 @@ version-2 layout, which also remains fully readable for old entries::
     <root>/<key>/columnar_<subset>.npz  extracted ColumnarTable sidecars (optional)
 
 Loading a columnar archive attaches a
-:class:`~repro.honeysite.storage.LazyRequestStore`, so warm-cache pipeline
-runs deserialise a few arrays plus one fingerprint per session instead of
-re-parsing one JSON object per request — and skip columnar extraction
-entirely (the embedded tables are exactly what extraction would produce).
+:class:`~repro.honeysite.storage.LazyRequestStore`.  Since format v4 the
+archive is pure code arrays over scalar decode lists (no serialised
+objects) and is written uncompressed, so a warm hit memory-maps the
+columns read-only (``REPRO_CORPUS_MMAP``, default on) instead of reading
+them into RAM — and skips columnar extraction entirely (the embedded
+tables are exactly what extraction would produce).  Version-2 (JSONL) and
+version-3 (object-meta ``.npz``) archives stay readable.
 In the legacy layout a missing, corrupt or incompatible sidecar silently
 degrades to re-extraction; the corpus entry itself still hits.
 
@@ -47,6 +50,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.analysis.corpus import Corpus
+from repro.analysis.npzmap import NotMappableError, load_npz_mapped
 from repro.bots.marketplace import build_marketplace
 from repro.core.columnar import ColumnarTable
 from repro.geo.geolite import GeoDatabase
@@ -65,6 +69,20 @@ from repro.users.privacy import PrivacyTechnology
 #: caching is disabled.
 CACHE_ENV_VAR = "REPRO_CORPUS_CACHE"
 
+#: Environment variable toggling memory-mapped archive loading (default
+#: on).  Set to ``0``/``false``/``no``/``off`` to force cached columnar
+#: archives fully into RAM — the loaded corpus is byte-identical either
+#: way; mapping only changes *when* column bytes leave the disk.
+MMAP_ENV_VAR = "REPRO_CORPUS_MMAP"
+
+#: Environment variable toggling deflate compression of the columnar
+#: archive (default off).  Format v4 saves uncompressed so the archive is
+#: memory-mappable; opt back into compression to trade mappability (the
+#: loader falls back to an in-RAM load) for disk space.
+COMPRESS_ENV_VAR = "REPRO_CORPUS_COMPRESS"
+
+_FALSY = frozenset(("0", "false", "no", "off"))
+
 
 def default_cache_dir() -> Optional[Path]:
     """Cache root requested through ``REPRO_CORPUS_CACHE`` (``None`` if unset)."""
@@ -73,6 +91,18 @@ def default_cache_dir() -> Optional[Path]:
     if not raw:
         return None
     return Path(raw).expanduser()
+
+
+def mmap_enabled() -> bool:
+    """Whether cached columnar archives should load memory-mapped."""
+
+    return os.environ.get(MMAP_ENV_VAR, "1").strip().lower() not in _FALSY
+
+
+def compress_enabled() -> bool:
+    """Whether the columnar archive should be written deflate-compressed."""
+
+    return os.environ.get(COMPRESS_ENV_VAR, "0").strip().lower() not in _FALSY
 
 
 def corpus_cache_key(
@@ -127,7 +157,14 @@ def _columnar_store_path(directory: Path) -> Path:
 
 
 def _save_columnar_store(store: LazyRequestStore, tables: Dict[str, ColumnarTable], path: Path) -> None:
-    """Persist record columns and every fingerprint table as one archive."""
+    """Persist record columns and every fingerprint table as one archive.
+
+    Saved uncompressed by default: a stored (non-deflated) ``.npz`` keeps
+    every array in one contiguous byte range of the file, which is what
+    lets :func:`repro.analysis.npzmap.load_npz_mapped` hand the columns to
+    ``np.memmap`` on a warm hit.  ``REPRO_CORPUS_COMPRESS`` opts back into
+    deflate at the cost of mappability.
+    """
 
     arrays, store_meta = store.columns.to_payload()
     tables_meta = []
@@ -138,8 +175,9 @@ def _save_columnar_store(store: LazyRequestStore, tables: Dict[str, ColumnarTabl
         tables_meta.append({"subset": subset, "prefix": prefix, "meta": table_meta})
     meta = {"version": CORPUS_FORMAT_VERSION, "store": store_meta, "tables": tables_meta}
     arrays = {"meta": np.array(json.dumps(meta)), **arrays}
+    savez = np.savez_compressed if compress_enabled() else np.savez
     with open(path, "wb") as handle:
-        np.savez_compressed(handle, **arrays)
+        savez(handle, **arrays)
 
 
 def save_corpus(corpus: Corpus, directory) -> Path:
@@ -203,38 +241,58 @@ def save_corpus(corpus: Corpus, directory) -> Path:
     return directory
 
 
+def _decode_columnar(data, path: Path):
+    """Decode a loaded archive mapping into ``(store, tables)``."""
+
+    meta = json.loads(str(data["meta"][()]))
+    version = int(meta.get("version", 0))
+    if version > CORPUS_FORMAT_VERSION:
+        raise StoreFormatError(
+            f"columnar store {path} has format version {version}; "
+            f"this build reads up to {CORPUS_FORMAT_VERSION}"
+        )
+    columns = RecordColumns.from_payload(data, meta["store"])
+    tables: Dict[str, ColumnarTable] = {}
+    for entry in meta.get("tables", ()):
+        tables[str(entry["subset"])] = ColumnarTable.from_arrays(
+            data,
+            entry["meta"],
+            prefix=str(entry["prefix"]),
+            label=f"columnar store {path}",
+        )
+    return LazyRequestStore(columns), tables
+
+
 def _load_columnar_store(path: Path):
     """Load a :func:`_save_columnar_store` archive.
 
-    Returns ``(LazyRequestStore, {subset: ColumnarTable})``.  Any failure —
-    truncated file, ragged or out-of-range columns, a newer format — maps
-    to :class:`StoreFormatError`, so the cache treats the entry as a miss
-    and rebuilds instead of serving a silently wrong corpus.
+    Returns ``(LazyRequestStore, {subset: ColumnarTable})``.  With mmap
+    enabled (the default) the member arrays of an uncompressed archive are
+    handed to ``np.memmap`` read-only — ``from_payload``/``from_arrays``
+    adopt them zero-copy, so code columns stream from disk as they are
+    touched and a corpus larger than RAM replays shard-by-shard.  A
+    compressed archive falls back to an in-RAM ``np.load`` (whose
+    ``mmap_mode="r"`` request is a no-op for ``.npz``) with identical
+    results.
+
+    Any failure — truncated file, ragged or out-of-range columns, a newer
+    format — maps to :class:`StoreFormatError`, so the cache treats the
+    entry as a miss and rebuilds instead of serving a silently wrong
+    corpus.
     """
 
     try:
-        with np.load(path, allow_pickle=False) as data:
-            meta = json.loads(str(data["meta"][()]))
-            version = int(meta.get("version", 0))
-            if version > CORPUS_FORMAT_VERSION:
-                raise StoreFormatError(
-                    f"columnar store {path} has format version {version}; "
-                    f"this build reads up to {CORPUS_FORMAT_VERSION}"
-                )
-            columns = RecordColumns.from_payload(data, meta["store"])
-            tables: Dict[str, ColumnarTable] = {}
-            for entry in meta.get("tables", ()):
-                tables[str(entry["subset"])] = ColumnarTable.from_arrays(
-                    data,
-                    entry["meta"],
-                    prefix=str(entry["prefix"]),
-                    label=f"columnar store {path}",
-                )
+        if mmap_enabled():
+            try:
+                return _decode_columnar(load_npz_mapped(path), path)
+            except NotMappableError:
+                pass  # compressed archive: fall through to the in-RAM load
+        with np.load(path, mmap_mode="r", allow_pickle=False) as data:
+            return _decode_columnar(data, path)
     except StoreFormatError:
         raise
     except Exception as exc:
         raise StoreFormatError(f"columnar store {path} is unreadable: {exc}") from exc
-    return LazyRequestStore(columns), tables
 
 
 def _subset_store(corpus: Corpus, subset: str) -> Optional[RequestStore]:

@@ -90,12 +90,15 @@ SUBSHARD_TARGET_RECORDS = 2048
 #: allocates its own interleaved slice of the partitioned address space;
 #: a bot shard saturates the distinct (ASN, region) pool at roughly 77
 #: cloud blocks regardless of its request budget.  The widened per-kind
-#: octet segments (``geo.ipaddr.DEFAULT_KIND_OCTET_RANGES``: cloud now
-#: holds 31 × 256 blocks) would support ~100 concurrent partitions, but
-#: the ceiling stays at 32: the shard plan determines corpus content, and
-#: raising it would silently change every default corpus.  Raise it
-#: deliberately (with a format-version bump) if fan-out ever demands it.
-MAX_TOTAL_SHARDS = 32
+#: octet segments (``geo.ipaddr.DEFAULT_KIND_OCTET_RANGES``: cloud holds
+#: 31 × 256 blocks) support ~100 concurrent partitions (31 × 256 ÷ 77 ≈
+#: 103), and the format-v4 bump (``CORPUS_FORMAT_VERSION``) legitimised
+#: re-pinning every shard plan, so the ceiling now sits at 96: large-scale
+#: plans split the biggest services three times finer, and the cheaper
+#: pure-array transport keeps the extra merges almost free.  The plan (and
+#: therefore the corpus) is still a pure function of (seed, scale,
+#: configuration) — raising this again requires another format bump.
+MAX_TOTAL_SHARDS = 96
 
 #: Fan-out clamp for the **legacy** (record-object) shard transport: every
 #: worker must have at least this many records of planned work, because
@@ -104,14 +107,25 @@ MAX_TOTAL_SHARDS = 32
 MIN_RECORDS_PER_WORKER = 100_000
 
 #: Fan-out clamp for the **columnar** shard transport (vectorized
-#: generation).  A shard payload is a handful of arrays plus one
-#: fingerprint per *session*, so result transfer is no longer the bound —
-#: what remains is executor startup (forking a worker and shipping its
-#: spec).  A worker amortises that over roughly half a second of
-#: generation, which at the vectorized engine's single-core rate is a few
-#: thousand records; below this floor the clamp falls back toward serial
+#: generation).  Since format v4 a shard payload is pure numpy arrays over
+#: scalar decode lists — zero pickled objects, measured at ~271 bytes per
+#: record at the reference tiny config against ~353 for the v3 payload
+#: (which still pickled one fingerprint object per session).  Transfer and
+#: coordinator-side decode are both effectively memcpy now, so the floor
+#: is set by executor startup alone: a forked worker costs ~0.2 s before
+#: its first record, which the vectorized engine amortises over a few
+#: thousand records.  Below this floor the clamp falls back toward serial
 #: exactly as before.
-MIN_RECORDS_PER_WORKER_COLUMNAR = 6_000
+MIN_RECORDS_PER_WORKER_COLUMNAR = 4_000
+
+#: CI regression ceiling on measured columnar transfer cost, in pickled
+#: payload bytes per planned record (``last_plan["payload_bytes"] /
+#: last_plan["planned_records"]``).  The v4 encoding measures ~271 B/record
+#: at small scales and falls as decode lists amortise; the committed v3
+#: baseline was ~353.  The gate fails any change that silently reintroduces
+#: per-session objects (or otherwise bloats the payload) into the shard
+#: transport.
+PAYLOAD_BYTES_PER_RECORD_CEILING = 320
 
 
 def validate_generation(generation: str) -> str:
@@ -592,10 +606,14 @@ class CorpusEngine:
         _url_seed, site_seed = master.spawn(2)
         site = HoneySite(rng=np.random.default_rng(site_seed))
 
-        if self.generation == "vectorized" and effective > 1 and executor == "process":
-            # Payloads will cross a process boundary: have each worker
-            # measure its own pickled size (stat bookkeeping must not make
-            # the coordinator re-serialise what the pool already shipped).
+        if self.generation == "vectorized":
+            # Measure every columnar payload's pickled size inside the
+            # worker, whatever the executor: a serial or thread build ships
+            # nothing across a process boundary, but the size is still the
+            # transport cost a process build *would* pay, and the scaling
+            # bench needs it recorded for single-worker runs too.  Workers
+            # measure their own payloads so the coordinator never
+            # re-serialises what a process pool already shipped.
             specs = [replace(spec, measure_payload=True) for spec in specs]
         results = self._execute(specs, effective, executor)
 
@@ -656,9 +674,10 @@ class CorpusEngine:
         # shard payload).
         merged.request_ids = np.arange(1, merged.n_rows + 1, dtype=np.int64)
         corpus.site.store = LazyRequestStore(merged)
-        # Transfer volume as measured inside the workers; None when the
-        # payloads never crossed a process boundary (inline/thread builds
-        # serialise nothing, so there is nothing to bill).
+        # Transfer volume as measured inside the workers.  Recorded for
+        # every columnar build — serial and thread runs included — so the
+        # scaling bench can track per-record transport cost; None only if
+        # some shard skipped measurement.
         measured = [result.payload_bytes for result in results]
         self.last_plan["payload_bytes"] = (
             sum(measured) if all(size is not None for size in measured) else None

@@ -1,0 +1,108 @@
+"""Memory-mapped loading of uncompressed ``.npz`` archives.
+
+``np.load(path, mmap_mode="r")`` silently ignores the mmap request for
+``.npz`` files — every member array is read into RAM — which defeats the
+point of persisting a corpus larger than memory.  An ``.npz`` written by
+:func:`numpy.savez` is just a ZIP archive of *stored* (uncompressed)
+``.npy`` members, so each member's array data occupies one contiguous
+byte range of the archive file.  :func:`load_npz_mapped` locates that
+range for every member and hands it to :class:`numpy.memmap`, so the
+archive's code columns stream from disk on demand and the OS page cache —
+not the Python heap — decides what stays resident.
+
+Compressed members (``np.savez_compressed``, or archives re-written by a
+tool that deflates) cannot be mapped; :class:`NotMappableError` tells the
+caller to fall back to an in-RAM load.  Anything structurally wrong with
+the archive raises ``zipfile.BadZipFile`` / ``ValueError`` exactly like
+``np.load`` would, so cache-eviction paths treat both loaders the same.
+"""
+
+from __future__ import annotations
+
+import zipfile
+from pathlib import Path
+from typing import Dict
+
+import numpy as np
+from numpy.lib import format as npy_format
+
+#: Fixed size of a ZIP local file header (before the variable-length
+#: file name and extra field), per APPNOTE.TXT section 4.3.7.
+_LOCAL_HEADER_SIZE = 30
+_LOCAL_HEADER_SIGNATURE = b"PK\x03\x04"
+
+
+class NotMappableError(ValueError):
+    """The archive exists and is well-formed but cannot be memory-mapped
+    (compressed members); load it into RAM instead."""
+
+
+def _member_data_offset(handle, info: zipfile.ZipInfo) -> int:
+    """File offset of *info*'s raw data, past its local header.
+
+    The central directory's ``header_offset`` points at the member's
+    *local* header, whose name/extra fields may differ in length from the
+    central copies — so the local lengths must be read from the file.
+    """
+
+    handle.seek(info.header_offset)
+    header = handle.read(_LOCAL_HEADER_SIZE)
+    if len(header) != _LOCAL_HEADER_SIZE or header[:4] != _LOCAL_HEADER_SIGNATURE:
+        raise zipfile.BadZipFile(f"bad local file header for {info.filename!r}")
+    name_length = int.from_bytes(header[26:28], "little")
+    extra_length = int.from_bytes(header[28:30], "little")
+    return info.header_offset + _LOCAL_HEADER_SIZE + name_length + extra_length
+
+
+def load_npz_mapped(path) -> Dict[str, np.ndarray]:
+    """Load every array of an uncompressed ``.npz`` as a read-only memmap.
+
+    Returns ``{name: array}`` with the ``.npy`` suffixes stripped, like
+    indexing an :class:`numpy.lib.npyio.NpzFile`.  Zero-dimensional and
+    empty members are read eagerly (they are metadata-sized; ``np.memmap``
+    rejects zero-length maps).  Raises :class:`NotMappableError` when any
+    member is compressed, and never accepts pickled (object-dtype)
+    members.
+    """
+
+    path = Path(path)
+    arrays: Dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(path) as archive:
+        for info in archive.infolist():
+            name = info.filename
+            if not name.endswith(".npy"):
+                continue
+            if info.compress_type != zipfile.ZIP_STORED:
+                raise NotMappableError(
+                    f"npz member {name!r} in {path} is compressed; "
+                    "memory-mapping needs an uncompressed archive"
+                )
+            with archive.open(info) as member:
+                version = npy_format.read_magic(member)
+                if version == (1, 0):
+                    shape, fortran, dtype = npy_format.read_array_header_1_0(member)
+                elif version == (2, 0):
+                    shape, fortran, dtype = npy_format.read_array_header_2_0(member)
+                else:
+                    raise ValueError(f"unsupported .npy version {version} in {name!r}")
+                if dtype.hasobject:
+                    raise ValueError(f"npz member {name!r} requires pickled objects")
+                header_size = member.tell()
+            key = name[: -len(".npy")]
+            if 0 in shape:
+                arrays[key] = np.empty(shape, dtype=dtype, order="F" if fortran else "C")
+            elif shape == ():
+                with archive.open(info) as member:
+                    arrays[key] = npy_format.read_array(member, allow_pickle=False)
+            else:
+                with open(path, "rb") as handle:
+                    data_offset = _member_data_offset(handle, info)
+                arrays[key] = np.memmap(
+                    path,
+                    dtype=dtype,
+                    mode="r",
+                    offset=data_offset + header_size,
+                    shape=shape,
+                    order="F" if fortran else "C",
+                )
+    return arrays

@@ -586,6 +586,12 @@ def assemble_table(
     into one global code space assigned in merged-row first-occurrence
     order, so the result is byte-identical to
     ``ColumnarTable.from_store`` over the corresponding records.
+
+    Since corpus format v4 this is the *only* decoding the merge performs:
+    the shard payloads carrying these table codes are pure arrays end to
+    end (fingerprints, headers and decisions ride as attribute-code rows
+    in :class:`~repro.honeysite.storage.SessionArrays`), so no pickled
+    record, fingerprint or decision object crosses the worker boundary.
     """
 
     if not payloads:

@@ -28,6 +28,7 @@ objects when a consumer genuinely iterates them.
 from __future__ import annotations
 
 import gzip
+import io
 import json
 from dataclasses import dataclass
 from pathlib import Path
@@ -62,7 +63,14 @@ SECONDS_PER_DAY = 86_400.0
 #: Version 3: corpora built by the columnar shard transport persist as one
 #: ``store_columnar.npz`` archive (record columns + embedded fingerprint
 #: tables); version-2 JSONL archives remain readable.
-CORPUS_FORMAT_VERSION = 3
+#: Version 4: session fingerprints, headers and detector decisions are
+#: encoded as attribute-code arrays over per-attribute decode lists
+#: (:class:`SessionArrays`), making shard payloads and the persisted
+#: archive pure numpy arrays + scalar metadata — no pickled objects and,
+#: saved uncompressed, memory-mappable.  The shard ceiling raise
+#: (``analysis.engine.MAX_TOTAL_SHARDS``) rides the same bump.  Version-2
+#: and version-3 archives remain readable.
+CORPUS_FORMAT_VERSION = 4
 
 #: Marker identifying the header line of a versioned store file.
 _STORE_HEADER_MARKER = "repro-request-store"
@@ -89,10 +97,35 @@ def split_rows(n: int, fraction: float, rng) -> Tuple:
     return indices[:cut], indices[cut:]
 
 
+class _OwningTextWrapper(io.TextIOWrapper):
+    """A ``TextIOWrapper`` that also closes the raw file under its buffer
+    (``GzipFile`` never closes a ``fileobj`` it was handed)."""
+
+    def __init__(self, buffer, raw, **kwargs):
+        super().__init__(buffer, **kwargs)
+        self._raw_file = raw
+
+    def close(self):
+        try:
+            super().close()
+        finally:
+            self._raw_file.close()
+
+
 def _open_text(path: Path, mode: str):
-    """Open *path* for text I/O, transparently gzipped for ``.gz`` files."""
+    """Open *path* for text I/O, transparently gzipped for ``.gz`` files.
+
+    Writes pin the gzip header's mtime to 0 and omit the FNAME field
+    (``filename=""``), so saving the same store twice — under any archive
+    name, at any time — produces byte-identical files (the determinism
+    check diffs them).
+    """
 
     if path.suffix == ".gz":
+        if "w" in mode:
+            raw = path.open("wb")
+            handle = gzip.GzipFile(filename="", fileobj=raw, mode="wb", mtime=0)
+            return _OwningTextWrapper(handle, raw, encoding="utf-8")
         return gzip.open(path, mode + "t", encoding="utf-8")
     return path.open(mode, encoding="utf-8")
 
@@ -178,22 +211,613 @@ class RecordedRequest:
         )
 
 
+def _code_dtype(pool_size: int) -> np.dtype:
+    """Smallest unsigned dtype that can index a decode list of *pool_size*."""
+
+    return np.min_scalar_type(max(pool_size - 1, 0))
+
+
+def _packed(codes, pool_size: int) -> np.ndarray:
+    """Code array packed to the smallest dtype its decode list needs.
+
+    The transfer win of the code encoding lives here: shard decode lists
+    are small (tens of attributes, hundreds of distinct values), so most
+    code streams pack to one byte per entry instead of pickling an object
+    reference per entry.
+    """
+
+    return np.asarray(codes, dtype=_code_dtype(pool_size))
+
+
+class _LazyDecodeList(Sequence):
+    """A read-only sequence decoding its items on first access.
+
+    The compatibility view :class:`SessionArrays` presents over its code
+    arrays: indexing or iterating decodes (and memoizes) one object per
+    position, so consumers that touch a handful of sessions never pay for
+    the rest — and repeated reads return the *same* object, preserving the
+    sharing semantics of the former object dictionaries.
+    """
+
+    __slots__ = ("_cache", "_decode")
+
+    def __init__(self, count: int, decode: Callable[[int], Any]):
+        self._cache: List[Any] = [None] * count
+        self._decode = decode
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def __getitem__(self, index: int) -> Any:
+        item = self._cache[index]
+        if item is None:
+            if index < 0:
+                index += len(self._cache)
+            item = self._cache[index] = self._decode(index)
+        return item
+
+    def __iter__(self) -> Iterator[Any]:
+        for index in range(len(self._cache)):
+            yield self[index]
+
+
+class SessionArrays:
+    """Pure-array encoding of the per-session object dictionaries.
+
+    Everything a traffic-generator session keeps constant — the
+    fingerprint, the synthesised headers, both detector decisions, the
+    source address — used to live here as Python objects, which made each
+    shard payload pickle one ``Fingerprint`` (a ~40-entry dict) per
+    session.  This class re-encodes all three dictionaries as code rows
+    against decode lists:
+
+    * **fingerprints** — a flat ``(attribute code, value code)`` pair
+      stream (``fp_attr_codes`` / ``fp_value_codes``) sliced per session by
+      ``fp_offsets``; attribute codes index ``fp_attribute_names`` and
+      value codes index that attribute's raw-value side table in
+      ``fp_values``.  The pair stream preserves each session's attribute
+      *order*, which the serialised form exposes (bot strategies insert
+      attributes in varying order via ``replace``/``without``).
+    * **headers** — the same flat layout over global key/value string
+      pools (``header_keys`` / ``header_values``).
+    * **decisions** — parallel scalar arrays (detector code, ``is_bot``,
+      score) plus a flat signal-code stream over ``decision_signal_values``.
+
+    The per-session indirection arrays (``session_headers``,
+    ``session_datadome``, ``session_botd``) and the per-session address
+    list live here too.  The result: pickling a shard payload serialises
+    numpy arrays and lists of primitive scalars — zero reconstructed
+    objects — and the persisted archive can be memory-mapped.  Decoded
+    object views (:attr:`fingerprints`, :attr:`header_maps`,
+    :attr:`decision_objects`) materialise lazily per index and are
+    excluded from pickling.
+    """
+
+    _ARRAY_FIELDS = (
+        "fp_attr_codes",
+        "fp_value_codes",
+        "fp_offsets",
+        "header_key_codes",
+        "header_value_codes",
+        "header_offsets",
+        "session_headers",
+        "session_datadome",
+        "session_botd",
+        "decision_detectors",
+        "decision_is_bot",
+        "decision_scores",
+        "decision_signal_codes",
+        "decision_signal_offsets",
+    )
+    _LIST_FIELDS = (
+        "fp_attribute_names",
+        "fp_values",
+        "header_keys",
+        "header_values",
+        "session_ips",
+        "decision_detector_names",
+        "decision_signal_values",
+    )
+    _CACHE_FIELDS = ("_fingerprints", "_header_maps", "_decision_objects", "_attributes")
+
+    __slots__ = _ARRAY_FIELDS + _LIST_FIELDS + _CACHE_FIELDS
+
+    def __init__(self, **fields: Any):
+        for name in self._ARRAY_FIELDS + self._LIST_FIELDS:
+            setattr(self, name, fields.pop(name))
+        if fields:
+            raise TypeError(f"unexpected session array fields: {sorted(fields)}")
+        self._reset_caches()
+
+    def _reset_caches(self) -> None:
+        self._fingerprints = None
+        self._header_maps = None
+        self._decision_objects = None
+        self._attributes = None
+
+    # -- pickling (transport purity) ---------------------------------------
+
+    def __getstate__(self) -> Dict[str, Any]:
+        return {
+            name: getattr(self, name)
+            for name in self._ARRAY_FIELDS + self._LIST_FIELDS
+        }
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        for name in self._ARRAY_FIELDS + self._LIST_FIELDS:
+            setattr(self, name, state[name])
+        self._reset_caches()
+
+    # -- shape -------------------------------------------------------------
+
+    @property
+    def n_sessions(self) -> int:
+        return int(self.fp_offsets.size) - 1
+
+    @property
+    def n_headers(self) -> int:
+        return int(self.header_offsets.size) - 1
+
+    @property
+    def n_decisions(self) -> int:
+        return int(self.decision_is_bot.size)
+
+    # -- encoding ----------------------------------------------------------
+
+    @classmethod
+    def from_objects(
+        cls,
+        *,
+        fingerprints: Sequence[Fingerprint],
+        headers: Sequence[Mapping[str, str]],
+        decisions: Sequence[Decision],
+        session_ips: Sequence[str],
+        session_headers: np.ndarray,
+        session_datadome: np.ndarray,
+        session_botd: np.ndarray,
+    ) -> "SessionArrays":
+        """Encode the legacy object dictionaries into code arrays.
+
+        Value side tables deduplicate by ``(type, value)`` — never by bare
+        value — because ``1``, ``1.0`` and ``True`` hash and compare equal
+        in Python yet must decode back to their exact original type.
+        """
+
+        fp_attr_index: Dict[str, int] = {}
+        fp_attribute_names: List[str] = []
+        fp_value_indexes: List[Dict[Any, int]] = []
+        fp_values: List[List[Any]] = []
+        attr_codes: List[int] = []
+        value_codes: List[int] = []
+        fp_offsets: List[int] = [0]
+        for fingerprint in fingerprints:
+            for attribute, value in fingerprint.items():
+                name = attribute.value
+                acode = fp_attr_index.get(name)
+                if acode is None:
+                    acode = len(fp_attribute_names)
+                    fp_attr_index[name] = acode
+                    fp_attribute_names.append(name)
+                    fp_value_indexes.append({})
+                    fp_values.append([])
+                value_index = fp_value_indexes[acode]
+                key = (value.__class__, value)
+                vcode = value_index.get(key)
+                if vcode is None:
+                    vcode = len(fp_values[acode])
+                    value_index[key] = vcode
+                    fp_values[acode].append(value)
+                attr_codes.append(acode)
+                value_codes.append(vcode)
+            fp_offsets.append(len(attr_codes))
+
+        key_index: Dict[str, int] = {}
+        header_keys: List[str] = []
+        value_pool_index: Dict[str, int] = {}
+        header_values: List[str] = []
+        header_key_codes: List[int] = []
+        header_value_codes: List[int] = []
+        header_offsets: List[int] = [0]
+        for entry in headers:
+            for key, value in entry.items():
+                kcode = key_index.get(key)
+                if kcode is None:
+                    kcode = len(header_keys)
+                    key_index[key] = kcode
+                    header_keys.append(key)
+                vcode = value_pool_index.get(value)
+                if vcode is None:
+                    vcode = len(header_values)
+                    value_pool_index[value] = vcode
+                    header_values.append(value)
+                header_key_codes.append(kcode)
+                header_value_codes.append(vcode)
+            header_offsets.append(len(header_key_codes))
+
+        detector_index: Dict[str, int] = {}
+        decision_detector_names: List[str] = []
+        signal_index: Dict[str, int] = {}
+        decision_signal_values: List[str] = []
+        decision_detectors: List[int] = []
+        decision_is_bot: List[bool] = []
+        decision_scores: List[float] = []
+        decision_signal_codes: List[int] = []
+        decision_signal_offsets: List[int] = [0]
+        for decision in decisions:
+            dcode = detector_index.get(decision.detector)
+            if dcode is None:
+                dcode = len(decision_detector_names)
+                detector_index[decision.detector] = dcode
+                decision_detector_names.append(decision.detector)
+            decision_detectors.append(dcode)
+            decision_is_bot.append(decision.is_bot)
+            decision_scores.append(decision.score)
+            for signal in decision.signals:
+                scode = signal_index.get(signal)
+                if scode is None:
+                    scode = len(decision_signal_values)
+                    signal_index[signal] = scode
+                    decision_signal_values.append(signal)
+                decision_signal_codes.append(scode)
+            decision_signal_offsets.append(len(decision_signal_codes))
+
+        return cls(
+            fp_attr_codes=_packed(attr_codes, len(fp_attribute_names)),
+            fp_value_codes=_packed(
+                value_codes, max((len(values) for values in fp_values), default=0)
+            ),
+            fp_offsets=np.array(fp_offsets, dtype=np.int32),
+            fp_attribute_names=fp_attribute_names,
+            fp_values=fp_values,
+            header_key_codes=_packed(header_key_codes, len(header_keys)),
+            header_value_codes=_packed(header_value_codes, len(header_values)),
+            header_offsets=np.array(header_offsets, dtype=np.int32),
+            header_keys=header_keys,
+            header_values=header_values,
+            session_headers=_packed(session_headers, len(header_offsets) - 1),
+            session_datadome=_packed(session_datadome, len(decision_is_bot)),
+            session_botd=_packed(session_botd, len(decision_is_bot)),
+            session_ips=list(session_ips),
+            decision_detectors=_packed(decision_detectors, len(decision_detector_names)),
+            decision_is_bot=np.array(decision_is_bot, dtype=bool),
+            decision_scores=np.array(decision_scores, dtype=np.float64),
+            decision_signal_codes=_packed(
+                decision_signal_codes, len(decision_signal_values)
+            ),
+            decision_signal_offsets=np.array(decision_signal_offsets, dtype=np.int32),
+            decision_detector_names=decision_detector_names,
+            decision_signal_values=decision_signal_values,
+        )
+
+    # -- decoded object views ----------------------------------------------
+
+    @property
+    def fingerprints(self) -> Sequence[Fingerprint]:
+        """Per-session fingerprints, decoded lazily per index."""
+
+        if self._fingerprints is None:
+            if self._attributes is None:
+                self._attributes = [Attribute(name) for name in self.fp_attribute_names]
+            attributes = self._attributes
+            values, attr_codes = self.fp_values, self.fp_attr_codes
+            value_codes, offsets = self.fp_value_codes, self.fp_offsets
+
+            def decode(index: int) -> Fingerprint:
+                data: Dict[Attribute, Any] = {}
+                for position in range(int(offsets[index]), int(offsets[index + 1])):
+                    acode = attr_codes[position]
+                    data[attributes[acode]] = values[acode][value_codes[position]]
+                return Fingerprint._from_coerced(data)
+
+            self._fingerprints = _LazyDecodeList(self.n_sessions, decode)
+        return self._fingerprints
+
+    @property
+    def header_maps(self) -> Sequence[Mapping[str, str]]:
+        """Deduplicated header dictionaries, decoded lazily per index."""
+
+        if self._header_maps is None:
+            keys, pool = self.header_keys, self.header_values
+            key_codes, value_codes = self.header_key_codes, self.header_value_codes
+            offsets = self.header_offsets
+
+            def decode(index: int) -> Dict[str, str]:
+                return {
+                    keys[key_codes[position]]: pool[value_codes[position]]
+                    for position in range(int(offsets[index]), int(offsets[index + 1]))
+                }
+
+            self._header_maps = _LazyDecodeList(self.n_headers, decode)
+        return self._header_maps
+
+    @property
+    def decision_objects(self) -> Sequence[Decision]:
+        """Deduplicated detector decisions, decoded lazily per index."""
+
+        if self._decision_objects is None:
+            names, signals = self.decision_detector_names, self.decision_signal_values
+            detectors, is_bot = self.decision_detectors, self.decision_is_bot
+            scores, signal_codes = self.decision_scores, self.decision_signal_codes
+            offsets = self.decision_signal_offsets
+
+            def decode(index: int) -> Decision:
+                return Decision(
+                    detector=names[detectors[index]],
+                    is_bot=bool(is_bot[index]),
+                    score=float(scores[index]),
+                    signals=tuple(
+                        signals[signal_codes[position]]
+                        for position in range(int(offsets[index]), int(offsets[index + 1]))
+                    ),
+                )
+
+            self._decision_objects = _LazyDecodeList(self.n_decisions, decode)
+        return self._decision_objects
+
+    # -- merging -----------------------------------------------------------
+
+    @classmethod
+    def concat(cls, parts: Sequence["SessionArrays"]) -> "SessionArrays":
+        """Merge shard session blocks: union the decode lists, remap codes.
+
+        Attribute names (and header keys/values, detectors, signals) merge
+        in first-appearance order across parts; each part's flat code
+        streams are remapped through lookup arrays, so the merge never
+        decodes an object.
+        """
+
+        attr_index: Dict[str, int] = {}
+        attribute_names: List[str] = []
+        value_indexes: List[Dict[Any, int]] = []
+        merged_values: List[List[Any]] = []
+        key_index: Dict[str, int] = {}
+        header_keys: List[str] = []
+        value_pool_index: Dict[str, int] = {}
+        header_values: List[str] = []
+        detector_index: Dict[str, int] = {}
+        detector_names: List[str] = []
+        signal_index: Dict[str, int] = {}
+        signal_values: List[str] = []
+
+        fp_attr_chunks, fp_value_chunks, fp_offset_chunks = [], [], []
+        hk_chunks, hv_chunks, header_offset_chunks = [], [], []
+        sh_chunks, sd_chunks, sb_chunks = [], [], []
+        det_chunks, bot_chunks, score_chunks = [], [], []
+        sig_chunks, sig_offset_chunks = [], []
+        session_ips: List[str] = []
+        fp_pairs = header_pairs = signal_count = 0
+        headers_offset = decisions_offset = 0
+
+        def _pool_remap(local: Sequence[str], index: Dict[str, int], pool: List[str]) -> np.ndarray:
+            remap = np.empty(len(local), dtype=np.int64)
+            for position, item in enumerate(local):
+                code = index.get(item)
+                if code is None:
+                    code = len(pool)
+                    index[item] = code
+                    pool.append(item)
+                remap[position] = code
+            return remap
+
+        for part in parts:
+            attr_remap = np.empty(len(part.fp_attribute_names), dtype=np.int64)
+            value_remaps: List[np.ndarray] = []
+            for local, name in enumerate(part.fp_attribute_names):
+                code = attr_index.get(name)
+                if code is None:
+                    code = len(attribute_names)
+                    attr_index[name] = code
+                    attribute_names.append(name)
+                    value_indexes.append({})
+                    merged_values.append([])
+                attr_remap[local] = code
+                value_index = value_indexes[code]
+                value_list = merged_values[code]
+                local_values = part.fp_values[local]
+                vremap = np.empty(len(local_values), dtype=np.int64)
+                for vlocal, value in enumerate(local_values):
+                    key = (value.__class__, value)
+                    vcode = value_index.get(key)
+                    if vcode is None:
+                        vcode = len(value_list)
+                        value_index[key] = vcode
+                        value_list.append(value)
+                    vremap[vlocal] = vcode
+                value_remaps.append(vremap)
+            if part.fp_attr_codes.size:
+                # One flat remap over (attribute, local value) pairs keeps the
+                # per-pair recode fully vectorized.
+                starts = np.zeros(len(value_remaps) + 1, dtype=np.int64)
+                np.cumsum([remap.size for remap in value_remaps], out=starts[1:])
+                flat_remap = np.concatenate(value_remaps)
+                local_attr = np.asarray(part.fp_attr_codes, dtype=np.int64)
+                fp_attr_chunks.append(attr_remap[local_attr])
+                fp_value_chunks.append(flat_remap[starts[local_attr] + part.fp_value_codes])
+            fp_offset_chunks.append(np.asarray(part.fp_offsets[1:], dtype=np.int64) + fp_pairs)
+            fp_pairs += int(part.fp_attr_codes.size)
+
+            key_remap = _pool_remap(part.header_keys, key_index, header_keys)
+            value_remap = _pool_remap(part.header_values, value_pool_index, header_values)
+            if part.header_key_codes.size:
+                hk_chunks.append(key_remap[part.header_key_codes])
+                hv_chunks.append(value_remap[part.header_value_codes])
+            header_offset_chunks.append(
+                np.asarray(part.header_offsets[1:], dtype=np.int64) + header_pairs
+            )
+            header_pairs += int(part.header_key_codes.size)
+
+            sh_chunks.append(np.asarray(part.session_headers, dtype=np.int64) + headers_offset)
+            sd_chunks.append(np.asarray(part.session_datadome, dtype=np.int64) + decisions_offset)
+            sb_chunks.append(np.asarray(part.session_botd, dtype=np.int64) + decisions_offset)
+            headers_offset += part.n_headers
+            decisions_offset += part.n_decisions
+            session_ips.extend(part.session_ips)
+
+            det_remap = _pool_remap(part.decision_detector_names, detector_index, detector_names)
+            sig_remap = _pool_remap(part.decision_signal_values, signal_index, signal_values)
+            if part.decision_detectors.size:
+                det_chunks.append(det_remap[part.decision_detectors])
+            bot_chunks.append(part.decision_is_bot)
+            score_chunks.append(part.decision_scores)
+            if part.decision_signal_codes.size:
+                sig_chunks.append(sig_remap[part.decision_signal_codes])
+            sig_offset_chunks.append(
+                np.asarray(part.decision_signal_offsets[1:], dtype=np.int64) + signal_count
+            )
+            signal_count += int(part.decision_signal_codes.size)
+
+        def _flat(chunks: List[np.ndarray], pool_size: int) -> np.ndarray:
+            if not chunks:
+                return np.empty(0, dtype=_code_dtype(pool_size))
+            return _packed(np.concatenate(chunks), pool_size)
+
+        def _offsets(chunks: List[np.ndarray]) -> np.ndarray:
+            return np.concatenate([np.zeros(1, dtype=np.int64)] + chunks).astype(np.int32)
+
+        return cls(
+            fp_attr_codes=_flat(fp_attr_chunks, len(attribute_names)),
+            fp_value_codes=_flat(
+                fp_value_chunks, max((len(values) for values in merged_values), default=0)
+            ),
+            fp_offsets=_offsets(fp_offset_chunks),
+            fp_attribute_names=attribute_names,
+            fp_values=merged_values,
+            header_key_codes=_flat(hk_chunks, len(header_keys)),
+            header_value_codes=_flat(hv_chunks, len(header_values)),
+            header_offsets=_offsets(header_offset_chunks),
+            header_keys=header_keys,
+            header_values=header_values,
+            session_headers=_flat(sh_chunks, headers_offset),
+            session_datadome=_flat(sd_chunks, decisions_offset),
+            session_botd=_flat(sb_chunks, decisions_offset),
+            session_ips=session_ips,
+            decision_detectors=_flat(det_chunks, len(detector_names)),
+            decision_is_bot=(
+                np.concatenate(bot_chunks) if bot_chunks else np.empty(0, dtype=bool)
+            ),
+            decision_scores=(
+                np.concatenate(score_chunks)
+                if score_chunks
+                else np.empty(0, dtype=np.float64)
+            ),
+            decision_signal_codes=_flat(sig_chunks, len(signal_values)),
+            decision_signal_offsets=_offsets(sig_offset_chunks),
+            decision_detector_names=detector_names,
+            decision_signal_values=signal_values,
+        )
+
+    # -- integrity ---------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check internal consistency; raises :class:`StoreFormatError`.
+
+        On a memory-mapped archive this streams every code column once
+        (sequential reads), bounding the cost of trusting an archive
+        without loading it into RAM.
+        """
+
+        def _offsets_ok(offsets: np.ndarray, flat_size: int) -> bool:
+            return (
+                offsets.size >= 1
+                and int(offsets[0]) == 0
+                and int(offsets[-1]) == flat_size
+                and (offsets.size < 2 or bool(np.all(np.diff(offsets) >= 0)))
+            )
+
+        def _codes_ok(codes: np.ndarray, size: int) -> bool:
+            if not codes.size:
+                return True
+            return int(codes.min()) >= 0 and int(codes.max()) < size
+
+        integer_arrays = tuple(
+            getattr(self, name)
+            for name in self._ARRAY_FIELDS
+            if name not in ("decision_is_bot", "decision_scores")
+        )
+        if any(array.dtype.kind not in "iu" for array in integer_arrays):
+            raise StoreFormatError("session code arrays must have integer dtypes")
+        if (
+            self.decision_is_bot.dtype.kind != "b"
+            or self.decision_scores.dtype.kind != "f"
+        ):
+            raise StoreFormatError("decision verdict arrays have wrong dtypes")
+        if self.fp_attr_codes.size != self.fp_value_codes.size:
+            raise StoreFormatError("fingerprint code streams are ragged")
+        if not _offsets_ok(self.fp_offsets, self.fp_attr_codes.size):
+            raise StoreFormatError("fingerprint offsets are inconsistent")
+        if len(self.fp_values) != len(self.fp_attribute_names):
+            raise StoreFormatError("fingerprint decode lists disagree")
+        if not _codes_ok(self.fp_attr_codes, len(self.fp_attribute_names)):
+            raise StoreFormatError("fingerprint attribute codes out of range")
+        if self.fp_attr_codes.size:
+            lengths = np.fromiter(
+                (len(values) for values in self.fp_values),
+                dtype=np.int64,
+                count=len(self.fp_values),
+            )
+            value_codes = np.asarray(self.fp_value_codes, dtype=np.int64)
+            if int(value_codes.min()) < 0 or bool(
+                np.any(value_codes >= lengths[np.asarray(self.fp_attr_codes, dtype=np.int64)])
+            ):
+                raise StoreFormatError("fingerprint value codes out of range")
+
+        if self.header_key_codes.size != self.header_value_codes.size:
+            raise StoreFormatError("header code streams are ragged")
+        if not _offsets_ok(self.header_offsets, self.header_key_codes.size):
+            raise StoreFormatError("header offsets are inconsistent")
+        if not (
+            _codes_ok(self.header_key_codes, len(self.header_keys))
+            and _codes_ok(self.header_value_codes, len(self.header_values))
+        ):
+            raise StoreFormatError("header codes out of range")
+
+        n_decisions = self.n_decisions
+        if (
+            self.decision_detectors.size != n_decisions
+            or self.decision_scores.size != n_decisions
+            or self.decision_signal_offsets.size != n_decisions + 1
+        ):
+            raise StoreFormatError("decision arrays are ragged")
+        if not _offsets_ok(self.decision_signal_offsets, self.decision_signal_codes.size):
+            raise StoreFormatError("decision signal offsets are inconsistent")
+        if not (
+            _codes_ok(self.decision_detectors, len(self.decision_detector_names))
+            and _codes_ok(self.decision_signal_codes, len(self.decision_signal_values))
+        ):
+            raise StoreFormatError("decision codes out of range")
+
+        n_sessions = self.n_sessions
+        per_session = (self.session_headers, self.session_datadome, self.session_botd)
+        if any(column.size != n_sessions for column in per_session) or len(
+            self.session_ips
+        ) != n_sessions:
+            raise StoreFormatError("session dictionaries are ragged")
+        if not (
+            _codes_ok(self.session_headers, self.n_headers)
+            and _codes_ok(self.session_datadome, n_decisions)
+            and _codes_ok(self.session_botd, n_decisions)
+        ):
+            raise StoreFormatError("session dictionary codes out of range")
+
+
 class RecordColumns:
     """Columnar representation of a record sequence.
 
     Per-row quantities are plain arrays; everything a traffic-generator
-    session keeps constant (the fingerprint, the synthesised headers, both
-    detector decisions, the source address) is stored once per session and
-    referenced through ``session_codes``.  The layout is what shard workers
-    return to the corpus coordinator — pickling it costs a handful of
-    array copies plus one fingerprint per *session* instead of seven
-    objects per *request* — and what the corpus cache persists.
+    session keeps constant is encoded once per session in a
+    :class:`SessionArrays` block and referenced through ``session_codes``.
+    The layout is what shard workers return to the corpus coordinator —
+    pickling it serialises pure numpy arrays plus scalar decode lists,
+    zero reconstructed objects — and what the corpus cache persists
+    (format v4; saved uncompressed it memory-maps).
 
     ``request_ids`` may be ``None`` on a freshly built shard payload; the
     coordinator assigns merged-order ids through :meth:`renumbered`.
     Record objects never live here: :class:`LazyRequestStore` rebuilds
     them on demand, byte-identical to what the object-at-a-time path
-    produces.
+    produces.  The former object-dictionary attributes
+    (``session_fingerprints``, ``headers``, ``decisions``) remain readable
+    as lazily decoded views.
     """
 
     __slots__ = (
@@ -206,13 +830,7 @@ class RecordColumns:
         "cookie_values",
         "sources",
         "url_paths",
-        "session_fingerprints",
-        "session_headers",
-        "session_datadome",
-        "session_botd",
-        "session_ips",
-        "headers",
-        "decisions",
+        "sessions",
     )
 
     def __init__(
@@ -226,13 +844,14 @@ class RecordColumns:
         cookie_values: List[str],
         sources: List[str],
         url_paths: List[str],
-        session_fingerprints: List[Fingerprint],
-        session_headers: np.ndarray,
-        session_datadome: np.ndarray,
-        session_botd: np.ndarray,
-        session_ips: List[str],
-        headers: List[Mapping[str, str]],
-        decisions: List[Decision],
+        sessions: Optional[SessionArrays] = None,
+        session_fingerprints: Optional[List[Fingerprint]] = None,
+        session_headers: Optional[np.ndarray] = None,
+        session_datadome: Optional[np.ndarray] = None,
+        session_botd: Optional[np.ndarray] = None,
+        session_ips: Optional[List[str]] = None,
+        headers: Optional[List[Mapping[str, str]]] = None,
+        decisions: Optional[List[Decision]] = None,
         request_ids: Optional[np.ndarray] = None,
     ):
         self.timestamps = timestamps
@@ -244,13 +863,29 @@ class RecordColumns:
         self.cookie_values = cookie_values
         self.sources = sources
         self.url_paths = url_paths
-        self.session_fingerprints = session_fingerprints
-        self.session_headers = session_headers
-        self.session_datadome = session_datadome
-        self.session_botd = session_botd
-        self.session_ips = session_ips
-        self.headers = headers
-        self.decisions = decisions
+        if sessions is None:
+            # Object-dictionary construction path (builders, tests, the
+            # v2/v3 readers): encode into the array block up front.
+            sessions = SessionArrays.from_objects(
+                fingerprints=session_fingerprints if session_fingerprints is not None else [],
+                headers=headers if headers is not None else [],
+                decisions=decisions if decisions is not None else [],
+                session_ips=session_ips if session_ips is not None else [],
+                session_headers=(
+                    session_headers
+                    if session_headers is not None
+                    else np.empty(0, dtype=np.int32)
+                ),
+                session_datadome=(
+                    session_datadome
+                    if session_datadome is not None
+                    else np.empty(0, dtype=np.int32)
+                ),
+                session_botd=(
+                    session_botd if session_botd is not None else np.empty(0, dtype=np.int32)
+                ),
+            )
+        self.sessions = sessions
 
     @property
     def n_rows(self) -> int:
@@ -258,7 +893,37 @@ class RecordColumns:
 
     @property
     def n_sessions(self) -> int:
-        return len(self.session_fingerprints)
+        return self.sessions.n_sessions
+
+    # -- compatibility views over the session block -----------------------
+
+    @property
+    def session_fingerprints(self) -> Sequence[Fingerprint]:
+        return self.sessions.fingerprints
+
+    @property
+    def headers(self) -> Sequence[Mapping[str, str]]:
+        return self.sessions.header_maps
+
+    @property
+    def decisions(self) -> Sequence[Decision]:
+        return self.sessions.decision_objects
+
+    @property
+    def session_ips(self) -> List[str]:
+        return self.sessions.session_ips
+
+    @property
+    def session_headers(self) -> np.ndarray:
+        return self.sessions.session_headers
+
+    @property
+    def session_datadome(self) -> np.ndarray:
+        return self.sessions.session_datadome
+
+    @property
+    def session_botd(self) -> np.ndarray:
+        return self.sessions.session_botd
 
     def renumbered(self, start: int = 1) -> "RecordColumns":
         """Copy with sequential request ids ``start..start+n-1``.
@@ -286,13 +951,7 @@ class RecordColumns:
             cookie_values=self.cookie_values,
             sources=self.sources,
             url_paths=self.url_paths,
-            session_fingerprints=self.session_fingerprints,
-            session_headers=self.session_headers,
-            session_datadome=self.session_datadome,
-            session_botd=self.session_botd,
-            session_ips=self.session_ips,
-            headers=self.headers,
-            decisions=self.decisions,
+            sessions=self.sessions,
         )
 
     @classmethod
@@ -315,16 +974,9 @@ class RecordColumns:
         sources: List[str] = []
         url_paths: List[str] = []
         source_index: Dict[str, int] = {}
-        session_fingerprints: List[Fingerprint] = []
-        session_headers, session_datadome, session_botd = [], [], []
-        session_ips: List[str] = []
-        headers: List[Mapping[str, str]] = []
-        decisions: List[Decision] = []
+        session_offset = 0
         for part in parts:
             cookie_offset = len(cookie_values)
-            session_offset = len(session_fingerprints)
-            headers_offset = len(headers)
-            decisions_offset = len(decisions)
             source_map = np.empty(len(part.sources), dtype=np.int32)
             for local, (name, url_path) in enumerate(zip(part.sources, part.url_paths)):
                 code = source_index.get(name)
@@ -349,13 +1001,7 @@ class RecordColumns:
                 source_map[part.source_codes] if len(part.sources) else part.source_codes
             )
             cookie_values.extend(part.cookie_values)
-            session_fingerprints.extend(part.session_fingerprints)
-            session_headers.append(part.session_headers + headers_offset)
-            session_datadome.append(part.session_datadome + decisions_offset)
-            session_botd.append(part.session_botd + decisions_offset)
-            session_ips.extend(part.session_ips)
-            headers.extend(part.headers)
-            decisions.extend(part.decisions)
+            session_offset += part.n_sessions
         return cls(
             timestamps=np.concatenate(timestamps),
             session_codes=np.concatenate(session_codes),
@@ -365,19 +1011,7 @@ class RecordColumns:
             cookie_values=cookie_values,
             sources=sources,
             url_paths=url_paths,
-            session_fingerprints=session_fingerprints,
-            session_headers=np.concatenate(session_headers)
-            if session_headers
-            else np.empty(0, dtype=np.int32),
-            session_datadome=np.concatenate(session_datadome)
-            if session_datadome
-            else np.empty(0, dtype=np.int32),
-            session_botd=np.concatenate(session_botd)
-            if session_botd
-            else np.empty(0, dtype=np.int32),
-            session_ips=session_ips,
-            headers=headers,
-            decisions=decisions,
+            sessions=SessionArrays.concat([part.sessions for part in parts]),
         )
 
     # -- decoded row views ------------------------------------------------------
@@ -408,29 +1042,36 @@ class RecordColumns:
 
     def evaded_rows(self, detector: str) -> np.ndarray:
         """Boolean per-row evasion column of *detector*, straight from the
-        session-deduplicated decision dictionary."""
+        session-deduplicated decision arrays (``evaded == not is_bot``) —
+        no decision object is ever decoded."""
 
         if detector == "DataDome":
-            per_session_decision = self.session_datadome
+            per_session_decision = self.sessions.session_datadome
         elif detector == "BotD":
-            per_session_decision = self.session_botd
+            per_session_decision = self.sessions.session_botd
         else:
             raise KeyError(f"unknown detector {detector!r}")
-        evaded = np.fromiter(
-            (decision.evaded for decision in self.decisions), dtype=bool, count=len(self.decisions)
-        )
         if not self.n_sessions:
             return np.zeros(self.n_rows, dtype=bool)
+        evaded = ~np.asarray(self.sessions.decision_is_bot, dtype=bool)
         return evaded[per_session_decision][self.session_codes]
 
     # -- persistence ------------------------------------------------------------
 
     def to_payload(self) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
         """Split into a (numeric arrays, JSON-able meta) pair for ``.npz``
-        persistence; inverse of :meth:`from_payload`."""
+        persistence; inverse of :meth:`from_payload`.
+
+        Format v4: every session dictionary travels as code arrays; the
+        JSON meta holds only the decode lists (strings and raw scalar
+        values), never a serialised object.  Fingerprint value tables are
+        JSON-safe because every canonical value is a scalar or a tuple
+        (tuples round-trip as lists, restored on read).
+        """
 
         if self.request_ids is None:
             raise ValueError("only renumbered record columns can be persisted")
+        sessions = self.sessions
         arrays = {
             "timestamps": self.timestamps,
             "session_codes": self.session_codes,
@@ -438,28 +1079,35 @@ class RecordColumns:
             "served_codes": self.served_codes,
             "source_codes": self.source_codes,
             "request_ids": self.request_ids,
-            "session_headers": self.session_headers,
-            "session_datadome": self.session_datadome,
-            "session_botd": self.session_botd,
+            "session_headers": sessions.session_headers,
+            "session_datadome": sessions.session_datadome,
+            "session_botd": sessions.session_botd,
+            "fp_attr_codes": sessions.fp_attr_codes,
+            "fp_value_codes": sessions.fp_value_codes,
+            "fp_offsets": sessions.fp_offsets,
+            "header_key_codes": sessions.header_key_codes,
+            "header_value_codes": sessions.header_value_codes,
+            "header_offsets": sessions.header_offsets,
+            "decision_detectors": sessions.decision_detectors,
+            "decision_is_bot": sessions.decision_is_bot,
+            "decision_scores": sessions.decision_scores,
+            "decision_signal_codes": sessions.decision_signal_codes,
+            "decision_signal_offsets": sessions.decision_signal_offsets,
         }
         meta = {
             "cookie_values": list(self.cookie_values),
             "sources": list(self.sources),
             "url_paths": list(self.url_paths),
-            "session_fingerprints": [
-                fingerprint.to_dict() for fingerprint in self.session_fingerprints
+            "session_ips": list(sessions.session_ips),
+            "fp_attribute_names": list(sessions.fp_attribute_names),
+            "fp_values": [
+                [list(value) if isinstance(value, tuple) else value for value in values]
+                for values in sessions.fp_values
             ],
-            "session_ips": list(self.session_ips),
-            "headers": [dict(entry) for entry in self.headers],
-            "decisions": [
-                {
-                    "detector": decision.detector,
-                    "is_bot": decision.is_bot,
-                    "score": decision.score,
-                    "signals": list(decision.signals),
-                }
-                for decision in self.decisions
-            ],
+            "header_keys": list(sessions.header_keys),
+            "header_values": list(sessions.header_values),
+            "decision_detector_names": list(sessions.decision_detector_names),
+            "decision_signal_values": list(sessions.decision_signal_values),
         }
         return arrays, meta
 
@@ -467,45 +1115,89 @@ class RecordColumns:
     def from_payload(cls, arrays: Mapping[str, Any], meta: Mapping[str, Any]) -> "RecordColumns":
         """Rebuild record columns persisted by :meth:`to_payload`.
 
-        Raises :class:`StoreFormatError` on any internal inconsistency
-        (ragged arrays, out-of-range codes) so a truncated or corrupt
-        archive reads as a cache miss, never as a silently wrong corpus.
+        Dispatches on the meta layout: a ``session_fingerprints`` key marks
+        the version-3 object layout (decoded through the legacy constructor
+        path), otherwise the arrays are adopted directly — matching dtypes
+        make every ``asarray`` a zero-copy view, so a memory-mapped archive
+        stays on disk.  Raises :class:`StoreFormatError` on any internal
+        inconsistency (ragged arrays, out-of-range codes) so a truncated or
+        corrupt archive reads as a cache miss, never as a silently wrong
+        corpus.
         """
 
-        def _int32(name: str) -> np.ndarray:
-            return np.asarray(arrays[name], dtype=np.int32)
+        def _typed(name: str, dtype) -> np.ndarray:
+            return np.asarray(arrays[name], dtype=dtype)
 
-        columns = cls(
-            timestamps=np.asarray(arrays["timestamps"], dtype=np.float64),
-            session_codes=np.asarray(arrays["session_codes"], dtype=np.int64),
-            presented_codes=_int32("presented_codes"),
-            served_codes=_int32("served_codes"),
-            source_codes=_int32("source_codes"),
-            request_ids=np.asarray(arrays["request_ids"], dtype=np.int64),
+        shared = dict(
+            timestamps=_typed("timestamps", np.float64),
+            session_codes=_typed("session_codes", np.int64),
+            presented_codes=_typed("presented_codes", np.int32),
+            served_codes=_typed("served_codes", np.int32),
+            source_codes=_typed("source_codes", np.int32),
+            request_ids=_typed("request_ids", np.int64),
             cookie_values=[str(value) for value in meta["cookie_values"]],
             sources=[str(value) for value in meta["sources"]],
             url_paths=[str(value) for value in meta["url_paths"]],
-            session_fingerprints=[
-                Fingerprint.from_dict(entry) for entry in meta["session_fingerprints"]
-            ],
-            session_headers=_int32("session_headers"),
-            session_datadome=_int32("session_datadome"),
-            session_botd=_int32("session_botd"),
-            session_ips=[str(value) for value in meta["session_ips"]],
-            headers=[
-                {str(key): str(value) for key, value in entry.items()}
-                for entry in meta["headers"]
-            ],
-            decisions=[
-                Decision(
-                    detector=str(entry["detector"]),
-                    is_bot=bool(entry["is_bot"]),
-                    score=float(entry["score"]),
-                    signals=tuple(entry.get("signals", ())),
-                )
-                for entry in meta["decisions"]
-            ],
         )
+        if "session_fingerprints" in meta:
+            columns = cls(
+                **shared,
+                session_fingerprints=[
+                    Fingerprint.from_dict(entry) for entry in meta["session_fingerprints"]
+                ],
+                session_headers=_typed("session_headers", np.int32),
+                session_datadome=_typed("session_datadome", np.int32),
+                session_botd=_typed("session_botd", np.int32),
+                session_ips=[str(value) for value in meta["session_ips"]],
+                headers=[
+                    {str(key): str(value) for key, value in entry.items()}
+                    for entry in meta["headers"]
+                ],
+                decisions=[
+                    Decision(
+                        detector=str(entry["detector"]),
+                        is_bot=bool(entry["is_bot"]),
+                        score=float(entry["score"]),
+                        signals=tuple(entry.get("signals", ())),
+                    )
+                    for entry in meta["decisions"]
+                ],
+            )
+        else:
+            # Code and offset arrays adopt whatever (minimal) dtype the
+            # encoder packed them to — an as-is ``asarray`` is a zero-copy
+            # view, which keeps a memory-mapped archive on disk.
+            sessions = SessionArrays(
+                fp_attr_codes=np.asarray(arrays["fp_attr_codes"]),
+                fp_value_codes=np.asarray(arrays["fp_value_codes"]),
+                fp_offsets=np.asarray(arrays["fp_offsets"]),
+                fp_attribute_names=[str(name) for name in meta["fp_attribute_names"]],
+                fp_values=[
+                    [tuple(value) if isinstance(value, list) else value for value in values]
+                    for values in meta["fp_values"]
+                ],
+                header_key_codes=np.asarray(arrays["header_key_codes"]),
+                header_value_codes=np.asarray(arrays["header_value_codes"]),
+                header_offsets=np.asarray(arrays["header_offsets"]),
+                header_keys=[str(key) for key in meta["header_keys"]],
+                header_values=[str(value) for value in meta["header_values"]],
+                session_headers=np.asarray(arrays["session_headers"]),
+                session_datadome=np.asarray(arrays["session_datadome"]),
+                session_botd=np.asarray(arrays["session_botd"]),
+                session_ips=[str(value) for value in meta["session_ips"]],
+                decision_detectors=np.asarray(arrays["decision_detectors"]),
+                decision_is_bot=_typed("decision_is_bot", bool),
+                decision_scores=_typed("decision_scores", np.float64),
+                decision_signal_codes=np.asarray(arrays["decision_signal_codes"]),
+                decision_signal_offsets=np.asarray(arrays["decision_signal_offsets"]),
+                decision_detector_names=[
+                    str(name) for name in meta["decision_detector_names"]
+                ],
+                decision_signal_values=[
+                    str(value) for value in meta["decision_signal_values"]
+                ],
+            )
+            columns = cls(**shared, sessions=sessions)
         columns.validate()
         return columns
 
@@ -521,14 +1213,9 @@ class RecordColumns:
         ) + (() if self.request_ids is None else (self.request_ids,))
         if any(column.size != n for column in per_row):
             raise StoreFormatError("record columns are ragged")
-        n_sessions = self.n_sessions
-        per_session = (self.session_headers, self.session_datadome, self.session_botd)
-        if any(column.size != n_sessions for column in per_session) or len(
-            self.session_ips
-        ) != n_sessions:
-            raise StoreFormatError("session dictionaries are ragged")
         if len(self.sources) != len(self.url_paths):
             raise StoreFormatError("source and URL dictionaries disagree")
+        self.sessions.validate()
 
         def _in_range(codes: np.ndarray, size: int, allow_missing: bool = False) -> bool:
             if not codes.size:
@@ -537,13 +1224,10 @@ class RecordColumns:
             return int(codes.min()) >= low and int(codes.max()) < size
 
         if not (
-            _in_range(self.session_codes, n_sessions)
+            _in_range(self.session_codes, self.n_sessions)
             and _in_range(self.presented_codes, len(self.cookie_values), allow_missing=True)
             and _in_range(self.served_codes, len(self.cookie_values))
             and _in_range(self.source_codes, len(self.sources))
-            and _in_range(self.session_headers, len(self.headers))
-            and _in_range(self.session_datadome, len(self.decisions))
-            and _in_range(self.session_botd, len(self.decisions))
         ):
             raise StoreFormatError("record columns contain out-of-range codes")
 

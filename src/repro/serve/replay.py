@@ -6,6 +6,11 @@ the same arrival-ordered micro-batching (via
 to a :class:`~repro.serve.gateway.DetectionGateway`, which fans scoring
 out over its device-closed workers.  ``repro serve`` and
 ``benchmarks/bench_serve_scaling.py`` drive this class.
+
+Like the single-stream driver, the gateway replay reads a lazy store's
+columns without mutating them, so a memory-mapped corpus (warm
+``REPRO_CORPUS_MMAP`` cache hit) replays directly from the on-disk
+archive; worker submissions carry copied batch slices, never the maps.
 """
 
 from __future__ import annotations

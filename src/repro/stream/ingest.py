@@ -205,6 +205,12 @@ class StreamIngestor:
         so replaying a corpus costs one fingerprint encoding per *session*.
         The columns must be renumbered (request ids present) — a corpus
         store always is.
+
+        The code arrays here are only indexed, never mutated, and the
+        compat views (``session_fingerprints`` et al.) decode one session
+        at a time on demand — so a read-only memory-mapped corpus (a warm
+        ``REPRO_CORPUS_MMAP`` cache hit) streams through unchanged, paging
+        in exactly the rows each micro-batch touches.
         """
 
         if columns.request_ids is None:

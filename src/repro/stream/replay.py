@@ -48,6 +48,11 @@ class ArrivalStream:
     :class:`LazyRequestStore` is replayed straight from its record columns
     (no record object is materialised); an object store feeds record
     micro-batches.
+
+    The columns may be read-only memmaps over the cached ``.npz`` archive
+    (a warm ``REPRO_CORPUS_MMAP`` hit): the argsort and every batch take
+    copy only the slice being scored into fresh arrays, so the backing
+    archive is never written and never fully resident.
     """
 
     def __init__(self, store: RequestStore):

@@ -20,6 +20,7 @@ from repro.analysis.cache import load_corpus, save_corpus
 from repro.analysis.engine import (
     MIN_RECORDS_PER_WORKER,
     MIN_RECORDS_PER_WORKER_COLUMNAR,
+    PAYLOAD_BYTES_PER_RECORD_CEILING,
     CorpusEngine,
     run_shard,
 )
@@ -339,7 +340,7 @@ def test_v2_archive_read_compat(tmp_path, columnar_corpus):
 
 
 def test_tampered_embedded_table_evicts_the_archive(tmp_path, columnar_corpus):
-    archive = tmp_path / "v3"
+    archive = tmp_path / "v4"
     save_corpus(columnar_corpus, archive)
     path = archive / "store_columnar.npz"
     with np.load(path, allow_pickle=False) as data:
@@ -351,6 +352,105 @@ def test_tampered_embedded_table_evicts_the_archive(tmp_path, columnar_corpus):
         np.savez_compressed(handle, **arrays)
     with pytest.raises(StoreFormatError):
         load_corpus(archive)
+
+
+def test_tampered_v4_code_stream_evicts_the_archive(tmp_path, columnar_corpus):
+    """Out-of-range fingerprint value codes must read as a miss, not decode
+    into a silently wrong corpus."""
+
+    archive = tmp_path / "v4"
+    save_corpus(columnar_corpus, archive)
+    path = archive / "store_columnar.npz"
+    with np.load(path, allow_pickle=False) as data:
+        arrays = {name: data[name] for name in data.files}
+    tampered = arrays["fp_value_codes"].astype(np.int32)
+    tampered[0] = 10**6
+    arrays["fp_value_codes"] = tampered
+    with open(path, "wb") as handle:
+        np.savez(handle, **arrays)
+    with pytest.raises(StoreFormatError):
+        load_corpus(archive)
+
+
+def test_truncated_v4_archive_evicts(tmp_path, columnar_corpus):
+    archive = tmp_path / "v4"
+    save_corpus(columnar_corpus, archive)
+    path = archive / "store_columnar.npz"
+    blob = path.read_bytes()
+    path.write_bytes(blob[: len(blob) // 2])
+    with pytest.raises(StoreFormatError):
+        load_corpus(archive)
+
+
+def write_v3_archive(corpus, directory):
+    """Persist *corpus* as a faithful format-version-3 archive.
+
+    Version 3 kept the nine per-row/per-session arrays but serialised the
+    session dictionaries as JSON objects (fingerprint dicts, header maps,
+    decision records) in the archive meta, deflate-compressed — byte-wise
+    what a PR-4/PR-5 build wrote.
+    """
+
+    save_corpus(corpus, directory)
+    columns = corpus.store.columns
+    path = directory / "store_columnar.npz"
+    with np.load(path, allow_pickle=False) as data:
+        arrays = {name: data[name] for name in data.files}
+    meta = json.loads(str(arrays["meta"][()]))
+    for name in (
+        "fp_attr_codes",
+        "fp_value_codes",
+        "fp_offsets",
+        "header_key_codes",
+        "header_value_codes",
+        "header_offsets",
+        "decision_detectors",
+        "decision_is_bot",
+        "decision_scores",
+        "decision_signal_codes",
+        "decision_signal_offsets",
+    ):
+        del arrays[name]
+    arrays["session_headers"] = np.asarray(columns.session_headers, dtype=np.int32)
+    arrays["session_datadome"] = np.asarray(columns.session_datadome, dtype=np.int32)
+    arrays["session_botd"] = np.asarray(columns.session_botd, dtype=np.int32)
+    meta["version"] = 3
+    meta["store"] = {
+        "cookie_values": list(columns.cookie_values),
+        "sources": list(columns.sources),
+        "url_paths": list(columns.url_paths),
+        "session_fingerprints": [
+            fingerprint.to_dict() for fingerprint in columns.session_fingerprints
+        ],
+        "session_ips": list(columns.session_ips),
+        "headers": [dict(entry) for entry in columns.headers],
+        "decisions": [
+            {
+                "detector": decision.detector,
+                "is_bot": decision.is_bot,
+                "score": decision.score,
+                "signals": list(decision.signals),
+            }
+            for decision in columns.decisions
+        ],
+    }
+    arrays["meta"] = np.array(json.dumps(meta))
+    with open(path, "wb") as handle:
+        np.savez_compressed(handle, **arrays)
+    meta_path = directory / "meta.json"
+    document = json.loads(meta_path.read_text())
+    document["format_version"] = 3
+    meta_path.write_text(json.dumps(document, indent=1, sort_keys=True))
+
+
+def test_v3_archive_read_compat(tmp_path, columnar_corpus):
+    archive = tmp_path / "v3"
+    write_v3_archive(columnar_corpus, archive)
+    restored = load_corpus(archive)
+    assert isinstance(restored.store, LazyRequestStore)
+    assert record_dicts(restored.store) == record_dicts(columnar_corpus.store)
+    assert set(restored.columnar_tables) == set(columnar_corpus.columnar_tables)
+    assert restored.service_volumes == columnar_corpus.service_volumes
 
 
 # -- fan-out clamp ----------------------------------------------------------------
@@ -388,8 +488,10 @@ def test_clamp_override_and_plan_reporting():
     assert engine.last_plan["transport"] == "columnar"
     assert engine.last_plan["effective_workers"] == 3
     assert engine.last_plan["min_records_per_worker"] == 1
-    # Thread pools never pickle payloads, so no transfer volume is billed.
-    assert engine.last_plan["payload_bytes"] is None
+    # Transfer volume is measured for every columnar build — thread pools
+    # ship nothing across a process boundary, but the plan still records
+    # what a process build would pay.
+    assert engine.last_plan["payload_bytes"] > 0
     assert len(corpus.store) == engine.last_plan["planned_records"] == sum(
         corpus.service_volumes.values()
     ) + corpus.real_user_requests + sum(corpus.privacy_requests.values())
@@ -401,6 +503,39 @@ def test_payload_bytes_recorded_for_process_transfers():
     engine = CorpusEngine(**TINY, min_records_per_worker=1)
     engine.build(workers=2, executor="process")
     assert engine.last_plan["payload_bytes"] > 0
+
+
+def test_payload_bytes_recorded_for_serial_builds():
+    engine = CorpusEngine(**TINY)
+    engine.build(workers=1)
+    assert engine.last_plan["effective_workers"] == 1
+    assert engine.last_plan["payload_bytes"] > 0
+
+
+def test_shard_payload_contains_no_pickled_objects():
+    """The v4 transport contract: pickling a shard result serialises numpy
+    arrays and scalar decode lists — never a fingerprint, decision or
+    request object (their defining modules must not appear in the blob)."""
+
+    import pickle
+
+    spec = CorpusEngine(**TINY).plan()[0]
+    result = run_shard(spec)
+    blob = pickle.dumps((result.columns, result.table), pickle.HIGHEST_PROTOCOL)
+    for module in (b"fingerprint.fingerprint", b"antibot.base", b"network.request"):
+        assert module not in blob, f"shard payload pickles objects from {module!r}"
+
+
+def test_payload_bytes_per_record_below_committed_ceiling():
+    """Regression gate backing the CI payload check: measured transfer cost
+    must stay under the committed ceiling, itself below the ~353 B/record
+    v3 baseline."""
+
+    assert PAYLOAD_BYTES_PER_RECORD_CEILING < 353
+    engine = CorpusEngine(**TINY)
+    engine.build(workers=1)
+    per_record = engine.last_plan["payload_bytes"] / engine.last_plan["planned_records"]
+    assert per_record <= PAYLOAD_BYTES_PER_RECORD_CEILING, per_record
 
 
 def test_first_occurrence_recode_matches_factorize():
