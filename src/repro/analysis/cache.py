@@ -49,6 +49,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro import faults
 from repro.analysis.corpus import Corpus
 from repro.analysis.npzmap import NotMappableError, load_npz_mapped
 from repro.bots.marketplace import build_marketplace
@@ -164,6 +165,12 @@ def _save_columnar_store(store: LazyRequestStore, tables: Dict[str, ColumnarTabl
     lets :func:`repro.analysis.npzmap.load_npz_mapped` hand the columns to
     ``np.memmap`` on a warm hit.  ``REPRO_CORPUS_COMPRESS`` opts back into
     deflate at the cost of mappability.
+
+    The write is crash-safe: bytes land in a same-directory temporary
+    file, are fsynced, and only then replace *path* atomically — a process
+    killed mid-write leaves either the previous archive or no archive,
+    never a truncated one.  The ``cache_write`` fault point fires between
+    fsync and rename so the tamper test can model exactly that crash.
     """
 
     arrays, store_meta = store.columns.to_payload()
@@ -176,8 +183,18 @@ def _save_columnar_store(store: LazyRequestStore, tables: Dict[str, ColumnarTabl
     meta = {"version": CORPUS_FORMAT_VERSION, "store": store_meta, "tables": tables_meta}
     arrays = {"meta": np.array(json.dumps(meta)), **arrays}
     savez = np.savez_compressed if compress_enabled() else np.savez
-    with open(path, "wb") as handle:
-        savez(handle, **arrays)
+    fd, tmp_name = tempfile.mkstemp(prefix=f".{path.name}.", suffix=".tmp", dir=path.parent)
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            savez(handle, **arrays)
+            handle.flush()
+            os.fsync(handle.fileno())
+        faults.check("cache_write", path.name, path=tmp)
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
 
 
 def save_corpus(corpus: Corpus, directory) -> Path:

@@ -38,13 +38,17 @@ engine's core contract; ``tests/test_engine.py`` pins it.
 from __future__ import annotations
 
 import concurrent.futures
+import logging
 import os
 import pickle
+import time
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import faults
 from repro.analysis.corpus import Corpus, default_scale
 from repro.bots.marketplace import build_marketplace
 from repro.bots.service import BotServiceProfile
@@ -70,6 +74,27 @@ WORKERS_ENV_VAR = "REPRO_WORKERS"
 
 #: Environment variable selecting the executor kind ("process" or "thread").
 EXECUTOR_ENV_VAR = "REPRO_EXECUTOR"
+
+#: Environment variable bounding per-shard retry attempts after a worker
+#: failure (exception, killed process, timeout) before the shard falls
+#: back to in-process serial execution.
+RETRIES_ENV_VAR = "REPRO_SHARD_RETRIES"
+
+#: Default per-shard retry budget when ``REPRO_SHARD_RETRIES`` is unset.
+DEFAULT_SHARD_RETRIES = 2
+
+#: Environment variable setting a per-shard-attempt timeout in seconds
+#: (unset or 0 → no timeout).  A timed-out attempt counts as a failure:
+#: the pool is abandoned (the stuck worker cannot be cancelled) and the
+#: affected shards are retried on a fresh pool.
+TIMEOUT_ENV_VAR = "REPRO_SHARD_TIMEOUT"
+
+#: Exponential-backoff schedule between shard retry rounds: the sleep
+#: before retry round *k* is ``BACKOFF_BASE * 2**k``, capped, and scaled
+#: by a deterministic jitter in [0.5, 1.5) drawn from the retry seed —
+#: reruns of the same configuration back off identically.
+BACKOFF_BASE_SECONDS = 0.05
+BACKOFF_CAP_SECONDS = 2.0
 
 #: Generation engines: ``"vectorized"`` (batched draws, session-cached
 #: materialisation, direct columnar emission — the default) and
@@ -169,7 +194,77 @@ def default_executor() -> str:
     return value
 
 
-def map_shards(fn, payloads, *, workers: int, executor: Optional[str] = None) -> list:
+def default_shard_retries() -> int:
+    """Retry budget requested through ``REPRO_SHARD_RETRIES`` (default 2)."""
+
+    raw = os.environ.get(RETRIES_ENV_VAR)
+    if not raw:
+        return DEFAULT_SHARD_RETRIES
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise ValueError(f"{RETRIES_ENV_VAR} must be an integer, got {raw!r}") from exc
+    if value < 0:
+        raise ValueError(f"{RETRIES_ENV_VAR} cannot be negative, got {value}")
+    return value
+
+
+def default_shard_timeout() -> Optional[float]:
+    """Per-attempt shard timeout from ``REPRO_SHARD_TIMEOUT`` (``None`` if unset)."""
+
+    raw = os.environ.get(TIMEOUT_ENV_VAR)
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError as exc:
+        raise ValueError(f"{TIMEOUT_ENV_VAR} must be a number, got {raw!r}") from exc
+    if value < 0:
+        raise ValueError(f"{TIMEOUT_ENV_VAR} cannot be negative, got {value}")
+    return value or None
+
+
+def retry_backoff_seconds(attempt: int, *, seed: int = 0, label: str = "shards") -> float:
+    """The sleep before retry round *attempt* (0-based), jitter included.
+
+    Exponential with a deterministic jitter in [0.5, 1.5) drawn from
+    ``(seed, label, attempt)`` — a rerun of the same configuration backs
+    off identically, while concurrent fan-outs with different labels
+    decorrelate.
+    """
+
+    base = min(BACKOFF_CAP_SECONDS, BACKOFF_BASE_SECONDS * (2 ** max(0, attempt)))
+    jitter = np.random.default_rng(
+        np.random.SeedSequence((seed, hash(label) & 0xFFFFFFFF, attempt))
+    ).random()
+    return base * (0.5 + jitter)
+
+
+def _guarded_call(task):
+    """Worker entry point: fire the ``shard_run`` fault point, then run.
+
+    Module-level so process pools can pickle it.  The key carries the
+    fan-out label, payload index and attempt number, so retried attempts
+    draw fresh fault decisions and every fan-out (corpus generation,
+    pair mining, classification shards) is injectable independently.
+    """
+
+    fn, payload, key, allow_kill = task
+    faults.check("shard_run", key, allow_kill=allow_kill)
+    return fn(payload)
+
+
+def map_shards(
+    fn,
+    payloads,
+    *,
+    workers: int,
+    executor: Optional[str] = None,
+    retries: Optional[int] = None,
+    retry_seed: int = 0,
+    label: str = "shards",
+    stats: Optional[Dict[str, int]] = None,
+) -> list:
     """Map *fn* over *payloads* on the shard worker pool, preserving order.
 
     The generic fan-out primitive shared by the corpus engine, the columnar
@@ -178,22 +273,96 @@ def map_shards(fn, payloads, *, workers: int, executor: Optional[str] = None) ->
     payloads and results come back in input order.  *fn* must be a
     module-level callable and payloads picklable when the process executor
     is used.
+
+    The pooled path is **fault tolerant**: a worker exception, a killed
+    process (``BrokenProcessPool``) or a timed-out attempt
+    (``REPRO_SHARD_TIMEOUT``) triggers up to *retries* bounded retry
+    rounds (default ``REPRO_SHARD_RETRIES``) with exponential backoff and
+    deterministic jitter from *retry_seed*; a broken pool is rebuilt
+    between rounds.  A payload still failing after the budget falls back
+    to **in-process serial execution** — every payload is a pure function
+    of its spec, so results (and the merged corpus) are byte-identical to
+    a fault-free run no matter which path executed it.  *stats*, when
+    given, is filled with the recovery counters (``attempt_rounds``,
+    ``failures``, ``retried``, ``serial_fallbacks``, ``pool_rebuilds``).
     """
 
     payloads = list(payloads)
+    if stats is not None:
+        stats.update(
+            attempt_rounds=0, failures=0, retried=0, serial_fallbacks=0, pool_rebuilds=0
+        )
     if workers <= 1 or len(payloads) <= 1:
         return [fn(payload) for payload in payloads]
     if executor is None:
         executor = default_executor()
     if executor not in _EXECUTORS:
         raise ValueError(f"executor must be one of {_EXECUTORS}, got {executor!r}")
+    if retries is None:
+        retries = default_shard_retries()
+    timeout = default_shard_timeout()
     pool_cls = (
         concurrent.futures.ProcessPoolExecutor
         if executor == "process"
         else concurrent.futures.ThreadPoolExecutor
     )
-    with pool_cls(max_workers=min(workers, len(payloads))) as pool:
-        return list(pool.map(fn, payloads))
+    allow_kill = executor == "process"
+    max_workers = min(workers, len(payloads))
+
+    results: list = [None] * len(payloads)
+    pending = list(range(len(payloads)))
+    pool = pool_cls(max_workers=max_workers)
+    try:
+        for attempt in range(retries + 1):
+            if stats is not None:
+                stats["attempt_rounds"] += 1
+            futures = {
+                index: pool.submit(
+                    _guarded_call,
+                    (fn, payloads[index], f"{label}:{index}:{attempt}", allow_kill),
+                )
+                for index in pending
+            }
+            failed: List[int] = []
+            broken = False
+            for index in pending:
+                try:
+                    results[index] = futures[index].result(timeout=timeout)
+                except (BrokenProcessPool, concurrent.futures.BrokenExecutor):
+                    failed.append(index)
+                    broken = True
+                except concurrent.futures.TimeoutError:
+                    # The attempt cannot be cancelled mid-run; abandon the
+                    # pool so the stuck worker never blocks a retry.
+                    failed.append(index)
+                    broken = True
+                except Exception:
+                    failed.append(index)
+            if stats is not None:
+                stats["failures"] += len(failed)
+            if not failed:
+                pending = []
+                break
+            pending = failed
+            if broken:
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = pool_cls(max_workers=max_workers)
+                if stats is not None:
+                    stats["pool_rebuilds"] += 1
+            if attempt < retries:
+                if stats is not None:
+                    stats["retried"] += len(failed)
+                time.sleep(retry_backoff_seconds(attempt, seed=retry_seed, label=label))
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    # Poisoned shards: the retry budget is spent, so run the stragglers
+    # inline — trusted in-process execution, no fault point, no pool.
+    for index in pending:
+        results[index] = fn(payloads[index])
+    if stats is not None:
+        stats["serial_fallbacks"] += len(pending)
+    return results
 
 
 @dataclass(frozen=True)
@@ -540,7 +709,17 @@ class CorpusEngine:
         # Submit the heaviest shards first so a big service never lands
         # last on an otherwise idle pool; results are re-ordered below.
         ordered = sorted(specs, key=_shard_weight, reverse=True)
-        results = map_shards(run_shard, ordered, workers=workers, executor=executor)
+        stats: Dict[str, int] = {}
+        results = map_shards(
+            run_shard,
+            ordered,
+            workers=workers,
+            executor=executor,
+            retry_seed=self.seed,
+            label="corpus",
+            stats=stats,
+        )
+        self.last_plan["faults"] = stats
         return sorted(results, key=lambda result: result.index)
 
     def records_per_worker_floor(self) -> int:
@@ -820,5 +999,14 @@ def build_or_load_corpus(
     if cached is not None:
         return cached, "hit"
     corpus = engine.build(workers=workers, executor=executor)
-    cache.store(key, corpus)
+    try:
+        cache.store(key, corpus)
+    except Exception as exc:
+        # Caching is an optimisation: a failed archive write (full disk,
+        # permissions, an injected ``cache_write`` fault) must not take
+        # down the build that just succeeded.  The staged entry is cleaned
+        # up by ``store`` itself, so the cache never holds a torn archive.
+        logging.getLogger("repro.analysis").warning(
+            "corpus cache store failed (%s); continuing uncached", exc
+        )
     return corpus, "miss"

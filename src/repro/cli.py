@@ -154,6 +154,62 @@ def _add_corpus_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_checkpoint_arguments(group) -> None:
+    """The checkpoint/restore knobs shared by ``stream`` and ``serve``."""
+
+    group.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="snapshot the full online state (vocabulary, temporal state, "
+        "filter list, cursor, verdicts) crash-safely into DIR at periodic "
+        "batch boundaries",
+    )
+    group.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=16,
+        metavar="BATCHES",
+        help="batches between snapshots (default 16; needs --checkpoint-dir)",
+    )
+    group.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore the snapshot in --checkpoint-dir and continue the "
+        "replay from its cursor; the combined run is byte-identical to an "
+        "uninterrupted one",
+    )
+    group.add_argument(
+        "--max-batches",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after scoring N batches this run (deterministic stand-in "
+        "for a mid-replay kill; pair with --checkpoint-dir, then --resume)",
+    )
+
+
+def _checkpointer_from_args(parser: argparse.ArgumentParser, args: argparse.Namespace):
+    """Validate the checkpoint knobs and build the checkpointer (or None)."""
+
+    from repro.stream import StreamCheckpointer
+
+    if args.checkpoint_every < 1:
+        parser.error(f"--checkpoint-every must be >= 1, got {args.checkpoint_every}")
+    if args.max_batches is not None and args.max_batches < 0:
+        parser.error(f"--max-batches cannot be negative, got {args.max_batches}")
+    if args.resume and not args.checkpoint_dir:
+        parser.error("--resume needs --checkpoint-dir (there is nothing to restore)")
+    if args.verify_batch and args.max_batches is not None:
+        parser.error(
+            "--verify-batch compares a full replay against the batch pipeline; "
+            "drop --max-batches (a truncated replay cannot match)"
+        )
+    if args.checkpoint_dir is None:
+        return None
+    return StreamCheckpointer(args.checkpoint_dir, every_batches=args.checkpoint_every)
+
+
 def _validate_corpus_args(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None:
     """Validate the shared execution knobs plus the corpus-only flags."""
 
@@ -320,6 +376,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             "--verify-batch compares against the batch pipeline, which has no "
             "refresh; drop --refresh-every (the oracle needs a frozen filter list)"
         )
+    checkpointer = _checkpointer_from_args(parser, args)
 
     corpus = _build_from_args(args)
     workers = args.workers or default_workers() or 1
@@ -349,13 +406,29 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             executor=args.executor,
         )
     driver = ReplayDriver(detector, batch_size=batch_size, refresher=refresher)
-    result = driver.replay(bot_store)
+    result = driver.replay(
+        bot_store,
+        checkpointer=checkpointer,
+        resume=args.resume,
+        max_batches=args.max_batches,
+    )
     print(
         f"stream: replayed {result.rows} rows in {result.seconds:.2f}s "
         f"({result.rows_per_second:.0f} rows/s, {result.batches} batch(es) of "
         f"{batch_size}, {len(result.refreshes)} refresh(es))",
         file=sys.stderr,
     )
+    if checkpointer is not None:
+        resumed = (
+            "fresh start"
+            if result.resumed_from_batch is None
+            else f"resumed from batch {result.resumed_from_batch}"
+        )
+        print(
+            f"stream: {resumed}, {result.checkpoints_saved} checkpoint(s) saved, "
+            f"{result.checkpoint_failures} failed",
+            file=sys.stderr,
+        )
 
     # One serialisation pass covers both the oracle check and the JSON
     # document (at full scale the verdict set is large).
@@ -384,6 +457,12 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         "verdicts": result.counts(),
         "table_source": table_source,
     }
+    if checkpointer is not None:
+        summary["checkpoints"] = {
+            "saved": result.checkpoints_saved,
+            "failures": result.checkpoint_failures,
+            "resumed_from_batch": result.resumed_from_batch,
+        }
     if args.json:
         document = dict(summary)
         document["seconds"] = round(result.seconds, 3)
@@ -422,6 +501,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     if args.refresh_sync and not args.refresh_days:
         parser.error("--refresh-sync needs --refresh-days (there is nothing to schedule)")
+    checkpointer = _checkpointer_from_args(parser, args)
 
     corpus = _build_from_args(args)
     workers = args.workers or default_workers() or 1
@@ -460,7 +540,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         refresher=refresher,
         refresh_mode="sync" if args.refresh_sync else "background",
     ) as gateway:
-        result = GatewayReplayDriver(gateway, batch_size=batch_size).replay(bot_store)
+        result = GatewayReplayDriver(gateway, batch_size=batch_size).replay(
+            bot_store,
+            checkpointer=checkpointer,
+            resume=args.resume,
+            max_batches=args.max_batches,
+        )
     print(
         f"serve: replayed {result.rows} rows in {result.seconds:.2f}s "
         f"({result.rows_per_second:.0f} rows/s, {result.workers} worker(s), "
@@ -468,6 +553,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"{result.migrations} migration(s), {len(result.refreshes)} refresh(es))",
         file=sys.stderr,
     )
+    health = result.health or {}
+    if health.get("total_worker_failures") or health.get("refresh_failures"):
+        print(
+            f"serve: recovered from {health.get('total_worker_failures', 0)} worker "
+            f"failure(s) ({health.get('worker_rebuilds', 0)} rebuild(s), "
+            f"{len(health.get('dead_letters', []))} dead-lettered group(s)) and "
+            f"{health.get('refresh_failures', 0)} refresh failure(s)",
+            file=sys.stderr,
+        )
+    if checkpointer is not None:
+        resumed = (
+            "fresh start"
+            if result.resumed_from_batch is None
+            else f"resumed from batch {result.resumed_from_batch}"
+        )
+        print(
+            f"serve: {resumed}, {result.checkpoints_saved} checkpoint(s) saved, "
+            f"{result.checkpoint_failures} failed",
+            file=sys.stderr,
+        )
 
     digest = (
         verdicts_digest(result.verdicts) if args.verify_batch or args.json else None
@@ -496,7 +601,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "refreshes": result.refreshes,
         "verdicts": result.counts(),
         "table_source": table_source,
+        "health": result.health,
     }
+    if checkpointer is not None:
+        summary["checkpoints"] = {
+            "saved": result.checkpoints_saved,
+            "failures": result.checkpoint_failures,
+            "resumed_from_batch": result.resumed_from_batch,
+        }
     if args.json:
         document = dict(summary)
         document["seconds"] = round(result.seconds, 3)
@@ -727,6 +839,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the full replay document (latencies, refreshes, digest) as JSON",
     )
+    _add_checkpoint_arguments(stream_group)
     stream_parser.set_defaults(func=_cmd_stream, parser=stream_parser)
 
     serve_parser = subparsers.add_parser(
@@ -782,6 +895,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the full replay document (latencies, migrations, digest) as JSON",
     )
+    _add_checkpoint_arguments(serve_group)
     serve_parser.set_defaults(func=_cmd_serve, parser=serve_parser)
 
     bench_parser = subparsers.add_parser(

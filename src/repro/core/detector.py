@@ -451,7 +451,9 @@ class FPInconsistent:
             for rows in partitions
         ]
         merged: Dict[int, InconsistencyVerdict] = {}
-        for verdicts in map_shards(_classify_shard, shards, workers=workers, executor=executor):
+        for verdicts in map_shards(
+            _classify_shard, shards, workers=workers, executor=executor, label="classify"
+        ):
             merged.update(verdicts)
         # Re-emit in table row order so the verdict dict is ordered exactly
         # like a single-shard classification.

@@ -281,7 +281,9 @@ class SpatialInconsistencyMiner:
                         knowledge=self._knowledge,
                     )
                 )
-            rule_lists = map_shards(_mine_shard, shards, workers=workers, executor=executor)
+            rule_lists = map_shards(
+                _mine_shard, shards, workers=workers, executor=executor, label="mine"
+            )
             filter_list = FilterList()
             for rules_per_pair in rule_lists:
                 for rules in rules_per_pair:

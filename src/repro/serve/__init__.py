@@ -25,16 +25,23 @@ makes it *parallel* without giving that identity up, in three pieces:
 architecture is documented in ``docs/serving.md``.
 """
 
-from repro.serve.gateway import REFRESH_MODES, DetectionGateway
+from repro.serve.gateway import (
+    REFRESH_MODES,
+    WORKER_ATTEMPTS,
+    DetectionGateway,
+    GatewayHealth,
+)
 from repro.serve.partition import KEY_KINDS, DeviceRouter, KeyMigration
 from repro.serve.replay import GatewayReplayDriver, ServeResult
 
 __all__ = [
     "DetectionGateway",
     "DeviceRouter",
+    "GatewayHealth",
     "GatewayReplayDriver",
     "KEY_KINDS",
     "KeyMigration",
     "REFRESH_MODES",
     "ServeResult",
+    "WORKER_ATTEMPTS",
 ]

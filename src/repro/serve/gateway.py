@@ -30,11 +30,15 @@ request id.
 
 from __future__ import annotations
 
+import logging
+import threading
 from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro import faults
 from repro.core.columnar import ColumnarTable
 from repro.core.detector import FPInconsistent, InconsistencyVerdict
 from repro.core.rules import FilterList
@@ -44,9 +48,89 @@ from repro.stream.ingest import StreamIngestor
 from repro.stream.refresh import FilterListRefresher
 from repro.serve.partition import DeviceRouter, KeyMigration
 
+logger = logging.getLogger("repro.serve")
+
 #: Refresh scheduling modes: mine on a background thread and deploy at a
 #: later batch boundary, or mine inline like the replay driver.
 REFRESH_MODES = ("background", "sync")
+
+#: Scoring attempts per worker row group within one batch.  Each failed
+#: attempt rebuilds the worker; a group still failing after the budget is
+#: dead-lettered (recorded in :class:`GatewayHealth`, absent from the
+#: batch's verdicts) instead of poisoning the stream.
+WORKER_ATTEMPTS = 3
+
+#: Seconds :meth:`DetectionGateway.close` waits for an in-flight
+#: background re-mine before abandoning it.
+CLOSE_JOIN_TIMEOUT = 5.0
+
+#: Failed-re-mine retry backoff, in batches: the first retry launches one
+#: batch later, then the delay doubles per consecutive failure up to the
+#: cap, and resets on the next successful deploy.
+REFRESH_BACKOFF_BASE_BATCHES = 1
+REFRESH_BACKOFF_CAP_BATCHES = 64
+
+
+@dataclass
+class GatewayHealth:
+    """Incident report of one gateway's supervised execution.
+
+    Every recovery action leaves a trace here: per-worker failure counts,
+    how many workers were rebuilt, which row groups were dead-lettered
+    after exhausting their attempt budget (batch index, worker, request
+    ids) and how many background/sync re-mines failed.  A clean run is
+    all zeros — the serve smoke asserts the *non*-zero counters under an
+    injected fault plan.
+    """
+
+    worker_failures: Dict[int, int] = field(default_factory=dict)
+    worker_rebuilds: int = 0
+    dead_letters: List[Dict] = field(default_factory=list)
+    refresh_failures: int = 0
+    last_error: Optional[str] = None
+
+    @property
+    def total_worker_failures(self) -> int:
+        return sum(self.worker_failures.values())
+
+    def record_worker_failure(self, worker: int, exc: BaseException) -> None:
+        self.worker_failures[worker] = self.worker_failures.get(worker, 0) + 1
+        self.last_error = f"worker {worker}: {exc}"
+
+    def record_dead_letter(self, *, batch: int, worker: int, rows: List[int]) -> None:
+        self.dead_letters.append({"batch": batch, "worker": worker, "rows": rows})
+
+    def record_refresh_failure(self, exc: BaseException) -> None:
+        self.refresh_failures += 1
+        self.last_error = f"refresh: {exc}"
+
+    def to_dict(self) -> Dict:
+        """JSON-ready summary (the serve CLI embeds it)."""
+
+        return {
+            "worker_failures": {
+                str(worker): count for worker, count in sorted(self.worker_failures.items())
+            },
+            "total_worker_failures": self.total_worker_failures,
+            "worker_rebuilds": self.worker_rebuilds,
+            "dead_letters": [dict(entry) for entry in self.dead_letters],
+            "refresh_failures": self.refresh_failures,
+            "last_error": self.last_error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "GatewayHealth":
+        health = cls(
+            worker_failures={
+                int(worker): int(count)
+                for worker, count in data.get("worker_failures", {}).items()
+            },
+            worker_rebuilds=int(data.get("worker_rebuilds", 0)),
+            dead_letters=[dict(entry) for entry in data.get("dead_letters", ())],
+            refresh_failures=int(data.get("refresh_failures", 0)),
+            last_error=data.get("last_error"),
+        )
+        return health
 
 
 class DetectionGateway:
@@ -79,6 +163,9 @@ class DetectionGateway:
             )
         self._router = router if router is not None else DeviceRouter(workers)
         self.workers = self._router.workers
+        #: the shared fitted detector — kept so supervision can rebuild a
+        #: failed worker from scratch (each rebuild takes a fresh clone)
+        self._detector = detector
         self._ingestor = StreamIngestor(attributes=detector.table_attributes())
         self._classifiers = [OnlineClassifier(detector) for _ in range(self.workers)]
         self._pool = (
@@ -97,6 +184,12 @@ class DetectionGateway:
         self.migrations = 0
         #: one entry per filter-list hot-swap: {"batch", "rules"[, "stream_day"]}
         self.refreshes: List[Dict] = []
+        #: supervision incident report (failures, rebuilds, dead letters)
+        self.health = GatewayHealth()
+        self._health_lock = threading.Lock()
+        self._refresh_attempts = 0
+        self._refresh_retry_at: Optional[int] = None
+        self._refresh_backoff = REFRESH_BACKOFF_BASE_BATCHES
         self._closed = False
 
     # -- introspection ---------------------------------------------------------
@@ -160,20 +253,16 @@ class DetectionGateway:
         self.migrations += len(migrations)
 
         busy = [worker for worker, rows in enumerate(assignments) if rows.size]
+        groups = {worker: batch.take(assignments[worker]) for worker in busy}
         if self._pool is not None and len(busy) > 1:
             futures = {
-                worker: self._pool.submit(
-                    self._classifiers[worker].classify_batch,
-                    batch.take(assignments[worker]),
-                )
+                worker: self._pool.submit(self._classify_supervised, worker, groups[worker])
                 for worker in busy
             }
             partials = {worker: futures[worker].result() for worker in busy}
         else:
             partials = {
-                worker: self._classifiers[worker].classify_batch(
-                    batch.take(assignments[worker])
-                )
+                worker: self._classify_supervised(worker, groups[worker])
                 for worker in busy
             }
 
@@ -182,22 +271,108 @@ class DetectionGateway:
             merged.update(partials[worker])
         # Re-emit in batch row order so callers see arrival-ordered
         # verdicts regardless of how rows were scattered over workers.
-        verdicts = {int(rid): merged[int(rid)] for rid in batch.request_ids}
+        # Dead-lettered rows (a worker's attempt budget exhausted) are the
+        # one legitimate absence.
+        verdicts: Dict[int, InconsistencyVerdict] = {}
+        for rid in batch.request_ids:
+            rid = int(rid)
+            verdict = merged.get(rid)
+            if verdict is not None:
+                verdicts[rid] = verdict
 
         self.batches += 1
         if self._refresher is not None:
             self._refresher.observe_batch(batch)
+            # poll_due runs every batch, even while a retry is pending, so
+            # the days-mode schedule keeps consuming its triggers exactly
+            # as in a failure-free run.
+            due = self._refresher.poll_due()
+            retry = (
+                self._refresh_retry_at is not None
+                and self.batches >= self._refresh_retry_at
+            )
             if self.refresh_mode == "sync":
-                refreshed = self._refresher.maybe_refresh()
-                if refreshed is not None:
-                    self._deploy(refreshed)
-            elif self._inflight is None and self._refresher.poll_due():
+                if due or retry:
+                    self._refresh_retry_at = None
+                    try:
+                        faults.check("refresh_mine", self._refresh_key())
+                        refreshed = self._refresher.refresh()
+                    except Exception as exc:
+                        self._refresh_failed(exc)
+                    else:
+                        self._refresh_backoff = REFRESH_BACKOFF_BASE_BATCHES
+                        self._deploy(refreshed)
+            elif self._inflight is None and (due or retry):
                 # Snapshot the window on the scoring path (cheap copies),
                 # mine it off-path; at most one mining job is in flight.
+                self._refresh_retry_at = None
                 window = self._refresher.window_table()
                 self._inflight_day = self._refresher.stream_day
-                self._inflight = self._refresh_pool.submit(self._refresher.mine, window)
+                self._inflight = self._refresh_pool.submit(
+                    self._mine_guarded, window, self._refresh_key()
+                )
         return verdicts
+
+    # -- supervision -----------------------------------------------------------
+
+    def _classify_supervised(
+        self, worker: int, rows_table: ColumnarTable
+    ) -> Dict[int, InconsistencyVerdict]:
+        """Score one worker's row group, surviving worker failures.
+
+        Each failed attempt rebuilds the worker and re-scores the group
+        (an injected fault fires before any state mutates, so the retry
+        is exact; a genuine mid-batch crash re-scores best-effort from
+        the carried-over state).  A group still failing after
+        :data:`WORKER_ATTEMPTS` attempts is dead-lettered: recorded in
+        :attr:`health` and absent from the batch's verdicts, so one
+        poisoned group never takes the stream down.
+        """
+
+        for attempt in range(WORKER_ATTEMPTS):
+            classifier = self._classifiers[worker]
+            try:
+                faults.check("worker_classify", f"b{self.batches}:w{worker}:a{attempt}")
+                return classifier.classify_batch(rows_table)
+            except Exception as exc:
+                with self._health_lock:
+                    self.health.record_worker_failure(worker, exc)
+                logger.warning("gateway worker %d failed (%s); rebuilding", worker, exc)
+                self._rebuild_worker(worker)
+        with self._health_lock:
+            self.health.record_dead_letter(
+                batch=self.batches,
+                worker=worker,
+                rows=[int(rid) for rid in rows_table.request_ids],
+            )
+        logger.error(
+            "gateway worker %d dead-lettered %d rows of batch %d",
+            worker,
+            rows_table.n_rows,
+            self.batches,
+        )
+        return {}
+
+    def _rebuild_worker(self, worker: int) -> None:
+        """Replace a failed worker with a rebuilt one, state carried over.
+
+        The rebuilt classifier is a fresh clone of the shared detector
+        carrying the failed worker's deployed filter list, its full
+        device seen-state (the wholesale re-migration of every key the
+        worker held — the router's key → worker pins stay valid) and its
+        counters, so scoring resumes exactly where the failed worker
+        stood.
+        """
+
+        failed = self._classifiers[worker]
+        self._classifiers[worker] = OnlineClassifier(self._detector).restore(
+            filter_list=failed.filter_list,
+            temporal_state=failed.temporal_state,
+            rows_scored=failed.rows_scored,
+            swaps=failed.swaps,
+        )
+        with self._health_lock:
+            self.health.worker_rebuilds += 1
 
     def _migrate(self, migration: KeyMigration) -> None:
         """Move one device key's temporal seen-state between workers.
@@ -218,14 +393,53 @@ class DetectionGateway:
 
     # -- refresh plumbing ------------------------------------------------------
 
+    def _refresh_key(self) -> str:
+        """The fault-point key of the next mining attempt (monotonic)."""
+
+        key = f"d{self._refresher.stream_day}:r{self._refresh_attempts}"
+        self._refresh_attempts += 1
+        return key
+
+    def _mine_guarded(self, window: ColumnarTable, key: str) -> FilterList:
+        """Background mining unit: fire the ``refresh_mine`` point, then mine."""
+
+        faults.check("refresh_mine", key)
+        return self._refresher.mine(window)
+
+    def _refresh_failed(self, exc: BaseException) -> None:
+        """A re-mine failed: keep the deployed list, log, reschedule.
+
+        The stream keeps scoring with the current filter list — a stale
+        list degrades coverage, never correctness — and the next mining
+        attempt is scheduled :attr:`_refresh_backoff` batches out, with
+        the delay doubling per consecutive failure up to
+        :data:`REFRESH_BACKOFF_CAP_BATCHES`.
+        """
+
+        with self._health_lock:
+            self.health.record_refresh_failure(exc)
+        self._refresh_retry_at = self.batches + self._refresh_backoff
+        self._refresh_backoff = min(self._refresh_backoff * 2, REFRESH_BACKOFF_CAP_BATCHES)
+        logger.warning(
+            "filter-list refresh failed (%s); keeping the deployed list, "
+            "retrying at batch %d",
+            exc,
+            self._refresh_retry_at,
+        )
+
     def _apply_ready_refresh(self, *, block: bool) -> None:
         if self._inflight is None:
             return
         if not block and not self._inflight.done():
             return
-        refreshed = self._inflight.result()
-        self._inflight = None
+        inflight, self._inflight = self._inflight, None
         day, self._inflight_day = self._inflight_day, None
+        try:
+            refreshed = inflight.result()
+        except Exception as exc:
+            self._refresh_failed(exc)
+            return
+        self._refresh_backoff = REFRESH_BACKOFF_BASE_BATCHES
         self._deploy(refreshed, stream_day=day)
 
     def _deploy(self, filter_list: FilterList, stream_day: Optional[int] = None) -> None:
@@ -238,6 +452,88 @@ class DetectionGateway:
             entry["stream_day"] = stream_day
         self.refreshes.append(entry)
 
+    # -- checkpointing ---------------------------------------------------------
+
+    @property
+    def checkpointable(self) -> bool:
+        """Snapshot-safe right now? (no background re-mine in flight).
+
+        The serve replay driver skips checkpoint boundaries where mining
+        is in flight — the next boundary after the deploy captures a
+        clean state.
+        """
+
+        return self._inflight is None
+
+    def export_state(self) -> Dict:
+        """The gateway's full durable state, as a picklable mapping.
+
+        Covers everything a resumed gateway needs to continue the stream
+        exactly: ingest vocabulary, router pins, each worker's filter
+        list + seen-state + counters, the refresher window/schedule, the
+        hot-swap history and the health report.
+        """
+
+        if self._inflight is not None:
+            raise RuntimeError("cannot snapshot with a background re-mine in flight")
+        return {
+            "workers": self.workers,
+            "ingest": self._ingestor.export_state(),
+            "router": self._router.export_state(),
+            "classifiers": [
+                {
+                    "filter_list": classifier.filter_list,
+                    "temporal_state": classifier.temporal_state,
+                    "rows_scored": classifier.rows_scored,
+                    "swaps": classifier.swaps,
+                }
+                for classifier in self._classifiers
+            ],
+            "batches": self.batches,
+            "migrations": self.migrations,
+            "refreshes": [dict(entry) for entry in self.refreshes],
+            "refresher": (
+                self._refresher.export_state() if self._refresher is not None else None
+            ),
+            "refresh": {
+                "attempts": self._refresh_attempts,
+                "retry_at": self._refresh_retry_at,
+                "backoff": self._refresh_backoff,
+            },
+            "health": self.health.to_dict(),
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        """Adopt a snapshot exported by :meth:`export_state`."""
+
+        if int(state["workers"]) != self.workers:
+            raise ValueError(
+                f"checkpointed gateway has {state['workers']} workers; "
+                f"this gateway has {self.workers}"
+            )
+        self._ingestor.restore_state(state["ingest"])
+        self._router.restore_state(state["router"])
+        self._classifiers = [
+            OnlineClassifier(self._detector).restore(
+                filter_list=entry["filter_list"],
+                temporal_state=entry["temporal_state"],
+                rows_scored=entry["rows_scored"],
+                swaps=entry["swaps"],
+            )
+            for entry in state["classifiers"]
+        ]
+        self.batches = int(state["batches"])
+        self.migrations = int(state["migrations"])
+        self.refreshes = [dict(entry) for entry in state["refreshes"]]
+        if state.get("refresher") is not None and self._refresher is not None:
+            self._refresher.restore_state(state["refresher"])
+        refresh = state.get("refresh") or {}
+        self._refresh_attempts = int(refresh.get("attempts", 0))
+        self._refresh_retry_at = refresh.get("retry_at")
+        self._refresh_backoff = int(refresh.get("backoff", REFRESH_BACKOFF_BASE_BATCHES))
+        if state.get("health") is not None:
+            self.health = GatewayHealth.from_dict(state["health"])
+
     def drain(self) -> None:
         """Wait for any in-flight background mining and deploy its result.
 
@@ -249,7 +545,14 @@ class DetectionGateway:
         self._apply_ready_refresh(block=True)
 
     def close(self) -> None:
-        """Shut the worker pools down; the gateway accepts no more batches."""
+        """Shut the worker pools down; the gateway accepts no more batches.
+
+        An in-flight background re-mine is cancelled if still queued, else
+        joined with a bounded timeout and its outcome — result or
+        exception — swallowed: close never raises for work the caller
+        already chose to abandon, and never blocks indefinitely on a
+        stuck mining job.
+        """
 
         if self._closed:
             return
@@ -257,10 +560,14 @@ class DetectionGateway:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
         if self._refresh_pool is not None:
-            if self._inflight is not None:
-                self._inflight.cancel()
-                self._inflight = None
-            self._refresh_pool.shutdown(wait=True)
+            inflight, self._inflight = self._inflight, None
+            if inflight is not None:
+                inflight.cancel()
+                try:
+                    inflight.exception(timeout=CLOSE_JOIN_TIMEOUT)
+                except Exception:
+                    pass  # cancelled, timed out or failed — all abandoned
+            self._refresh_pool.shutdown(wait=False)
 
     def __enter__(self) -> "DetectionGateway":
         return self

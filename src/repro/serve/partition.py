@@ -110,6 +110,30 @@ class DeviceRouter:
 
         return self._pins.get((kind, key))
 
+    # -- checkpointing ---------------------------------------------------------
+
+    def export_state(self) -> Dict:
+        """The router's pins, loads and cursor, as a picklable mapping."""
+
+        return {
+            "workers": self.workers,
+            "pins": dict(self._pins),
+            "loads": list(self._loads),
+            "keyless_cursor": self._keyless_cursor,
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        """Adopt routing state exported by :meth:`export_state`."""
+
+        if int(state["workers"]) != self.workers:
+            raise ValueError(
+                f"checkpointed router has {state['workers']} workers; "
+                f"this router has {self.workers}"
+            )
+        self._pins = dict(state["pins"])
+        self._loads = [int(load) for load in state["loads"]]
+        self._keyless_cursor = int(state["keyless_cursor"])
+
     # -- routing ---------------------------------------------------------------
 
     def route(

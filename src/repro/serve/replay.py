@@ -15,14 +15,18 @@ archive; worker submissions carry copied batch slices, never the maps.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.core.detector import InconsistencyVerdict
 from repro.honeysite.storage import RequestStore
 from repro.serve.gateway import DetectionGateway
+from repro.stream.checkpoint import CheckpointError, StreamCheckpointer
 from repro.stream.replay import DEFAULT_BATCH_SIZE, ArrivalStream, ReplayResult
+
+logger = logging.getLogger("repro.serve")
 
 
 @dataclass
@@ -36,6 +40,8 @@ class ServeResult(ReplayResult):
     migrations: int = 0
     #: rows scored per worker, the replay's load-balance report
     worker_rows: List[int] = field(default_factory=list)
+    #: the gateway's supervision incident report (JSON-ready)
+    health: Optional[Dict] = None
 
 
 class GatewayReplayDriver:
@@ -47,7 +53,14 @@ class GatewayReplayDriver:
         self._gateway = gateway
         self.batch_size = int(batch_size)
 
-    def replay(self, store: RequestStore) -> ServeResult:
+    def replay(
+        self,
+        store: RequestStore,
+        *,
+        checkpointer: Optional[StreamCheckpointer] = None,
+        resume: bool = False,
+        max_batches: Optional[int] = None,
+    ) -> ServeResult:
         """Stream every record of *store* through the gateway.
 
         Batches are submitted in stable timestamp order — the contract
@@ -55,6 +68,14 @@ class GatewayReplayDriver:
         is drained at end of stream so an in-flight background refresh is
         deployed (and counted) rather than lost, but it is left open:
         closing is the caller's job (``with gateway: ...``).
+
+        Checkpointing mirrors :meth:`ReplayDriver.replay`: with a
+        *checkpointer*, the gateway's full state is snapshotted at due
+        batch boundaries (skipping boundaries where a background re-mine
+        is in flight — the next boundary after the deploy captures a
+        clean state); ``resume=True`` restores and continues, and
+        *max_batches* bounds this invocation (the deterministic stand-in
+        for a kill).
         """
 
         arrivals = ArrivalStream(store)
@@ -62,21 +83,65 @@ class GatewayReplayDriver:
 
         verdicts: Dict[int, InconsistencyVerdict] = {}
         batch_seconds: List[float] = []
+        start_row = 0
+        resumed_from: Optional[int] = None
+        if resume:
+            if checkpointer is None:
+                raise ValueError("resume=True requires a checkpointer")
+            try:
+                state = checkpointer.load()
+            except CheckpointError as exc:
+                logger.warning("checkpoint unreadable (%s); replaying from the start", exc)
+                state = None
+            if state is not None:
+                if int(state["batch_size"]) != self.batch_size or int(state["rows_total"]) != total:
+                    raise CheckpointError(
+                        "checkpoint does not match this replay "
+                        "(different batch size or store)"
+                    )
+                self._gateway.restore_state(state["gateway"])
+                verdicts.update(state["verdicts"])
+                start_row = int(state["cursor_rows"])
+                resumed_from = int(state["batches"])
+
+        scored_this_run = 0
         started = time.perf_counter()
-        for start in range(0, total, self.batch_size):
+        for start in range(start_row, total, self.batch_size):
+            if max_batches is not None and scored_this_run >= max_batches:
+                break
             batch_started = time.perf_counter()
             verdicts.update(arrivals.submit(self._gateway, start, self.batch_size))
             batch_seconds.append(time.perf_counter() - batch_started)
+            scored_this_run += 1
+            if (
+                checkpointer is not None
+                and checkpointer.due(self._gateway.batches)
+                and self._gateway.checkpointable
+            ):
+                checkpointer.save(
+                    {
+                        "batch_size": self.batch_size,
+                        "rows_total": total,
+                        "cursor_rows": min(start + self.batch_size, total),
+                        "batches": self._gateway.batches,
+                        "gateway": self._gateway.export_state(),
+                        "verdicts": dict(verdicts),
+                    }
+                )
         self._gateway.drain()
         seconds = time.perf_counter() - started
         return ServeResult(
             verdicts=verdicts,
             rows=total,
-            batches=len(batch_seconds),
+            batches=self._gateway.batches,
             seconds=seconds,
             batch_seconds=batch_seconds,
             refreshes=list(self._gateway.refreshes),
+            checkpoints_saved=0 if checkpointer is None else checkpointer.saves,
+            checkpoint_failures=0 if checkpointer is None else checkpointer.failures,
+            resumed_from_batch=resumed_from,
             workers=self._gateway.workers,
             migrations=self._gateway.migrations,
             worker_rows=self._gateway.worker_rows(),
+            health=self._gateway.health.to_dict(),
         )

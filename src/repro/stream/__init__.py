@@ -15,13 +15,17 @@ arrive, in four pieces:
   over a sliding window of ingested rows, hot-swapped at batch boundaries;
 * :class:`~repro.stream.replay.ReplayDriver` — replays any cached corpus
   through the stream in timestamp order; with a frozen filter list the
-  verdicts are identical to the batch pipeline's (the subsystem's oracle).
+  verdicts are identical to the batch pipeline's (the subsystem's oracle);
+* :class:`~repro.stream.checkpoint.StreamCheckpointer` — periodic
+  crash-safe snapshots of the full online state, so an interrupted replay
+  resumes byte-identically (``docs/robustness.md``).
 
 ``repro stream`` on the command line and
 ``benchmarks/bench_stream_scaling.py`` drive this package; the
 architecture is documented in ``docs/streaming.md``.
 """
 
+from repro.stream.checkpoint import CheckpointError, StreamCheckpointer
 from repro.stream.classifier import OnlineClassifier
 from repro.stream.ingest import StreamIngestor
 from repro.stream.refresh import FilterListRefresher
@@ -36,11 +40,13 @@ from repro.stream.replay import (
 
 __all__ = [
     "ArrivalStream",
+    "CheckpointError",
     "DEFAULT_BATCH_SIZE",
     "FilterListRefresher",
     "OnlineClassifier",
     "ReplayDriver",
     "ReplayResult",
+    "StreamCheckpointer",
     "StreamIngestor",
     "verdicts_digest",
     "verdicts_to_jsonable",

@@ -1,0 +1,181 @@
+"""Crash-safe checkpoint/restore for stream replays.
+
+A killed ``repro stream``/``repro serve`` process used to lose the whole
+online state — ingest vocabulary, per-visitor temporal seen-state, the
+deployed filter list and the stream cursor — and had to replay from row
+zero.  This module persists that state periodically so a restarted
+replay continues from the last snapshot and produces verdicts
+byte-identical to an uninterrupted run from that batch onward
+(``tests/test_checkpoint.py`` pins it).
+
+The on-disk format is a single self-validating blob::
+
+    RPCK | version (4 bytes, big-endian) | sha256(payload) | payload
+
+where the payload is a pickle of the driver's state mapping.  Every
+write is crash-safe: bytes land in a same-directory temporary file, are
+fsynced, and only then atomically replace the published
+``stream_checkpoint`` — a crash mid-write leaves the previous snapshot
+intact, never a torn file, and the checksum catches any corruption that
+slips through anyway (:class:`CheckpointError` on load).  The
+``checkpoint_write`` fault point fires between fsync and rename, which
+is how the fault matrix models a crash at the worst possible moment.
+
+Checkpointing is **best-effort by design**: :meth:`StreamCheckpointer.save`
+never raises into the scoring loop.  A failed snapshot is counted and
+logged; the stream keeps scoring and the next due boundary tries again —
+losing a snapshot costs recovery granularity, never correctness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import logging
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro import faults
+
+logger = logging.getLogger("repro.stream")
+
+#: Leading magic bytes of a checkpoint blob.
+CHECKPOINT_MAGIC = b"RPCK"
+
+#: Current checkpoint format version (newer versions refuse to load).
+CHECKPOINT_VERSION = 1
+
+#: The single published snapshot file inside a checkpoint directory
+#: (atomic replace keeps exactly one valid snapshot at all times).
+CHECKPOINT_FILENAME = "stream_checkpoint"
+
+#: Default snapshot cadence, in scored batches.
+DEFAULT_EVERY_BATCHES = 16
+
+
+class CheckpointError(ValueError):
+    """A checkpoint could not be read, or does not match the replay."""
+
+
+def write_checkpoint(path, state: Dict, *, key: str = "") -> None:
+    """Atomically persist *state* as a checksummed checkpoint blob at *path*.
+
+    Same-directory temp file + fsync + ``os.replace`` + directory fsync:
+    after a crash at any instant, *path* is either the previous blob or
+    the new one, both intact.  *key* feeds the ``checkpoint_write`` fault
+    point (fired after fsync, before the rename).
+    """
+
+    path = Path(path)
+    payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+    header = (
+        CHECKPOINT_MAGIC
+        + CHECKPOINT_VERSION.to_bytes(4, "big")
+        + hashlib.sha256(payload).digest()
+    )
+    fd, tmp_name = tempfile.mkstemp(prefix=f".{path.name}.", suffix=".tmp", dir=path.parent)
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(header)
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        faults.check("checkpoint_write", key, path=tmp)
+        os.replace(tmp, path)
+        directory_fd = os.open(path.parent, os.O_RDONLY)
+        try:
+            os.fsync(directory_fd)
+        finally:
+            os.close(directory_fd)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def read_checkpoint(path) -> Dict:
+    """Load and validate a checkpoint blob written by :func:`write_checkpoint`.
+
+    Raises :class:`CheckpointError` for anything untrustworthy: a
+    non-checkpoint file, a newer format, a checksum mismatch (torn or
+    tampered payload) or an unpicklable payload.
+    """
+
+    path = Path(path)
+    try:
+        blob = path.read_bytes()
+    except OSError as exc:
+        raise CheckpointError(f"checkpoint {path} is unreadable: {exc}") from exc
+    header_size = len(CHECKPOINT_MAGIC) + 4 + 32
+    if len(blob) < header_size or blob[: len(CHECKPOINT_MAGIC)] != CHECKPOINT_MAGIC:
+        raise CheckpointError(f"{path} is not a stream checkpoint")
+    version = int.from_bytes(blob[len(CHECKPOINT_MAGIC) : len(CHECKPOINT_MAGIC) + 4], "big")
+    if version > CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} has format version {version}; "
+            f"this build reads up to {CHECKPOINT_VERSION}"
+        )
+    digest = blob[len(CHECKPOINT_MAGIC) + 4 : header_size]
+    payload = blob[header_size:]
+    if hashlib.sha256(payload).digest() != digest:
+        raise CheckpointError(f"checkpoint {path} is corrupt (checksum mismatch)")
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:
+        raise CheckpointError(f"checkpoint {path} payload is undecodable: {exc}") from exc
+
+
+class StreamCheckpointer:
+    """Periodic snapshot writer/reader for one replay's checkpoint directory."""
+
+    def __init__(self, directory, *, every_batches: int = DEFAULT_EVERY_BATCHES):
+        if every_batches < 1:
+            raise ValueError(f"every_batches must be >= 1, got {every_batches}")
+        self.directory = Path(directory)
+        self.every_batches = int(every_batches)
+        #: snapshots successfully published / failed attempts this run
+        self.saves = 0
+        self.failures = 0
+
+    @property
+    def path(self) -> Path:
+        return self.directory / CHECKPOINT_FILENAME
+
+    def due(self, batches_done: int) -> bool:
+        """Whether a snapshot is due after *batches_done* scored batches."""
+
+        return batches_done > 0 and batches_done % self.every_batches == 0
+
+    def save(self, state: Dict) -> bool:
+        """Best-effort atomic snapshot; returns whether it published.
+
+        Never raises into the scoring loop: a full disk, a permission
+        error or an injected ``checkpoint_write`` fault is counted,
+        logged and retried at the next due boundary — the previously
+        published snapshot stays valid throughout.
+        """
+
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            write_checkpoint(self.path, state, key=f"save{self.saves + self.failures}")
+        except (faults.InjectedFault, OSError, pickle.PicklingError) as exc:
+            self.failures += 1
+            logger.warning(
+                "checkpoint write failed (%s); previous snapshot stays valid", exc
+            )
+            return False
+        self.saves += 1
+        return True
+
+    def load(self) -> Optional[Dict]:
+        """The published snapshot, or ``None`` when none exists yet.
+
+        Raises :class:`CheckpointError` when a snapshot exists but cannot
+        be trusted.
+        """
+
+        if not self.path.exists():
+            return None
+        return read_checkpoint(self.path)

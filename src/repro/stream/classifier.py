@@ -86,3 +86,30 @@ class OnlineClassifier:
 
         self._detector.filter_list = filter_list
         self._swaps += 1
+
+    def restore(
+        self,
+        *,
+        filter_list: FilterList = None,
+        temporal_state=None,
+        rows_scored: int = 0,
+        swaps: int = 0,
+    ) -> "OnlineClassifier":
+        """Adopt state carried over from a failed or checkpointed stream.
+
+        The gateway's supervision path rebuilds a crashed worker as a
+        fresh classifier and hands it the failed worker's deployed filter
+        list, cross-batch seen-state and counters; the checkpoint restore
+        path does the same from a snapshot.  Unlike
+        :meth:`swap_filter_list` this does not count as a hot-swap — the
+        restored stream continues exactly where the original stood.
+        Returns ``self`` for chaining.
+        """
+
+        if filter_list is not None:
+            self._detector.filter_list = filter_list
+        if temporal_state is not None:
+            self._state = temporal_state
+        self._rows_scored = int(rows_scored)
+        self._swaps = int(swaps)
+        return self

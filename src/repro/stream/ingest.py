@@ -97,6 +97,63 @@ class StreamIngestor:
 
         return {attribute: len(values) for attribute, values in self._values.items()}
 
+    # -- checkpointing ---------------------------------------------------------
+
+    def export_state(self) -> Dict:
+        """The ingestor's durable state, as a picklable mapping.
+
+        Only the vocabulary (decode lists, in code order) and the row
+        counters are durable.  The raw-value memo, the grouped-value
+        indexes and the column-slice session memos are pure caches derived
+        from them — :meth:`restore_state` rebuilds the indexes and lets
+        the memos refill lazily, so a restored ingestor encodes every
+        future batch exactly as the original would have.
+        """
+
+        return {
+            "attributes": self.attributes,
+            "values": {
+                attribute: list(values) for attribute, values in self._values.items()
+            },
+            "cookie_values": list(self.cookie_values),
+            "ip_values": list(self.ip_values),
+            "rows_ingested": self._rows_ingested,
+            "batches_emitted": self._batches_emitted,
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        """Adopt a vocabulary exported by :meth:`export_state`.
+
+        Decode lists are mutated in place (emitted batches hold them by
+        reference) and the value → code indexes are rebuilt from code
+        order; every cache resets empty.
+        """
+
+        if tuple(state["attributes"]) != self.attributes:
+            raise ValueError(
+                "checkpointed attribute set does not match this ingestor's attributes"
+            )
+        for attribute in self.attributes:
+            values = self._values[attribute]
+            values.clear()
+            values.extend(state["values"][attribute])
+            index = self._indexes[attribute]
+            index.clear()
+            index.update({value: code for code, value in enumerate(values)})
+            self._raw_codes[attribute].clear()
+        self.cookie_values.clear()
+        self.cookie_values.extend(state["cookie_values"])
+        self._cookie_index = {value: code for code, value in enumerate(self.cookie_values)}
+        self.ip_values.clear()
+        self.ip_values.extend(state["ip_values"])
+        self._ip_index = {value: code for code, value in enumerate(self.ip_values)}
+        self._rows_ingested = int(state["rows_ingested"])
+        self._batches_emitted = int(state["batches_emitted"])
+        self._memo_columns = None
+        self._session_rows = {}
+        self._session_ips = {}
+        self._cookie_map = {}
+
     # -- encoding helpers ------------------------------------------------------
 
     def _encode_value(self, attribute: Attribute, raw: object) -> int:

@@ -117,6 +117,40 @@ class FilterListRefresher:
             return None
         return int(self._latest_ts // SECONDS_PER_DAY)
 
+    # -- checkpointing ---------------------------------------------------------
+
+    def export_state(self) -> Dict:
+        """The refresher's durable state, as a picklable mapping.
+
+        The retained window columns are copied (they may be views into
+        emitted batch arrays), the schedule clock travels along, and the
+        template batch is deliberately absent — it only serves to decode
+        the window against the live vocabulary, and the first
+        post-restore :meth:`observe_batch` re-establishes it before any
+        refresh can fire.
+        """
+
+        return {
+            "recent": [
+                {attribute: np.array(column) for attribute, column in part.items()}
+                for part in self._recent
+            ],
+            "rows_in_window": self._rows_in_window,
+            "batches_seen": self._batches_seen,
+            "latest_ts": self._latest_ts,
+            "next_due_ts": self._next_due_ts,
+        }
+
+    def restore_state(self, state: Dict) -> None:
+        """Adopt a window exported by :meth:`export_state`."""
+
+        self._recent = [dict(part) for part in state["recent"]]
+        self._rows_in_window = int(state["rows_in_window"])
+        self._batches_seen = int(state["batches_seen"])
+        self._latest_ts = state["latest_ts"]
+        self._next_due_ts = state["next_due_ts"]
+        self._template = None
+
     def observe_batch(self, batch: ColumnarTable) -> None:
         """Retain *batch*'s code columns and trim the window to size.
 

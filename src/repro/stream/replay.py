@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -29,9 +30,12 @@ import numpy as np
 from repro.core.columnar import ColumnarTable
 from repro.core.detector import FPInconsistent, InconsistencyVerdict
 from repro.honeysite.storage import LazyRequestStore, RequestStore
+from repro.stream.checkpoint import CheckpointError, StreamCheckpointer
 from repro.stream.classifier import OnlineClassifier
 from repro.stream.ingest import StreamIngestor
 from repro.stream.refresh import FilterListRefresher
+
+logger = logging.getLogger("repro.stream")
 
 #: Default micro-batch size of the replay driver and the CLI.
 DEFAULT_BATCH_SIZE = 1024
@@ -94,6 +98,11 @@ class ReplayResult:
     batch_seconds: List[float] = field(default_factory=list)
     #: one entry per filter-list hot-swap: {"batch", "rules"}
     refreshes: List[Dict] = field(default_factory=list)
+    #: snapshots published / failed attempts (0 without a checkpointer)
+    checkpoints_saved: int = 0
+    checkpoint_failures: int = 0
+    #: the batch index this run resumed from (``None`` for a fresh run)
+    resumed_from_batch: Optional[int] = None
 
     @property
     def rows_per_second(self) -> float:
@@ -151,13 +160,29 @@ class ReplayDriver:
         self.batch_size = int(batch_size)
         self._refresher = refresher
 
-    def replay(self, store: RequestStore) -> ReplayResult:
+    def replay(
+        self,
+        store: RequestStore,
+        *,
+        checkpointer: Optional[StreamCheckpointer] = None,
+        resume: bool = False,
+        max_batches: Optional[int] = None,
+    ) -> ReplayResult:
         """Stream every record of *store* and collect the online verdicts.
 
         A :class:`LazyRequestStore` replays straight from its record
         columns (no record object is materialised); an object store feeds
         record micro-batches.  Either path presents rows in stable
         timestamp order — the arrival order a live deployment would see.
+
+        With a *checkpointer*, the full online state (vocabulary,
+        temporal seen-state, filter list, verdicts, cursor) is snapshotted
+        crash-safely at each due batch boundary; ``resume=True`` restores
+        the published snapshot first and continues the stream from its
+        cursor — the combined run is byte-identical to an uninterrupted
+        one.  *max_batches* bounds how many batches this invocation
+        scores (the deterministic stand-in for a mid-replay kill in tests
+        and the CI kill-and-resume smoke).
         """
 
         ingestor = StreamIngestor(attributes=self._detector.table_attributes())
@@ -168,27 +193,101 @@ class ReplayDriver:
         verdicts: Dict[int, InconsistencyVerdict] = {}
         batch_seconds: List[float] = []
         refreshes: List[Dict] = []
+        start_row = 0
+        batches_done = 0
+        resumed_from: Optional[int] = None
+        if resume:
+            if checkpointer is None:
+                raise ValueError("resume=True requires a checkpointer")
+            state = self._load_resume_state(checkpointer)
+            if state is not None:
+                if int(state["batch_size"]) != self.batch_size or int(state["rows_total"]) != total:
+                    raise CheckpointError(
+                        "checkpoint does not match this replay "
+                        "(different batch size or store)"
+                    )
+                ingestor.restore_state(state["ingest"])
+                classifier.restore(
+                    filter_list=state["filter_list"],
+                    temporal_state=state["temporal_state"],
+                    rows_scored=state["rows_scored"],
+                    swaps=state["swaps"],
+                )
+                if self._refresher is not None and state.get("refresher") is not None:
+                    self._refresher.restore_state(state["refresher"])
+                verdicts.update(state["verdicts"])
+                refreshes = [dict(entry) for entry in state["refreshes"]]
+                start_row = int(state["cursor_rows"])
+                batches_done = int(state["batches"])
+                resumed_from = batches_done
+
+        scored_this_run = 0
         started = time.perf_counter()
-        for index, start in enumerate(range(0, total, self.batch_size)):
+        for start in range(start_row, total, self.batch_size):
+            if max_batches is not None and scored_this_run >= max_batches:
+                break
             batch_started = time.perf_counter()
             batch = arrivals.ingest(ingestor, start, self.batch_size)
             verdicts.update(classifier.classify_batch(batch))
             batch_seconds.append(time.perf_counter() - batch_started)
+            index = batches_done
+            batches_done += 1
+            scored_this_run += 1
             if self._refresher is not None:
                 self._refresher.observe_batch(batch)
                 refreshed = self._refresher.maybe_refresh()
                 if refreshed is not None:
                     classifier.swap_filter_list(refreshed)
                     refreshes.append({"batch": index, "rules": len(refreshed)})
+            if checkpointer is not None and checkpointer.due(batches_done):
+                checkpointer.save(
+                    {
+                        "batch_size": self.batch_size,
+                        "rows_total": total,
+                        "cursor_rows": min(start + self.batch_size, total),
+                        "batches": batches_done,
+                        "ingest": ingestor.export_state(),
+                        "filter_list": classifier.filter_list,
+                        "temporal_state": classifier.temporal_state,
+                        "rows_scored": classifier.rows_scored,
+                        "swaps": classifier.swaps,
+                        "refresher": (
+                            self._refresher.export_state()
+                            if self._refresher is not None
+                            else None
+                        ),
+                        "verdicts": dict(verdicts),
+                        "refreshes": [dict(entry) for entry in refreshes],
+                    }
+                )
         seconds = time.perf_counter() - started
         return ReplayResult(
             verdicts=verdicts,
             rows=total,
-            batches=len(batch_seconds),
+            batches=batches_done,
             seconds=seconds,
             batch_seconds=batch_seconds,
             refreshes=refreshes,
+            checkpoints_saved=0 if checkpointer is None else checkpointer.saves,
+            checkpoint_failures=0 if checkpointer is None else checkpointer.failures,
+            resumed_from_batch=resumed_from,
         )
+
+    @staticmethod
+    def _load_resume_state(checkpointer: StreamCheckpointer) -> Optional[Dict]:
+        """The published snapshot, or ``None`` — unreadable counts as none.
+
+        A corrupt snapshot (torn by a crash the atomic writer could not
+        prevent, or tampered) must not block recovery: warn and replay
+        from row zero.  A *mismatched* snapshot (wrong batch size or
+        store) still raises — that is a configuration error, not damage.
+        """
+
+        try:
+            return checkpointer.load()
+        except CheckpointError as exc:
+            logger.warning("checkpoint unreadable (%s); replaying from the start", exc)
+            return None
 
 
 # -- verdict serialisation ------------------------------------------------------

@@ -1,0 +1,333 @@
+"""Tests for stream checkpoint/restore (``repro.stream.checkpoint``).
+
+The contract under test: a replay killed mid-stream (modelled
+deterministically by ``max_batches``) and resumed from its last published
+snapshot produces verdicts **byte-identical** to an uninterrupted run —
+for the single stream and for the parallel gateway — and the snapshot
+file itself is crash-safe (atomic replace, checksummed, torn writes
+detected on load, failed writes never clobbering the previous snapshot).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.analysis.engine import CorpusEngine
+from repro.core.detector import FPInconsistent
+from repro.serve import DetectionGateway, DeviceRouter, GatewayReplayDriver
+from repro.stream import (
+    ArrivalStream,
+    CheckpointError,
+    FilterListRefresher,
+    ReplayDriver,
+    StreamCheckpointer,
+    StreamIngestor,
+    verdicts_digest,
+)
+from repro.stream.checkpoint import (
+    CHECKPOINT_MAGIC,
+    CHECKPOINT_VERSION,
+    read_checkpoint,
+    write_checkpoint,
+)
+
+TINY = dict(
+    seed=29,
+    scale=0.004,
+    include_real_users=True,
+    include_privacy=True,
+    real_user_requests=120,
+    privacy_requests_each=12,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return CorpusEngine(**TINY).build(workers=1)
+
+
+@pytest.fixture(scope="module")
+def fitted(corpus):
+    detector = FPInconsistent()
+    table = detector.extract_table(corpus.bot_store)
+    detector.fit_table(table)
+    verdicts = detector.classify_table(table)
+    return detector, table, verdicts
+
+
+# -- the blob format -------------------------------------------------------------
+
+
+def test_checkpoint_blob_roundtrips(tmp_path):
+    state = {"cursor": 7, "values": ["a", "b"], "array": np.arange(5)}
+    path = tmp_path / "ck"
+    write_checkpoint(path, state)
+    loaded = read_checkpoint(path)
+    assert loaded["cursor"] == 7 and loaded["values"] == ["a", "b"]
+    assert np.array_equal(loaded["array"], np.arange(5))
+    assert path.read_bytes()[:4] == CHECKPOINT_MAGIC
+    assert not list(tmp_path.glob(".*.tmp"))  # temp file consumed by the rename
+
+
+def test_read_rejects_non_checkpoint_files(tmp_path):
+    path = tmp_path / "junk"
+    path.write_bytes(b"definitely not a checkpoint")
+    with pytest.raises(CheckpointError, match="not a stream checkpoint"):
+        read_checkpoint(path)
+    with pytest.raises(CheckpointError, match="unreadable"):
+        read_checkpoint(tmp_path / "absent")
+
+
+def test_read_rejects_torn_and_tampered_blobs(tmp_path):
+    path = tmp_path / "ck"
+    write_checkpoint(path, {"cursor": 1})
+    blob = path.read_bytes()
+
+    torn = tmp_path / "torn"
+    torn.write_bytes(blob[: len(blob) - 3])
+    with pytest.raises(CheckpointError, match="checksum"):
+        read_checkpoint(torn)
+
+    tampered = tmp_path / "tampered"
+    tampered.write_bytes(blob[:-1] + bytes([blob[-1] ^ 0xFF]))
+    with pytest.raises(CheckpointError, match="checksum"):
+        read_checkpoint(tampered)
+
+
+def test_read_rejects_future_format_versions(tmp_path):
+    path = tmp_path / "ck"
+    write_checkpoint(path, {"cursor": 1})
+    blob = bytearray(path.read_bytes())
+    blob[4:8] = (CHECKPOINT_VERSION + 1).to_bytes(4, "big")
+    path.write_bytes(bytes(blob))
+    with pytest.raises(CheckpointError, match="format version"):
+        read_checkpoint(path)
+
+
+# -- the periodic checkpointer ---------------------------------------------------
+
+
+def test_checkpointer_cadence_and_validation(tmp_path):
+    with pytest.raises(ValueError, match="every_batches"):
+        StreamCheckpointer(tmp_path, every_batches=0)
+    checkpointer = StreamCheckpointer(tmp_path, every_batches=4)
+    assert [n for n in range(13) if checkpointer.due(n)] == [4, 8, 12]
+    assert checkpointer.load() is None  # nothing published yet
+
+
+def test_failed_save_keeps_the_previous_snapshot(monkeypatch, tmp_path):
+    checkpointer = StreamCheckpointer(tmp_path, every_batches=1)
+    assert checkpointer.save({"cursor": 1}) is True
+
+    # Every subsequent write crashes mid-stream (truncated then raised):
+    # save() absorbs it, and the published snapshot stays the old one.
+    monkeypatch.setenv(faults.FAULTS_ENV_VAR, "checkpoint_write:truncate:1")
+    assert checkpointer.save({"cursor": 2}) is False
+    assert checkpointer.saves == 1 and checkpointer.failures == 1
+    assert checkpointer.load() == {"cursor": 1}
+    assert not list(tmp_path.glob(".*.tmp"))  # the torn temp was removed
+
+    monkeypatch.delenv(faults.FAULTS_ENV_VAR)
+    assert checkpointer.save({"cursor": 3}) is True
+    assert checkpointer.load() == {"cursor": 3}
+
+
+# -- stream kill-and-resume ------------------------------------------------------
+
+
+def test_stream_resume_is_byte_identical(tmp_path, corpus, fitted):
+    detector, _table, batch_verdicts = fitted
+    full = ReplayDriver(detector, batch_size=256).replay(corpus.bot_store)
+
+    directory = tmp_path / "ck"
+    partial = ReplayDriver(detector, batch_size=256).replay(
+        corpus.bot_store,
+        checkpointer=StreamCheckpointer(directory, every_batches=2),
+        max_batches=3,
+    )
+    assert partial.batches == 3
+    assert partial.checkpoints_saved == 1  # due at batch 2
+    assert partial.resumed_from_batch is None
+
+    resumed = ReplayDriver(detector, batch_size=256).replay(
+        corpus.bot_store,
+        checkpointer=StreamCheckpointer(directory, every_batches=2),
+        resume=True,
+    )
+    # The snapshot was taken at batch 2, one batch before the kill: the
+    # resumed run re-scores from there and converges byte-identically.
+    assert resumed.resumed_from_batch == 2
+    assert resumed.batches == full.batches
+    assert verdicts_digest(resumed.verdicts) == verdicts_digest(full.verdicts)
+    assert verdicts_digest(resumed.verdicts) == verdicts_digest(batch_verdicts)
+
+
+def test_stream_resume_restores_refresher_state(tmp_path, corpus, fitted):
+    detector, _table, _verdicts = fitted
+
+    def refresher():
+        return FilterListRefresher(detector.miner, interval_days=20.0, window_rows=2_000)
+
+    full = ReplayDriver(detector, batch_size=256, refresher=refresher()).replay(
+        corpus.bot_store
+    )
+    assert full.refreshes  # the schedule actually fires on this corpus
+
+    directory = tmp_path / "ck"
+    ReplayDriver(detector, batch_size=256, refresher=refresher()).replay(
+        corpus.bot_store,
+        checkpointer=StreamCheckpointer(directory, every_batches=2),
+        max_batches=5,
+    )
+    resumed = ReplayDriver(detector, batch_size=256, refresher=refresher()).replay(
+        corpus.bot_store,
+        checkpointer=StreamCheckpointer(directory, every_batches=2),
+        resume=True,
+    )
+    # The sliding window, stream clock and deployed list all came back:
+    # the re-mining schedule and the verdicts match the uninterrupted run.
+    assert resumed.refreshes == full.refreshes
+    assert verdicts_digest(resumed.verdicts) == verdicts_digest(full.verdicts)
+
+
+def test_resume_with_failing_saves_still_converges(monkeypatch, tmp_path, corpus, fitted):
+    detector, _table, _verdicts = fitted
+    full = ReplayDriver(detector, batch_size=256).replay(corpus.bot_store)
+
+    # Every other snapshot write crashes mid-stream; losing a snapshot
+    # costs recovery granularity, never correctness.
+    monkeypatch.setenv(faults.FAULTS_ENV_VAR, "checkpoint_write:truncate:0.5")
+    directory = tmp_path / "ck"
+    partial = ReplayDriver(detector, batch_size=256).replay(
+        corpus.bot_store,
+        checkpointer=StreamCheckpointer(directory, every_batches=1),
+        max_batches=5,
+    )
+    assert partial.checkpoint_failures > 0
+    assert partial.checkpoints_saved > 0
+
+    monkeypatch.delenv(faults.FAULTS_ENV_VAR)
+    resumed = ReplayDriver(detector, batch_size=256).replay(
+        corpus.bot_store,
+        checkpointer=StreamCheckpointer(directory, every_batches=1),
+        resume=True,
+    )
+    assert resumed.resumed_from_batch is not None
+    assert verdicts_digest(resumed.verdicts) == verdicts_digest(full.verdicts)
+
+
+def test_corrupt_snapshot_falls_back_to_a_fresh_replay(tmp_path, corpus, fitted):
+    detector, _table, batch_verdicts = fitted
+    directory = tmp_path / "ck"
+    checkpointer = StreamCheckpointer(directory, every_batches=2)
+    ReplayDriver(detector, batch_size=256).replay(
+        corpus.bot_store, checkpointer=checkpointer, max_batches=3
+    )
+    # Corrupt the published snapshot the way a disk error would.
+    blob = bytearray(checkpointer.path.read_bytes())
+    blob[-1] ^= 0xFF
+    checkpointer.path.write_bytes(bytes(blob))
+
+    resumed = ReplayDriver(detector, batch_size=256).replay(
+        corpus.bot_store,
+        checkpointer=StreamCheckpointer(directory, every_batches=2),
+        resume=True,
+    )
+    # Damage must not block recovery: warn, start fresh, same verdicts.
+    assert resumed.resumed_from_batch is None
+    assert verdicts_digest(resumed.verdicts) == verdicts_digest(batch_verdicts)
+
+
+def test_mismatched_snapshot_is_a_configuration_error(tmp_path, corpus, fitted):
+    detector, _table, _verdicts = fitted
+    directory = tmp_path / "ck"
+    ReplayDriver(detector, batch_size=256).replay(
+        corpus.bot_store,
+        checkpointer=StreamCheckpointer(directory, every_batches=2),
+        max_batches=3,
+    )
+    with pytest.raises(CheckpointError, match="does not match"):
+        ReplayDriver(detector, batch_size=128).replay(
+            corpus.bot_store,
+            checkpointer=StreamCheckpointer(directory, every_batches=2),
+            resume=True,
+        )
+    with pytest.raises(CheckpointError, match="does not match"):
+        ReplayDriver(detector, batch_size=256).replay(
+            corpus.real_user_store,
+            checkpointer=StreamCheckpointer(directory, every_batches=2),
+            resume=True,
+        )
+
+
+def test_resume_requires_a_checkpointer(corpus, fitted):
+    detector, _table, _verdicts = fitted
+    with pytest.raises(ValueError, match="requires a checkpointer"):
+        ReplayDriver(detector, batch_size=256).replay(corpus.bot_store, resume=True)
+    with pytest.raises(ValueError, match="requires a checkpointer"):
+        with DetectionGateway(detector, workers=2) as gateway:
+            GatewayReplayDriver(gateway, batch_size=256).replay(
+                corpus.bot_store, resume=True
+            )
+
+
+# -- gateway kill-and-resume -----------------------------------------------------
+
+
+def test_serve_resume_is_byte_identical(tmp_path, corpus, fitted):
+    detector, table, batch_verdicts = fitted
+    directory = tmp_path / "ck"
+
+    with DetectionGateway(detector, router=DeviceRouter.from_table(table, 2)) as gateway:
+        partial = GatewayReplayDriver(gateway, batch_size=256).replay(
+            corpus.bot_store,
+            checkpointer=StreamCheckpointer(directory, every_batches=2),
+            max_batches=3,
+        )
+    assert partial.checkpoints_saved == 1
+
+    with DetectionGateway(detector, router=DeviceRouter.from_table(table, 2)) as gateway:
+        resumed = GatewayReplayDriver(gateway, batch_size=256).replay(
+            corpus.bot_store,
+            checkpointer=StreamCheckpointer(directory, every_batches=2),
+            resume=True,
+        )
+    assert resumed.resumed_from_batch == 2
+    assert resumed.verdicts == batch_verdicts
+    assert verdicts_digest(resumed.verdicts) == verdicts_digest(batch_verdicts)
+
+
+# -- restorable component state --------------------------------------------------
+
+
+def test_ingestor_state_roundtrip_preserves_the_vocabulary(corpus, fitted):
+    detector, _table, _verdicts = fitted
+    arrivals = ArrivalStream(corpus.bot_store)
+
+    original = StreamIngestor(attributes=detector.table_attributes())
+    arrivals.ingest(original, 0, 512)
+    restored = StreamIngestor(attributes=detector.table_attributes())
+    restored.restore_state(original.export_state())
+    assert restored.rows_ingested == original.rows_ingested
+
+    next_original = arrivals.ingest(original, 512, 256)
+    next_restored = arrivals.ingest(restored, 512, 256)
+    for attribute in next_original.attributes:
+        assert np.array_equal(
+            next_original.codes_of(attribute), next_restored.codes_of(attribute)
+        )
+        assert next_original.values_of(attribute) == next_restored.values_of(attribute)
+    assert np.array_equal(next_original.cookie_codes, next_restored.cookie_codes)
+    assert np.array_equal(next_original.ip_codes, next_restored.ip_codes)
+
+
+def test_ingestor_restore_rejects_a_different_attribute_set(fitted):
+    detector, _table, _verdicts = fitted
+    attributes = detector.table_attributes()
+    original = StreamIngestor(attributes=attributes)
+    with pytest.raises(ValueError, match="attribute"):
+        StreamIngestor(attributes=attributes[:-1]).restore_state(
+            original.export_state()
+        )

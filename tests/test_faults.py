@@ -1,0 +1,377 @@
+"""Tests for the fault-injection harness and the fault-tolerant executors.
+
+Three layers are pinned here against the deterministic fault plans of
+``repro.faults``:
+
+* the plan itself — parsing, seeding and pure ``(seed, point, key)``
+  decisions;
+* ``map_shards`` — bounded retries with backoff, pool rebuilds after a
+  killed worker, and the in-process serial fallback for poisoned shards,
+  all producing byte-identical corpora;
+* the gateway's worker supervision — failed workers rebuilt with state
+  carried over (verdicts byte-identical to a clean run for worker counts
+  {1, 2, 4}), poisoned row groups dead-lettered, failed re-mines keeping
+  the deployed filter list;
+* the corpus cache — a write torn mid-archive never publishes an entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro import faults
+from repro.analysis.cache import CorpusCache
+from repro.analysis.engine import (
+    BACKOFF_BASE_SECONDS,
+    BACKOFF_CAP_SECONDS,
+    CorpusEngine,
+    build_or_load_corpus,
+    map_shards,
+    retry_backoff_seconds,
+)
+from repro.core.detector import FPInconsistent
+from repro.serve import DetectionGateway, DeviceRouter, GatewayReplayDriver
+from repro.stream import FilterListRefresher, verdicts_digest
+
+TINY = dict(
+    seed=29,
+    scale=0.004,
+    include_real_users=True,
+    include_privacy=True,
+    real_user_requests=120,
+    privacy_requests_each=12,
+)
+
+
+def _corpus_digest(corpus) -> str:
+    return hashlib.sha256(
+        "\n".join(
+            json.dumps(record.to_dict(), sort_keys=True) for record in corpus.store
+        ).encode()
+    ).hexdigest()
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return CorpusEngine(**TINY).build(workers=1)
+
+
+@pytest.fixture(scope="module")
+def baseline_digest(corpus):
+    """Digest of the fault-free build (execution path never changes bytes)."""
+
+    return _corpus_digest(corpus)
+
+
+@pytest.fixture(scope="module")
+def fitted(corpus):
+    detector = FPInconsistent()
+    table = detector.extract_table(corpus.bot_store)
+    detector.fit_table(table)
+    verdicts = detector.classify_table(table)
+    return detector, table, verdicts
+
+
+# -- plan parsing and decisions --------------------------------------------------
+
+
+def test_plan_parses_multi_rule_spec():
+    plan = faults.FaultPlan.parse(
+        " shard_run:raise:0.1 , refresh_mine:raise:1, checkpoint_write:truncate:0.5 ,",
+        seed=3,
+    )
+    assert {rule.point for rule in plan.rules} == {
+        "shard_run",
+        "refresh_mine",
+        "checkpoint_write",
+    }
+    assert plan.seed == 3
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        "shard_run:raise",  # not point:mode:probability
+        "unknown_point:raise:0.5",
+        "shard_run:explode:0.5",
+        "shard_run:raise:often",
+        "shard_run:raise:1.5",
+        "shard_run:raise:0.1,shard_run:kill:0.2",  # duplicate point
+    ],
+)
+def test_plan_rejects_malformed_specs(spec):
+    with pytest.raises(faults.FaultPlanError):
+        faults.FaultPlan.parse(spec)
+
+
+def test_decisions_are_pure_functions_of_seed_point_key():
+    plan = faults.FaultPlan.parse("shard_run:raise:0.5", seed=11)
+    keys = [f"corpus:{index}:0" for index in range(200)]
+    first = [plan.decide("shard_run", key) is not None for key in keys]
+    assert first == [plan.decide("shard_run", key) is not None for key in keys]
+    assert any(first) and not all(first)  # p=0.5 over 200 keys fires partially
+    reseeded = faults.FaultPlan.parse("shard_run:raise:0.5", seed=12)
+    assert first != [reseeded.decide("shard_run", key) is not None for key in keys]
+    assert plan.decide("worker_classify", keys[0]) is None  # no rule → never
+
+
+def test_probability_bounds_always_and_never_fire():
+    always = faults.FaultPlan.parse("shard_run:raise:1")
+    never = faults.FaultPlan.parse("shard_run:raise:0")
+    for key in ("a", "b", "c"):
+        assert always.decide("shard_run", key) is not None
+        assert never.decide("shard_run", key) is None
+    with pytest.raises(faults.InjectedFault, match="shard_run"):
+        always.check("shard_run", "a")
+
+
+def test_kill_downgrades_to_raise_outside_worker_processes():
+    plan = faults.FaultPlan.parse("shard_run:kill:1")
+    # allow_kill=False marks the coordinator: the fault must raise, never
+    # os._exit the test process.
+    with pytest.raises(faults.InjectedFault, match="kill"):
+        plan.check("shard_run", "k", allow_kill=False)
+
+
+def test_truncate_tears_the_file_then_raises(tmp_path):
+    victim = tmp_path / "blob"
+    victim.write_bytes(b"x" * 100)
+    plan = faults.FaultPlan.parse("checkpoint_write:truncate:1")
+    with pytest.raises(faults.InjectedFault):
+        plan.check("checkpoint_write", "t", path=victim)
+    assert victim.stat().st_size == 50
+    # Without a path the mode degrades to a plain raise.
+    with pytest.raises(faults.InjectedFault):
+        plan.check("checkpoint_write", "t")
+
+
+def test_active_plan_tracks_the_environment(monkeypatch):
+    monkeypatch.delenv(faults.FAULTS_ENV_VAR, raising=False)
+    assert faults.active_plan() is None
+    faults.check("shard_run", "noop")  # no plan → no-op
+
+    monkeypatch.setenv(faults.FAULTS_ENV_VAR, "shard_run:raise:1")
+    plan = faults.active_plan()
+    assert plan is not None and plan.seed == 0
+    assert faults.active_plan() is plan  # cached per (spec, seed) pair
+
+    monkeypatch.setenv(faults.FAULTS_SEED_ENV_VAR, "9")
+    assert faults.active_plan().seed == 9
+
+    monkeypatch.setenv(faults.FAULTS_SEED_ENV_VAR, "not-a-seed")
+    with pytest.raises(faults.FaultPlanError, match="REPRO_FAULTS_SEED"):
+        faults.active_plan()
+
+
+# -- map_shards: retry, rebuild, serial fallback ---------------------------------
+
+
+def _double(value):
+    return value * 2
+
+
+def _nap(seconds):
+    import time
+
+    time.sleep(seconds)
+    return seconds
+
+
+def test_map_shards_retries_transient_worker_faults(monkeypatch):
+    monkeypatch.setenv(faults.FAULTS_ENV_VAR, "shard_run:raise:0.5")
+    stats = {}
+    results = map_shards(
+        _double, range(16), workers=4, executor="thread", retries=4, stats=stats
+    )
+    assert results == [value * 2 for value in range(16)]
+    assert stats["failures"] > 0
+    assert stats["retried"] > 0
+    assert stats["attempt_rounds"] >= 2
+
+
+def test_map_shards_poisoned_shards_fall_back_to_serial(monkeypatch):
+    monkeypatch.setenv(faults.FAULTS_ENV_VAR, "shard_run:raise:1")
+    stats = {}
+    results = map_shards(
+        _double, range(8), workers=4, executor="thread", retries=1, stats=stats
+    )
+    # Every pooled attempt fails; the serial fallback (trusted, no fault
+    # point) still completes every payload correctly.
+    assert results == [value * 2 for value in range(8)]
+    assert stats["attempt_rounds"] == 2  # retries + 1
+    assert stats["serial_fallbacks"] == 8
+
+
+def test_map_shards_rebuilds_a_pool_after_a_killed_worker(monkeypatch):
+    monkeypatch.setenv(faults.FAULTS_ENV_VAR, "shard_run:kill:0.4")
+    stats = {}
+    results = map_shards(
+        _double, range(8), workers=2, executor="process", retries=3, stats=stats
+    )
+    assert results == [value * 2 for value in range(8)]
+    assert stats["failures"] > 0
+    assert stats["pool_rebuilds"] >= 1
+
+
+def test_map_shards_timeout_abandons_the_stuck_pool(monkeypatch):
+    monkeypatch.setenv("REPRO_SHARD_TIMEOUT", "0.05")
+    stats = {}
+    results = map_shards(
+        _nap, [0.4, 0.4], workers=2, executor="thread", retries=0, stats=stats
+    )
+    assert results == [0.4, 0.4]  # serial fallback finished the work
+    assert stats["pool_rebuilds"] >= 1
+    assert stats["serial_fallbacks"] == 2
+
+
+def test_map_shards_inline_path_is_never_injected(monkeypatch):
+    monkeypatch.setenv(faults.FAULTS_ENV_VAR, "shard_run:raise:1")
+    stats = {}
+    # workers=1 runs in-process: trusted execution, no fault point.
+    assert map_shards(_double, range(4), workers=1, stats=stats) == [0, 2, 4, 6]
+    assert stats["failures"] == 0 and stats["serial_fallbacks"] == 0
+
+
+def test_retry_backoff_is_deterministic_exponential_and_jittered():
+    delays = [retry_backoff_seconds(a, seed=7, label="corpus") for a in range(6)]
+    assert delays == [retry_backoff_seconds(a, seed=7, label="corpus") for a in range(6)]
+    for attempt, delay in enumerate(delays):
+        base = min(BACKOFF_CAP_SECONDS, BACKOFF_BASE_SECONDS * 2**attempt)
+        assert 0.5 * base <= delay < 1.5 * base
+    assert retry_backoff_seconds(0, seed=8, label="corpus") != delays[0]
+    assert retry_backoff_seconds(0, seed=7, label="mine") != delays[0]
+
+
+# -- the corpus engine under shard faults ----------------------------------------
+
+
+@pytest.mark.parametrize(
+    "plan, recovered_by",
+    [
+        ("shard_run:raise:0.3", "retried"),
+        ("shard_run:kill:0.2", "pool_rebuilds"),
+        ("shard_run:raise:1", "serial_fallbacks"),
+    ],
+)
+def test_corpus_is_byte_identical_under_shard_faults(
+    monkeypatch, baseline_digest, plan, recovered_by
+):
+    monkeypatch.setenv(faults.FAULTS_ENV_VAR, plan)
+    engine = CorpusEngine(**TINY, min_records_per_worker=1)
+    rebuilt = engine.build(workers=4, executor="process")
+    stats = engine.last_plan["faults"]
+    assert stats["failures"] > 0, stats
+    assert stats[recovered_by] > 0, stats
+    assert _corpus_digest(rebuilt) == baseline_digest
+
+
+# -- gateway worker supervision --------------------------------------------------
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_gateway_recovers_from_worker_faults_byte_identically(
+    monkeypatch, corpus, fitted, workers
+):
+    detector, table, batch_verdicts = fitted
+    monkeypatch.setenv(faults.FAULTS_ENV_VAR, "worker_classify:raise:0.3")
+    router = DeviceRouter.from_table(table, workers)
+    with DetectionGateway(detector, router=router) as gateway:
+        result = GatewayReplayDriver(gateway, batch_size=256).replay(corpus.bot_store)
+        health = gateway.health
+    assert health.total_worker_failures > 0
+    # An injected fault fires before any state mutates, so every failure
+    # is recovered by one rebuild and nothing is dead-lettered.
+    assert health.worker_rebuilds == health.total_worker_failures
+    assert not health.dead_letters
+    assert result.verdicts == batch_verdicts
+    assert result.health["total_worker_failures"] == health.total_worker_failures
+
+
+def test_poisoned_row_group_is_dead_lettered_not_fatal(monkeypatch, corpus, fitted):
+    detector, table, _verdicts = fitted
+    monkeypatch.setenv(faults.FAULTS_ENV_VAR, "worker_classify:raise:1")
+    router = DeviceRouter.from_table(table, 2)
+    with DetectionGateway(detector, router=router) as gateway:
+        result = GatewayReplayDriver(gateway, batch_size=256).replay(corpus.bot_store)
+        health = gateway.health
+    # Every group exhausts its attempt budget: the replay still completes,
+    # and the health report accounts for every missing row.
+    assert health.dead_letters
+    assert result.verdicts == {}
+    assert sum(len(entry["rows"]) for entry in health.dead_letters) == result.rows
+    assert health.last_error is not None
+
+
+@pytest.mark.parametrize("refresh_mode", ["background", "sync"])
+def test_failed_refresh_keeps_the_deployed_list(
+    monkeypatch, corpus, fitted, refresh_mode
+):
+    detector, _table, _verdicts = fitted
+    monkeypatch.setenv(faults.FAULTS_ENV_VAR, "refresh_mine:raise:1")
+    refresher = FilterListRefresher(
+        detector.miner, interval_days=20.0, window_rows=2_000
+    )
+    with DetectionGateway(
+        detector, workers=2, refresher=refresher, refresh_mode=refresh_mode
+    ) as gateway:
+        faulty = GatewayReplayDriver(gateway, batch_size=256).replay(corpus.bot_store)
+        health = gateway.health
+    assert health.refresh_failures > 0
+    assert not faulty.refreshes  # no re-mine ever deployed
+
+    monkeypatch.delenv(faults.FAULTS_ENV_VAR)
+    with DetectionGateway(detector, workers=2) as gateway:
+        frozen = GatewayReplayDriver(gateway, batch_size=256).replay(corpus.bot_store)
+    # The stream kept scoring with the fitted list throughout: identical
+    # to a refresher-free run.
+    assert verdicts_digest(faulty.verdicts) == verdicts_digest(frozen.verdicts)
+
+
+def test_health_report_roundtrips_through_json(monkeypatch, corpus, fitted):
+    from repro.serve import GatewayHealth
+
+    detector, table, _verdicts = fitted
+    monkeypatch.setenv(faults.FAULTS_ENV_VAR, "worker_classify:raise:0.3")
+    router = DeviceRouter.from_table(table, 2)
+    with DetectionGateway(detector, router=router) as gateway:
+        GatewayReplayDriver(gateway, batch_size=256).replay(corpus.bot_store)
+        document = json.loads(json.dumps(gateway.health.to_dict()))
+    restored = GatewayHealth.from_dict(document)
+    assert restored.total_worker_failures == document["total_worker_failures"]
+    assert restored.worker_rebuilds == document["worker_rebuilds"]
+
+
+# -- crash-safe cache writes -----------------------------------------------------
+
+
+def test_torn_archive_write_never_publishes_a_cache_entry(
+    monkeypatch, tmp_path, corpus
+):
+    cache = CorpusCache(tmp_path / "cache")
+    monkeypatch.setenv(faults.FAULTS_ENV_VAR, "cache_write:truncate:1")
+    with pytest.raises(faults.InjectedFault):
+        cache.store("tamper", corpus)
+    # The torn write left nothing behind: no entry, no staging debris.
+    assert not cache.has("tamper")
+    assert not list((tmp_path / "cache").iterdir())
+
+    monkeypatch.delenv(faults.FAULTS_ENV_VAR)
+    cache.store("tamper", corpus)
+    assert cache.has("tamper")
+    reloaded = cache.load("tamper")
+    assert reloaded is not None and len(reloaded.store) == len(corpus.store)
+
+
+def test_build_or_load_survives_a_failed_cache_store(monkeypatch, tmp_path):
+    monkeypatch.setenv(faults.FAULTS_ENV_VAR, "cache_write:truncate:1")
+    built, status = build_or_load_corpus(
+        **TINY, workers=1, cache=tmp_path / "cache"
+    )
+    # The archive write failed, but caching is an optimisation: the build
+    # itself must come back intact.
+    assert status == "miss"
+    assert len(built.store) > 0
+    assert not list((tmp_path / "cache").glob("*/meta.json"))  # nothing published
