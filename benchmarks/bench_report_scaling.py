@@ -1,0 +1,157 @@
+"""Reporting-engine scaling benchmark (``repro report``).
+
+Regenerates the paper's tables and figures from one corpus under both
+report engines and records per-section wall-clock seconds: the
+zero-materialisation columnar engine against the record-at-a-time object
+oracle.  The per-section digests are asserted equal first — a speedup
+over diverging output would be meaningless.
+
+Two configurations are timed, each engine on a freshly loaded archive so
+one run's session-decode caches never subsidise the other:
+
+- ``analysis`` — every section the engines implement differently (all of
+  them except ``table2`` and ``privacy``); this is the configuration the
+  >=3x columnar-speedup gate applies to.
+- ``full`` — the complete report.  ``table2`` trains the same classifier
+  on the same sampled rows under both engines and ``privacy`` replays the
+  same fitted detector, so their engine-invariant cost dilutes the ratio;
+  it is recorded, not gated.
+
+The corpus is also saved to a scratch archive and loaded twice with
+memory-mapping enabled, timing the cold (first touch) and warm (page
+cache hot) load paths that front a cached ``repro report`` invocation.
+
+Results land in ``BENCH_report_scaling.json`` next to the repository root
+when run at the baseline scale (0.05); smaller scales (CI smoke uses
+0.01) write to a scratch file so they never clobber the committed
+trajectory.  ``REPRO_BENCH_REPORT_OUTPUT`` overrides either default.
+"""
+
+import json
+import os
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro.analysis.cache import MMAP_ENV_VAR, load_corpus, save_corpus
+from repro.analysis.corpus import default_scale
+from repro.analysis.engine import CorpusEngine
+from repro.analysis.report import generate_report, report_section_keys
+
+#: Training-sample cap for the Table 2 classifiers; identical work on both
+#: engines, kept bounded so the ML section doesn't dominate the totals.
+ML_SAMPLES = 2000
+
+#: Sections whose implementation differs per engine (the speedup gate).
+ENGINE_INVARIANT_SECTIONS = ("table2", "privacy")
+
+#: Scale of the committed repo-root baseline.
+BASELINE_SCALE = 0.05
+
+#: Environment variable overriding where the result document is written.
+OUTPUT_ENV_VAR = "REPRO_BENCH_REPORT_OUTPUT"
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_report_scaling.json"
+
+
+def _result_path(scale: float) -> Path:
+    override = os.environ.get(OUTPUT_ENV_VAR)
+    if override:
+        return Path(override)
+    if scale >= BASELINE_SCALE:
+        return RESULT_PATH
+    return Path(tempfile.gettempdir()) / "BENCH_report_scaling.json"
+
+
+def bench_report_scaling():
+    scale = default_scale()
+    corpus = CorpusEngine(
+        seed=7, scale=scale, include_real_users=True, include_privacy=True
+    ).build(workers=1)
+    analysis_sections = tuple(
+        key for key in report_section_keys() if key not in ENGINE_INVARIANT_SECTIONS
+    )
+
+    archive = Path(tempfile.mkdtemp(prefix="repro-report-bench-"))
+    previous_mmap = os.environ.get(MMAP_ENV_VAR)
+    os.environ[MMAP_ENV_VAR] = "1"
+    try:
+        # Cold vs warm memory-mapped archive loads, as in a cached invocation.
+        save_corpus(corpus, archive)
+        started = time.perf_counter()
+        load_corpus(archive)
+        cold_load_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        load_corpus(archive)
+        warm_load_seconds = time.perf_counter() - started
+
+        configs = {}
+        for config, sections in (("analysis", analysis_sections), ("full", None)):
+            reports = {}
+            for engine in ("columnar", "object"):
+                # A fresh load per run: session-decode caches warmed by
+                # one engine must not subsidise the other.
+                fresh = load_corpus(archive)
+                reports[engine] = generate_report(
+                    fresh, engine=engine, ml_samples=ML_SAMPLES, sections=sections
+                )
+            # Oracle first: a speedup over diverging output is meaningless.
+            assert reports["columnar"].digests() == reports["object"].digests()
+            assert reports["columnar"].materialized_records == 0
+            assert reports["object"].materialized_records > 0
+            configs[config] = {
+                "columnar_speedup": round(
+                    reports["object"].total_seconds
+                    / reports["columnar"].total_seconds,
+                    2,
+                ),
+                "engines": {
+                    engine: {
+                        "total_seconds": round(report.total_seconds, 3),
+                        "materialized_records": report.materialized_records,
+                        "sections": {
+                            section.key: round(section.seconds, 4)
+                            for section in report.sections
+                        },
+                    }
+                    for engine, report in reports.items()
+                },
+            }
+    finally:
+        if previous_mmap is None:
+            os.environ.pop(MMAP_ENV_VAR, None)
+        else:
+            os.environ[MMAP_ENV_VAR] = previous_mmap
+        shutil.rmtree(archive, ignore_errors=True)
+
+    document = {
+        "benchmark": "report_scaling",
+        "seed": 7,
+        "scale": scale,
+        "cpu_count": os.cpu_count(),
+        "ml_samples": ML_SAMPLES,
+        "bot_requests": sum(corpus.service_volumes.values()),
+        "cold_load_seconds": round(cold_load_seconds, 3),
+        "warm_load_seconds": round(warm_load_seconds, 3),
+        "configs": configs,
+    }
+    result_path = _result_path(scale)
+    result_path.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {result_path}")
+    print(f"load: cold {cold_load_seconds:.3f}s, warm {warm_load_seconds:.3f}s (mmap)")
+    for config, entry in configs.items():
+        totals = {
+            engine: run["total_seconds"] for engine, run in entry["engines"].items()
+        }
+        print(
+            f"{config:>8}: columnar {totals['columnar']}s vs object "
+            f"{totals['object']}s — {entry['columnar_speedup']}x"
+        )
+
+    # The whole point of the columnar engine: at the baseline scale the
+    # engine-differentiated report must be at least 3x faster than the
+    # object oracle.
+    if scale >= BASELINE_SCALE:
+        speedup = configs["analysis"]["columnar_speedup"]
+        assert speedup >= 3.0, f"columnar speedup {speedup}x below 3x"

@@ -8,12 +8,13 @@ paper quotes, and ranks the fingerprint attributes that drive evasion.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.fingerprint.attributes import Attribute
-from repro.honeysite.storage import RequestStore
+from repro.fingerprint.fingerprint import Fingerprint
+from repro.honeysite.storage import LazyRequestStore, RecordColumns, RequestStore
 from repro.ml.encoding import FingerprintEncoder
 from repro.ml.explain import FeatureImportance, gain_importance, permutation_importance, top_features
 from repro.ml.forest import GradientBoostingClassifier, RandomForestClassifier
@@ -62,13 +63,14 @@ def train_evasion_classifier(
     if len(store) < 20:
         raise ValueError("need at least 20 requests to train a classifier")
     rng = np.random.default_rng(seed)
-    records = list(store)
-    if len(records) > max_samples:
-        indices = rng.choice(len(records), size=max_samples, replace=False)
-        records = [records[int(index)] for index in indices]
-
-    fingerprints = [record.request.fingerprint for record in records]
-    labels = np.array([1 if record.evaded(detector) else 0 for record in records], dtype=float)
+    if isinstance(store, LazyRequestStore):
+        fingerprints, labels = _training_rows_from_columns(
+            store.columns, detector, max_samples, rng
+        )
+    else:
+        fingerprints, labels = _training_rows_from_records(
+            store, detector, max_samples, rng
+        )
 
     encoder = encoder if encoder is not None else FingerprintEncoder()
     features = encoder.fit_transform(fingerprints)
@@ -95,6 +97,44 @@ def train_evasion_classifier(
         ),
         feature_names=feature_names,
     )
+
+
+def _training_rows_from_records(
+    store: RequestStore, detector: str, max_samples: int, rng
+) -> Tuple[List[Fingerprint], np.ndarray]:
+    """Object-path reference: subsample records, read fingerprint + label."""
+
+    records = list(store)
+    if len(records) > max_samples:
+        indices = rng.choice(len(records), size=max_samples, replace=False)
+        records = [records[int(index)] for index in indices]
+    fingerprints = [record.request.fingerprint for record in records]
+    labels = np.array(
+        [1 if record.evaded(detector) else 0 for record in records], dtype=float
+    )
+    return fingerprints, labels
+
+
+def _training_rows_from_columns(
+    columns: RecordColumns, detector: str, max_samples: int, rng
+) -> Tuple[List[Fingerprint], np.ndarray]:
+    """Columnar path: identical subsample draw (same rng consumption),
+    fingerprints gathered per *session* and labels from the evasion
+    column — no record object is built."""
+
+    n_rows = columns.n_rows
+    if n_rows > max_samples:
+        chosen = rng.choice(n_rows, size=max_samples, replace=False)
+        chosen = chosen.astype(np.int64)
+    else:
+        chosen = np.arange(n_rows, dtype=np.int64)
+    session_fingerprints = columns.session_fingerprints
+    fingerprints = [
+        session_fingerprints[code]
+        for code in np.asarray(columns.session_codes)[chosen].tolist()
+    ]
+    labels = columns.evaded_rows(detector)[chosen].astype(float)
+    return fingerprints, labels
 
 
 def table2(
@@ -129,6 +169,9 @@ def appendix_c_combination(store: RequestStore) -> CombinationRuleResult:
     to evade DataDome.
     """
 
+    if isinstance(store, LazyRequestStore):
+        return _appendix_c_from_columns(store)
+
     def matches(record) -> bool:
         frame = record.attribute(Attribute.SCREEN_FRAME)
         plugins = record.attribute(Attribute.PLUGINS) or ()
@@ -151,5 +194,39 @@ def appendix_c_combination(store: RequestStore) -> CombinationRuleResult:
     return CombinationRuleResult(
         matching_requests=len(matching),
         matching_datadome_evasion=matching.evasion_rate("DataDome"),
+        overall_datadome_evasion=store.evasion_rate("DataDome"),
+    )
+
+
+def _appendix_c_from_columns(store: LazyRequestStore) -> CombinationRuleResult:
+    """Columnar implementation of :func:`appendix_c_combination`: each
+    conjunct is one per-distinct-value predicate gathered to a row mask."""
+
+    columns = store.columns
+    matches = np.ones(columns.n_rows, dtype=bool)
+    for attribute, predicate in (
+        (Attribute.SCREEN_FRAME, lambda value: value is not None and value < 20),
+        (Attribute.PLUGINS, lambda value: "Chrome PDF Viewer" not in (value or ())),
+        (Attribute.DEVICE_MEMORY, lambda value: value is not None and value > 0.25),
+        (Attribute.HARDWARE_CONCURRENCY, lambda value: value is not None and value < 14),
+        (Attribute.MONOSPACE_WIDTH, lambda value: value is not None and value > 131.5),
+    ):
+        rows, values = columns.attribute_rows(attribute)
+        flags = np.fromiter(
+            (bool(predicate(value)) for value in values),
+            dtype=bool,
+            count=len(values),
+        )
+        valid = rows >= 0
+        row_flags = np.zeros(columns.n_rows, dtype=bool)
+        row_flags[valid] = flags[rows[valid]]
+        if predicate(None):
+            row_flags[~valid] = True
+        matches &= row_flags
+    matching = int(np.count_nonzero(matches))
+    matching_evaded = int(np.count_nonzero(matches & columns.evaded_rows("DataDome")))
+    return CombinationRuleResult(
+        matching_requests=matching,
+        matching_datadome_evasion=(matching_evaded / matching) if matching else 0.0,
         overall_datadome_evasion=store.evasion_rate("DataDome"),
     )

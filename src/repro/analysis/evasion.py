@@ -1,12 +1,20 @@
-"""Evasion-rate analyses (Table 1, Sections 5.3.1–5.3.3)."""
+"""Evasion-rate analyses (Table 1, Sections 5.3.1–5.3.3).
+
+Like the figure analyses, every function answers a columnar-backed store
+(:class:`~repro.honeysite.storage.LazyRequestStore`) from its code arrays
+without materialising a record object; the object-at-a-time path is the
+retained reference oracle.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.fingerprint.attributes import Attribute
-from repro.honeysite.storage import RequestStore
+from repro.honeysite.storage import LazyRequestStore, RequestStore
 
 
 @dataclass(frozen=True)
@@ -25,18 +33,10 @@ def table1_rows(store: RequestStore, *, services: Optional[Sequence[str]] = None
     Rows are ordered by descending request count, like the paper.
     """
 
-    # One pass over the store instead of one filtered re-scan per service:
-    # identical integer counts, so the rates are bit-identical too.
-    totals: Dict[str, int] = {}
-    datadome_evaded: Dict[str, int] = {}
-    botd_evaded: Dict[str, int] = {}
-    for record in store:
-        source = record.source
-        totals[source] = totals.get(source, 0) + 1
-        if record.datadome.evaded:
-            datadome_evaded[source] = datadome_evaded.get(source, 0) + 1
-        if record.botd.evaded:
-            botd_evaded[source] = botd_evaded.get(source, 0) + 1
+    if isinstance(store, LazyRequestStore):
+        totals, datadome_evaded, botd_evaded = _table1_counts_from_columns(store)
+    else:
+        totals, datadome_evaded, botd_evaded = _table1_counts_from_records(store)
     if services is None:
         services = store.sources()
     rows = []
@@ -54,6 +54,49 @@ def table1_rows(store: RequestStore, *, services: Optional[Sequence[str]] = None
         )
     rows.sort(key=lambda row: row.num_requests, reverse=True)
     return tuple(rows)
+
+
+def _table1_counts_from_records(
+    store: RequestStore,
+) -> Tuple[Dict[str, int], Dict[str, int], Dict[str, int]]:
+    """Object-path reference: one pass over the store instead of one
+    filtered re-scan per service — identical integer counts, so the rates
+    are bit-identical too."""
+
+    totals: Dict[str, int] = {}
+    datadome_evaded: Dict[str, int] = {}
+    botd_evaded: Dict[str, int] = {}
+    for record in store:
+        source = record.source
+        totals[source] = totals.get(source, 0) + 1
+        if record.datadome.evaded:
+            datadome_evaded[source] = datadome_evaded.get(source, 0) + 1
+        if record.botd.evaded:
+            botd_evaded[source] = botd_evaded.get(source, 0) + 1
+    return totals, datadome_evaded, botd_evaded
+
+
+def _table1_counts_from_columns(
+    store: LazyRequestStore,
+) -> Tuple[Dict[str, int], Dict[str, int], Dict[str, int]]:
+    """Columnar implementation: three bincounts over the source-code column."""
+
+    columns = store.columns
+    codes = columns.source_codes
+    names = columns.sources
+    counts = np.bincount(codes, minlength=len(names))
+    datadome = np.bincount(
+        codes[columns.evaded_rows("DataDome")], minlength=len(names)
+    )
+    botd = np.bincount(codes[columns.evaded_rows("BotD")], minlength=len(names))
+    totals = {name: int(counts[code]) for code, name in enumerate(names) if counts[code]}
+    datadome_evaded = {
+        name: int(datadome[code]) for code, name in enumerate(names) if datadome[code]
+    }
+    botd_evaded = {
+        name: int(botd[code]) for code, name in enumerate(names) if botd[code]
+    }
+    return totals, datadome_evaded, botd_evaded
 
 
 def overall_detection_rates(store: RequestStore) -> Dict[str, float]:
@@ -110,23 +153,49 @@ class CohortComparison:
     bottom_low_cores: float
 
 
-def _fraction(store: RequestStore, predicate) -> float:
+def _attribute_fraction(store: RequestStore, attribute: Attribute, value_predicate) -> float:
+    """Fraction of requests whose *attribute* value satisfies the predicate.
+
+    A columnar-backed store evaluates the predicate once per distinct
+    decoded value (plus once for ``None``, covering rows missing the
+    attribute) and counts rows with a gather — integer counts, so the
+    fraction is bit-identical to the record-iterating reference path.
+    """
+
     if len(store) == 0:
         return 0.0
-    return sum(1 for record in store if predicate(record)) / len(store)
+    if isinstance(store, LazyRequestStore):
+        rows, values = store.columns.attribute_rows(attribute)
+        flags = np.fromiter(
+            (bool(value_predicate(value)) for value in values),
+            dtype=bool,
+            count=len(values),
+        )
+        valid = rows >= 0
+        matches = int(np.count_nonzero(flags[rows[valid]]))
+        if value_predicate(None):
+            matches += int(np.count_nonzero(~valid))
+        return matches / len(store)
+    return (
+        sum(1 for record in store if value_predicate(record.attribute(attribute)))
+        / len(store)
+    )
 
 
-def _has_plugins(record) -> bool:
-    return bool(record.attribute(Attribute.PLUGINS))
+def _has_plugins_value(value) -> bool:
+    return bool(value)
 
 
-def _has_touch(record) -> bool:
-    return str(record.attribute(Attribute.TOUCH_SUPPORT)) not in ("", "None", "None")
+def _no_plugins_value(value) -> bool:
+    return not value
 
 
-def _low_cores(record) -> bool:
-    cores = record.attribute(Attribute.HARDWARE_CONCURRENCY)
-    return cores is not None and int(cores) < 8
+def _has_touch_value(value) -> bool:
+    return str(value) not in ("", "None")
+
+
+def _low_cores_value(value) -> bool:
+    return value is not None and int(value) < 8
 
 
 def cohort_comparison(store: RequestStore, detector: str, *, count: int = 3) -> CohortComparison:
@@ -134,8 +203,10 @@ def cohort_comparison(store: RequestStore, detector: str, *, count: int = 3) -> 
 
     rows = table1_rows(store)
     top, bottom = top_and_bottom_services(rows, detector, count=count)
-    top_store = store.filter(lambda record: record.source in top)
-    bottom_store = store.filter(lambda record: record.source in bottom)
+    # by_sources keeps a columnar store columnar; for an object store it is
+    # the same membership filter as before.
+    top_store = store.by_sources(top)
+    bottom_store = store.by_sources(bottom)
     return CohortComparison(
         detector=detector,
         top_services=top,
@@ -144,12 +215,12 @@ def cohort_comparison(store: RequestStore, detector: str, *, count: int = 3) -> 
         bottom_requests=len(bottom_store),
         top_evasion_rate=top_store.evasion_rate(detector),
         bottom_evasion_rate=bottom_store.evasion_rate(detector),
-        top_with_plugins=_fraction(top_store, _has_plugins),
-        bottom_with_plugins=_fraction(bottom_store, _has_plugins),
-        top_with_touch=_fraction(top_store, _has_touch),
-        bottom_with_touch=_fraction(bottom_store, _has_touch),
-        top_low_cores=_fraction(top_store, _low_cores),
-        bottom_low_cores=_fraction(bottom_store, _low_cores),
+        top_with_plugins=_attribute_fraction(top_store, Attribute.PLUGINS, _has_plugins_value),
+        bottom_with_plugins=_attribute_fraction(bottom_store, Attribute.PLUGINS, _has_plugins_value),
+        top_with_touch=_attribute_fraction(top_store, Attribute.TOUCH_SUPPORT, _has_touch_value),
+        bottom_with_touch=_attribute_fraction(bottom_store, Attribute.TOUCH_SUPPORT, _has_touch_value),
+        top_low_cores=_attribute_fraction(top_store, Attribute.HARDWARE_CONCURRENCY, _low_cores_value),
+        bottom_low_cores=_attribute_fraction(bottom_store, Attribute.HARDWARE_CONCURRENCY, _low_cores_value),
     )
 
 
@@ -175,13 +246,13 @@ def dual_evader_summary(store: RequestStore, *, threshold: float = 0.8) -> DualE
         for row in rows
         if row.datadome_evasion_rate > threshold and row.botd_evasion_rate > threshold
     )
-    cohort = store.filter(lambda record: record.source in services)
+    cohort = store.by_sources(services)
     return DualEvaderSummary(
         services=services,
         num_requests=len(cohort),
         datadome_evasion_rate=cohort.evasion_rate("DataDome"),
         botd_evasion_rate=cohort.evasion_rate("BotD"),
-        low_cores_fraction=_fraction(cohort, _low_cores),
-        no_plugins_fraction=_fraction(cohort, lambda record: not _has_plugins(record)),
-        touch_support_fraction=_fraction(cohort, _has_touch),
+        low_cores_fraction=_attribute_fraction(cohort, Attribute.HARDWARE_CONCURRENCY, _low_cores_value),
+        no_plugins_fraction=_attribute_fraction(cohort, Attribute.PLUGINS, _no_plugins_value),
+        touch_support_fraction=_attribute_fraction(cohort, Attribute.TOUCH_SUPPORT, _has_touch_value),
     )

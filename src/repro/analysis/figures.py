@@ -3,24 +3,99 @@
 Each function returns the data series behind one figure of the paper, in a
 plain structure (labels + values) that the reporting module can render as a
 text chart or CSV.
+
+Every figure follows the same engine split: a columnar-backed store
+(:class:`~repro.honeysite.storage.LazyRequestStore`) is answered straight
+from its :class:`~repro.honeysite.storage.RecordColumns` arrays with zero
+record objects materialised, while the object-at-a-time implementation is
+retained as the reference oracle (``tests/test_report.py`` pins
+value-identity between the two).
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.devices.profiles import CHROMIUM_PDF_PLUGINS
 from repro.devices.screens import is_real_iphone_resolution
 from repro.fingerprint.attributes import Attribute, parse_resolution
+from repro.fingerprint.fingerprint import _json_default, grouping_value
 from repro.honeysite.storage import (
     SECONDS_PER_DAY,
     LazyRequestStore,
     RecordColumns,
     RequestStore,
 )
+
+
+# ---------------------------------------------------------------------------
+# Shared columnar helpers
+# ---------------------------------------------------------------------------
+
+
+def _first_occurrence_rows(
+    row_codes: np.ndarray, keys: Sequence
+) -> Tuple[np.ndarray, List]:
+    """Re-code a row column by ``keys[code]`` in row first-occurrence order.
+
+    ``row_codes`` may contain ``-1`` (attribute missing) and several input
+    codes may share one key; both the missing rows and the rows whose key
+    is ``None`` map to ``-1``.  Output codes count up in the order their
+    key first appears in row order — exactly the insertion order of the
+    dict the object path accumulates, which the figures' stable sorts
+    tie-break on.
+    """
+
+    n_keys = len(keys)
+    row_codes = np.asarray(row_codes, dtype=np.int64)
+    canonical: Dict[object, int] = {}
+    canon = np.empty(n_keys + 1, dtype=np.int64)
+    for code, key in enumerate(keys):
+        canon[code] = -1 if key is None else canonical.setdefault(key, code)
+    canon[n_keys] = -1  # the "attribute missing" bucket
+    canon_rows = canon[np.where(row_codes < 0, n_keys, row_codes)]
+    valid = canon_rows >= 0
+    out = np.full(row_codes.size, -1, dtype=np.int64)
+    if not valid.any():
+        return out, []
+    positions = np.nonzero(valid)[0]
+    first_row = np.full(n_keys, row_codes.size, dtype=np.int64)
+    np.minimum.at(first_row, canon_rows[valid], positions)
+    used = np.nonzero(first_row < row_codes.size)[0]
+    used = used[np.argsort(first_row[used], kind="stable")]
+    remap = np.full(n_keys, -1, dtype=np.int64)
+    remap[used] = np.arange(used.size, dtype=np.int64)
+    out[valid] = remap[canon_rows[valid]]
+    return out, [keys[int(code)] for code in used]
+
+
+def _grouping_rows(
+    columns: RecordColumns, attribute: Attribute
+) -> Tuple[np.ndarray, List]:
+    """Per-row codes over *grouping* values, in row first-occurrence order.
+
+    The decode list holds the distinct non-``None`` grouping values in the
+    order they first appear in row order — the key order of the object
+    path's ``unique_values`` histogram with its ``None`` bucket dropped.
+    ``grouping_value`` runs once per distinct raw value, not once per row.
+    """
+
+    raw_rows, raw_values = columns.attribute_rows(attribute)
+    keys = [grouping_value(attribute, value) for value in raw_values]
+    return _first_occurrence_rows(raw_rows, keys)
+
+
+def _value_flags(values: Sequence, predicate) -> np.ndarray:
+    """``predicate`` evaluated once per distinct decoded value."""
+
+    return np.fromiter(
+        (bool(predicate(value)) for value in values), dtype=bool, count=len(values)
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -42,18 +117,65 @@ def figure4_plugin_evasion(
 ) -> Tuple[PluginEvasionPoint, ...]:
     """P(evading BotD | plugin present) for each common PDF plugin."""
 
-    points = []
-    for plugin in plugins:
-        subset = store.filter(lambda record, p=plugin: p in (record.attribute(Attribute.PLUGINS) or ()))
-        points.append(
-            PluginEvasionPoint(
-                plugin=plugin,
-                requests=len(subset),
-                evasion_probability=subset.evasion_rate("BotD"),
-            )
-        )
+    if isinstance(store, LazyRequestStore):
+        points = _figure4_from_columns(store.columns, plugins)
+    else:
+        points = _figure4_from_records(store, plugins)
     points.sort(key=lambda point: point.evasion_probability, reverse=True)
     return tuple(points)
+
+
+def _figure4_points(plugins, requests, evaded) -> List[PluginEvasionPoint]:
+    return [
+        PluginEvasionPoint(
+            plugin=plugin,
+            requests=requests[plugin],
+            evasion_probability=(
+                evaded[plugin] / requests[plugin] if requests[plugin] else 0.0
+            ),
+        )
+        for plugin in plugins
+    ]
+
+
+def _figure4_from_records(store: RequestStore, plugins: Sequence[str]) -> List[PluginEvasionPoint]:
+    """Object-path reference: one counting pass instead of one filtered
+    re-scan per plugin — identical integer counts, bit-identical rates."""
+
+    requests = {plugin: 0 for plugin in plugins}
+    evaded = {plugin: 0 for plugin in plugins}
+    for record in store:
+        present = record.attribute(Attribute.PLUGINS) or ()
+        if not present:
+            continue
+        record_evaded = record.evaded("BotD")
+        for plugin in plugins:
+            if plugin in present:
+                requests[plugin] += 1
+                if record_evaded:
+                    evaded[plugin] += 1
+    return _figure4_points(plugins, requests, evaded)
+
+
+def _figure4_from_columns(
+    columns: RecordColumns, plugins: Sequence[str]
+) -> List[PluginEvasionPoint]:
+    """Columnar implementation: plugin membership is decided once per
+    distinct plugin tuple, row totals come from two bincounts."""
+
+    rows, values = columns.attribute_rows(Attribute.PLUGINS)
+    valid = rows >= 0
+    counts = np.bincount(rows[valid], minlength=len(values))
+    evaded_counts = np.bincount(
+        rows[valid & columns.evaded_rows("BotD")], minlength=len(values)
+    )
+    requests = {}
+    evaded = {}
+    for plugin in plugins:
+        member = _value_flags(values, lambda value, p=plugin: p in (value or ()))
+        requests[plugin] = int(counts[member].sum())
+        evaded[plugin] = int(evaded_counts[member].sum())
+    return _figure4_points(plugins, requests, evaded)
 
 
 # ---------------------------------------------------------------------------
@@ -97,6 +219,31 @@ def _core_cdf(store: RequestStore, label: str) -> CoreCountCdf:
     )
 
 
+def _core_cdf_from_columns(columns: RecordColumns, label: str) -> CoreCountCdf:
+    """Columnar counterpart of :func:`_core_cdf` (decode once per distinct
+    core count, sort the gathered ``int64`` column)."""
+
+    rows, values = columns.attribute_rows(Attribute.HARDWARE_CONCURRENCY)
+    present = _value_flags(values, lambda value: value is not None)
+    decoded = np.fromiter(
+        (0 if value is None else int(value) for value in values),
+        dtype=np.int64,
+        count=len(values),
+    )
+    valid = rows >= 0
+    valid[valid] = present[rows[valid]]
+    if not valid.any():
+        return CoreCountCdf(label=label, core_counts=(), cumulative_probability=())
+    array = np.sort(decoded[rows[valid]])
+    unique, counts = np.unique(array, return_counts=True)
+    cumulative = np.cumsum(counts) / array.size
+    return CoreCountCdf(
+        label=label,
+        core_counts=tuple(int(value) for value in unique),
+        cumulative_probability=tuple(float(value) for value in cumulative),
+    )
+
+
 def figure5_core_cdfs(
     store: RequestStore,
     high_evasion_services: Sequence[str],
@@ -104,6 +251,13 @@ def figure5_core_cdfs(
 ) -> Tuple[CoreCountCdf, CoreCountCdf]:
     """The two CDF curves of Figure 5 (high- and low-evasion cohorts)."""
 
+    if isinstance(store, LazyRequestStore):
+        high = store.by_sources(tuple(high_evasion_services))
+        low = store.by_sources(tuple(low_evasion_services))
+        return (
+            _core_cdf_from_columns(high.columns, "High evasion rate"),
+            _core_cdf_from_columns(low.columns, "Low evasion rate"),
+        )
     high = store.filter(lambda record: record.source in tuple(high_evasion_services))
     low = store.filter(lambda record: record.source in tuple(low_evasion_services))
     return (_core_cdf(high, "High evasion rate"), _core_cdf(low, "Low evasion rate"))
@@ -129,6 +283,23 @@ def figure6_device_evasion(
     """The UA device families with the highest probability of evading
     *detector* (Figure 6 uses DataDome and the top 4)."""
 
+    if isinstance(store, LazyRequestStore):
+        points = _figure6_from_columns(
+            store.columns, detector=detector, min_requests=min_requests
+        )
+    else:
+        points = _figure6_from_records(
+            store, detector=detector, min_requests=min_requests
+        )
+    points.sort(key=lambda point: point.evasion_probability, reverse=True)
+    return tuple(points[:top])
+
+
+def _figure6_from_records(
+    store: RequestStore, *, detector: str, min_requests: int
+) -> List[DeviceEvasionPoint]:
+    """Object-path reference implementation of :func:`figure6_device_evasion`."""
+
     histogram = store.unique_values(Attribute.UA_DEVICE)
     points = []
     for device, count in histogram.items():
@@ -144,8 +315,33 @@ def figure6_device_evasion(
                 evasion_probability=subset.evasion_rate(detector),
             )
         )
-    points.sort(key=lambda point: point.evasion_probability, reverse=True)
-    return tuple(points[:top])
+    return points
+
+
+def _figure6_from_columns(
+    columns: RecordColumns, *, detector: str, min_requests: int
+) -> List[DeviceEvasionPoint]:
+    """Columnar implementation over the grouped UA-device code column."""
+
+    rows, devices = _grouping_rows(columns, Attribute.UA_DEVICE)
+    valid = rows >= 0
+    counts = np.bincount(rows[valid], minlength=len(devices))
+    evaded_counts = np.bincount(
+        rows[valid & columns.evaded_rows(detector)], minlength=len(devices)
+    )
+    points = []
+    for code, device in enumerate(devices):
+        count = int(counts[code])
+        if count < min_requests:
+            continue
+        points.append(
+            DeviceEvasionPoint(
+                device=str(device),
+                requests=count,
+                evasion_probability=int(evaded_counts[code]) / count,
+            )
+        )
+    return points
 
 
 # ---------------------------------------------------------------------------
@@ -182,6 +378,60 @@ def figure7_iphone_resolutions(
     store: RequestStore, *, detector: str = "DataDome", top: int = 10, min_requests: int = 10
 ) -> IphoneResolutionAnalysis:
     """Resolution spread of requests claiming to be iPhones (Section 6.1)."""
+
+    if isinstance(store, LazyRequestStore):
+        return _figure7_from_columns(
+            store.columns, detector=detector, top=top, min_requests=min_requests
+        )
+    return _figure7_from_records(
+        store, detector=detector, top=top, min_requests=min_requests
+    )
+
+
+def _figure7_from_columns(
+    columns: RecordColumns, *, detector: str, top: int, min_requests: int
+) -> IphoneResolutionAnalysis:
+    """Columnar implementation: the iPhone subset is a row slice, both
+    resolution histograms are bincounts over the grouped code column."""
+
+    device_rows, devices = _grouping_rows(columns, Attribute.UA_DEVICE)
+    try:
+        iphone_code = devices.index("iPhone")
+    except ValueError:
+        iphone_rows = np.empty(0, dtype=np.int64)
+    else:
+        iphone_rows = np.nonzero(device_rows == iphone_code)[0]
+    iphone = columns.take(iphone_rows)
+    rows, resolutions = _grouping_rows(iphone, Attribute.SCREEN_RESOLUTION)
+    valid = rows >= 0
+    counts = np.bincount(rows[valid], minlength=len(resolutions))
+    evaded_valid = valid & iphone.evaded_rows(detector)
+    evaded_counts = np.bincount(rows[evaded_valid], minlength=len(resolutions))
+    points = []
+    for code, resolution in enumerate(resolutions):
+        count = int(counts[code])
+        if count < min_requests:
+            continue
+        points.append(
+            ResolutionEvasionPoint(
+                resolution=str(resolution),
+                requests=count,
+                evasion_probability=int(evaded_counts[code]) / count,
+                exists_on_real_iphone=is_real_iphone_resolution(parse_resolution(resolution)),
+            )
+        )
+    points.sort(key=lambda point: (point.evasion_probability, point.requests), reverse=True)
+    return IphoneResolutionAnalysis(
+        unique_resolutions=len(resolutions),
+        unique_resolutions_among_evading=int(np.unique(rows[evaded_valid]).size),
+        top_points=tuple(points[:top]),
+    )
+
+
+def _figure7_from_records(
+    store: RequestStore, *, detector: str, top: int, min_requests: int
+) -> IphoneResolutionAnalysis:
+    """Object-path reference implementation of :func:`figure7_iphone_resolutions`."""
 
     iphone_store = store.filter(
         lambda record: record.request.fingerprint.value_for_grouping(Attribute.UA_DEVICE) == "iPhone"
@@ -233,6 +483,17 @@ class GeoMismatchSummary:
     timezone_match_rate: float
 
 
+def _timezone_matches_value(value, region, matcher) -> bool:
+    """The object path's per-record timezone check, on one decoded value."""
+
+    if not value:
+        return False
+    try:
+        return bool(matcher(str(value), region))
+    except KeyError:
+        return False
+
+
 def section62_geo_match(
     store: RequestStore,
     services_with_regions: Dict[str, str],
@@ -240,6 +501,39 @@ def section62_geo_match(
     """Match rates of the advertised region via IP vs via browser timezone."""
 
     from repro.geo.timezones import country_matches_region, timezone_matches_region
+
+    if isinstance(store, LazyRequestStore):
+        summaries = []
+        for service, region in services_with_regions.items():
+            service_store = store.by_source(service)
+            requests = len(service_store)
+            if requests == 0:
+                continue
+            columns = service_store.columns
+            country_rows, countries = columns.attribute_rows(Attribute.IP_COUNTRY)
+            country_ok = _value_flags(
+                countries,
+                lambda value: bool(value) and country_matches_region(str(value), region),
+            )
+            country_valid = country_rows >= 0
+            ip_matches = int(np.count_nonzero(country_ok[country_rows[country_valid]]))
+            tz_rows, timezones = columns.attribute_rows(Attribute.TIMEZONE)
+            tz_ok = _value_flags(
+                timezones,
+                lambda value: _timezone_matches_value(value, region, timezone_matches_region),
+            )
+            tz_valid = tz_rows >= 0
+            timezone_matches = int(np.count_nonzero(tz_ok[tz_rows[tz_valid]]))
+            summaries.append(
+                GeoMismatchSummary(
+                    service=service,
+                    advertised_region=region,
+                    requests=requests,
+                    ip_match_rate=ip_matches / requests,
+                    timezone_match_rate=timezone_matches / requests,
+                )
+            )
+        return tuple(summaries)
 
     summaries = []
     for service, region in services_with_regions.items():
@@ -278,6 +572,26 @@ def figure8_location_histograms(store: RequestStore) -> Tuple[Dict[str, int], Di
     """
 
     from repro.geo.timezones import country_of_timezone
+
+    if isinstance(store, LazyRequestStore):
+        columns = store.columns
+
+        def histogram(attribute: Attribute, key_of) -> Dict[str, int]:
+            raw_rows, raw_values = columns.attribute_rows(attribute)
+            codes, keys = _first_occurrence_rows(
+                raw_rows, [key_of(value) for value in raw_values]
+            )
+            counts = np.bincount(codes[codes >= 0], minlength=len(keys))
+            return {str(key): int(count) for key, count in zip(keys, counts)}
+
+        by_timezone = histogram(
+            Attribute.TIMEZONE,
+            lambda value: (country_of_timezone(str(value)) or "Unknown") if value else None,
+        )
+        by_ip = histogram(
+            Attribute.IP_COUNTRY, lambda value: str(value) if value else None
+        )
+        return by_timezone, by_ip
 
     by_timezone: Dict[str, int] = {}
     by_ip: Dict[str, int] = {}
@@ -337,6 +651,15 @@ def _figure9_from_records(store: RequestStore) -> DailySeries:
     )
 
 
+#: Transport-level attributes :meth:`Fingerprint.stable_hash` excludes.
+_TRANSPORT_ATTRIBUTES = (
+    Attribute.IP_ADDRESS,
+    Attribute.IP_COUNTRY,
+    Attribute.IP_REGION,
+    Attribute.ASN,
+)
+
+
 def _canonical_fingerprint_rows(columns: RecordColumns) -> np.ndarray:
     """Per-row fingerprint codes, canonicalised by stable hash.
 
@@ -345,18 +668,69 @@ def _canonical_fingerprint_rows(columns: RecordColumns) -> np.ndarray:
     set-of-hashes semantics.  (Cookie and address columns go through
     :meth:`RecordColumns.cookie_columns` / :meth:`~RecordColumns.ip_columns`
     instead — only the hash case needs a bespoke canonicalisation.)
+
+    :meth:`~repro.fingerprint.fingerprint.Fingerprint.stable_hash`
+    serialises the browser-side attributes with ``sort_keys=True``, so its
+    payload can be assembled from per-distinct-``(attribute, value)`` JSON
+    fragments joined in attribute-name order — one serialisation per
+    distinct pair and one SHA-256 per session, with no
+    :class:`~repro.fingerprint.fingerprint.Fingerprint` decoded at all.
     """
 
-    canonical: Dict[str, int] = {}
-    session_codes = np.fromiter(
-        (
-            canonical.setdefault(fingerprint.stable_hash(), position)
-            for position, fingerprint in enumerate(columns.session_fingerprints)
-        ),
-        dtype=np.int64,
-        count=columns.n_sessions,
+    sessions = columns.sessions
+    n_sessions = columns.n_sessions
+    names = sessions.fp_attribute_names
+    excluded = {attribute.value for attribute in _TRANSPORT_ATTRIBUTES}
+    # One JSON fragment (the payload minus its braces) per distinct pair.
+    fragments: List[List[str]] = []
+    for code, name in enumerate(names):
+        if name in excluded:
+            fragments.append([])
+            continue
+        fragments.append(
+            [
+                json.dumps(
+                    {name: value},
+                    sort_keys=True,
+                    default=_json_default,
+                    separators=(",", ":"),
+                )[1:-1]
+                for value in sessions.fp_values[code]
+            ]
+        )
+
+    attr_codes = np.asarray(sessions.fp_attr_codes, dtype=np.int64)
+    value_codes = np.asarray(sessions.fp_value_codes, dtype=np.int64)
+    offsets = np.asarray(sessions.fp_offsets, dtype=np.int64)
+    owners = np.repeat(np.arange(n_sessions, dtype=np.int64), np.diff(offsets))
+    keep = np.fromiter(
+        (name not in excluded for name in names), dtype=bool, count=len(names)
+    )[attr_codes] if len(names) else np.zeros(0, dtype=bool)
+    # ``sort_keys`` orders by attribute name; rank codes the same way.
+    name_rank = np.empty(len(names), dtype=np.int64)
+    name_rank[sorted(range(len(names)), key=names.__getitem__)] = np.arange(len(names))
+    order = np.lexsort((name_rank[attr_codes[keep]], owners[keep]))
+    kept_attrs = attr_codes[keep][order]
+    kept_values = value_codes[keep][order]
+    bounds = np.searchsorted(owners[keep][order], np.arange(n_sessions + 1)).tolist()
+
+    # One flat fragment pool, gathered per pair in a single fancy index.
+    bases = np.zeros(len(names) + 1, dtype=np.int64)
+    np.cumsum([len(table) for table in fragments], out=bases[1:])
+    pool = np.array(
+        [fragment for table in fragments for fragment in table] or [""], dtype=object
     )
-    return session_codes[columns.session_codes]
+    pair_fragments = pool[bases[kept_attrs] + kept_values].tolist()
+
+    canonical: Dict[str, int] = {}
+    session_canon = np.empty(n_sessions, dtype=np.int64)
+    for session in range(n_sessions):
+        payload = (
+            "{" + ",".join(pair_fragments[bounds[session] : bounds[session + 1]]) + "}"
+        )
+        digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        session_canon[session] = canonical.setdefault(digest, session)
+    return session_canon[columns.session_codes]
 
 
 def _row_days(columns: RecordColumns) -> np.ndarray:
@@ -460,6 +834,46 @@ class CookiePlatformSpread:
 
 def figure10_platform_spread(store: RequestStore) -> Optional[CookiePlatformSpread]:
     """Platform values reported by the device with the busiest cookie."""
+
+    if isinstance(store, LazyRequestStore):
+        return _figure10_from_columns(store.columns)
+    return _figure10_from_records(store)
+
+
+def _figure10_from_columns(columns: RecordColumns) -> Optional[CookiePlatformSpread]:
+    """Columnar implementation: busiest cookie via bincount + first-max
+    argmax (the ``max()``-over-insertion-order semantics of the object
+    path), platform spread via one more bincount over its row slice."""
+
+    if not columns.n_rows:
+        return None
+    cookie_rows, cookies = columns.cookie_columns()
+    cookie_counts = np.bincount(cookie_rows, minlength=len(cookies))
+    busiest = int(np.argmax(cookie_counts))
+    subset = np.nonzero(cookie_rows == busiest)[0]
+    platform_raw, platform_values = columns.attribute_rows(Attribute.PLATFORM)
+    codes, platforms = _first_occurrence_rows(
+        platform_raw[subset],
+        [None if value is None else str(value) for value in platform_values],
+    )
+    counts = np.bincount(codes[codes >= 0], minlength=len(platforms))
+    total = int(counts.sum())
+    if total == 0:
+        return None
+    order = sorted(
+        range(len(platforms)), key=lambda code: int(counts[code]), reverse=True
+    )
+    return CookiePlatformSpread(
+        cookie=cookies[busiest],
+        requests=int(cookie_counts[busiest]),
+        platform_percentages={
+            platforms[code]: 100.0 * int(counts[code]) / total for code in order
+        },
+    )
+
+
+def _figure10_from_records(store: RequestStore) -> Optional[CookiePlatformSpread]:
+    """Object-path reference implementation of :func:`figure10_platform_spread`."""
 
     groups = store.group_by_cookie()
     if not groups:

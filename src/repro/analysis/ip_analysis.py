@@ -1,4 +1,10 @@
-"""IP address and ASN block-list analysis (Section 5.1)."""
+"""IP address and ASN block-list analysis (Section 5.1).
+
+Columnar-backed stores are answered from their first-occurrence IP code
+column: the block-list lookup runs once per *distinct* address and the
+evasion counts come from boolean gathers — zero record objects.  The
+record-iterating path is the retained reference oracle.
+"""
 
 from __future__ import annotations
 
@@ -9,7 +15,25 @@ import numpy as np
 
 from repro.geo.asn import AsnBlocklist, IpBlocklist
 from repro.geo.geolite import GeoDatabase, build_ip_blocklist
-from repro.honeysite.storage import RequestStore
+from repro.honeysite.storage import LazyRequestStore, RequestStore
+
+
+def _blocked_analysis(store: LazyRequestStore, is_blocked):
+    """(total, blocked, blocked DataDome evaded, blocked BotD evaded) row
+    counts with *is_blocked* evaluated once per distinct address."""
+
+    columns = store.columns
+    ip_rows, ip_values = columns.ip_columns()
+    blocked_values = np.fromiter(
+        (bool(is_blocked(address)) for address in ip_values),
+        dtype=bool,
+        count=len(ip_values),
+    )
+    blocked = blocked_values[ip_rows] if ip_rows.size else np.zeros(0, dtype=bool)
+    n_blocked = int(np.count_nonzero(blocked))
+    datadome = int(np.count_nonzero(blocked & columns.evaded_rows("DataDome")))
+    botd = int(np.count_nonzero(blocked & columns.evaded_rows("BotD")))
+    return columns.n_rows, n_blocked, datadome, botd
 
 
 @dataclass(frozen=True)
@@ -37,6 +61,17 @@ def analyze_asn_blocklist(
     """
 
     blocklist = blocklist if blocklist is not None else AsnBlocklist()
+    if isinstance(store, LazyRequestStore):
+        total, flagged, datadome, botd = _blocked_analysis(
+            store, lambda address: blocklist.is_blocked(geo.asn_of(address))
+        )
+        return AsnBlocklistAnalysis(
+            total_requests=total,
+            flagged_requests=flagged,
+            flagged_fraction=flagged / total if total else 0.0,
+            flagged_datadome_evasion=(datadome / flagged) if flagged else 0.0,
+            flagged_botd_evasion=(botd / flagged) if flagged else 0.0,
+        )
     flagged = store.filter(
         lambda record: blocklist.is_blocked(geo.asn_of(record.request.ip_address))
     )
@@ -77,8 +112,25 @@ def analyze_ip_blocklist(
     """
 
     if blocklist is None:
-        addresses = {record.request.ip_address for record in store}
+        if isinstance(store, LazyRequestStore):
+            # The distinct-address set off the IP code column; the builder
+            # sorts it, so the sampled list is identical to the object
+            # path's set-comprehension draw.
+            addresses = set(store.columns.ip_columns()[1])
+        else:
+            addresses = {record.request.ip_address for record in store}
         blocklist = build_ip_blocklist(addresses, np.random.default_rng(seed), coverage)
+    if isinstance(store, LazyRequestStore):
+        total, covered, datadome, botd = _blocked_analysis(
+            store, blocklist.is_blocked
+        )
+        return IpBlocklistAnalysis(
+            total_requests=total,
+            covered_requests=covered,
+            coverage=covered / total if total else 0.0,
+            covered_datadome_evasion=(datadome / covered) if covered else 0.0,
+            covered_botd_evasion=(botd / covered) if covered else 0.0,
+        )
     covered = store.filter(lambda record: blocklist.is_blocked(record.request.ip_address))
     total = len(store)
     return IpBlocklistAnalysis(

@@ -1,9 +1,10 @@
 """The ``repro`` command line interface.
 
-Five subcommands cover the reproduction workflow end to end::
+Six subcommands cover the reproduction workflow end to end::
 
     repro corpus    build (or load from cache) a measurement corpus
     repro pipeline  build a corpus and run the FP-Inconsistent evaluation
+    repro report    regenerate every paper table and figure from a corpus
     repro stream    replay a corpus through the online streaming detector
     repro serve     replay a corpus through the parallel detection gateway
     repro bench     measure serial vs. sharded corpus-build throughput
@@ -350,6 +351,68 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         print(f"pipeline: wrote {args.json}", file=sys.stderr)
     json.dump(summary, sys.stdout, indent=1, sort_keys=True)
     print()
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.cache import corpus_cache_key
+    from repro.analysis.report import generate_report, report_section_keys
+
+    parser = args.parser
+    _validate_corpus_args(parser, args)
+    if args.ml_samples < 20:
+        parser.error(f"--ml-samples must be >= 20, got {args.ml_samples}")
+    sections = None
+    if args.sections:
+        sections = [part.strip() for part in args.sections.split(",") if part.strip()]
+        unknown = sorted(set(sections) - set(report_section_keys()))
+        if unknown:
+            parser.error(
+                f"unknown report section(s): {', '.join(unknown)}; "
+                f"known: {', '.join(report_section_keys())}"
+            )
+
+    corpus = _build_from_args(args)
+    cache_key = corpus_cache_key(
+        seed=args.seed,
+        scale=args.scale if args.scale is not None else default_scale(),
+        include_real_users=not args.no_real_users,
+        include_privacy=args.include_privacy,
+        real_user_requests=args.real_user_requests,
+        privacy_requests_each=args.privacy_requests,
+        campaign_days=args.campaign_days,
+    )
+    report = generate_report(
+        corpus,
+        engine=args.engine,
+        ml_samples=args.ml_samples,
+        sections=sections,
+        cache_key=cache_key,
+    )
+    print(report.render())
+    print(
+        f"report: {len(report.sections)} section(s) in {report.total_seconds:.2f}s "
+        f"({args.engine} engine, {report.materialized_records} record object(s) "
+        "materialised)",
+        file=sys.stderr,
+    )
+    for section in report.sections:
+        print(
+            f"report:   {section.key}: {section.seconds:.3f}s [{section.digest}]",
+            file=sys.stderr,
+        )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_document(), handle, indent=1, sort_keys=True, default=str)
+            handle.write("\n")
+        print(f"report: wrote {args.json}", file=sys.stderr)
+    if args.check_materialization and report.materialized_records:
+        print(
+            f"report: FAIL — {report.materialized_records} record object(s) "
+            f"materialised on the {args.engine} engine",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -799,6 +862,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the full result document (filter list, Tables 3/4) as JSON",
     )
     pipeline_parser.set_defaults(func=_cmd_pipeline, parser=pipeline_parser)
+
+    report_parser = subparsers.add_parser(
+        "report", help="regenerate every paper table and figure from a corpus"
+    )
+    _add_corpus_arguments(report_parser)
+    report_group = report_parser.add_argument_group("report")
+    report_group.add_argument(
+        "--engine",
+        choices=("columnar", "object"),
+        default="columnar",
+        help="analysis engine: zero-materialisation columnar (default) or the "
+        "record-at-a-time object reference; output is value-identical",
+    )
+    report_group.add_argument(
+        "--sections",
+        default=None,
+        metavar="KEYS",
+        help="comma-separated subset of report sections (default: all)",
+    )
+    report_group.add_argument(
+        "--ml-samples",
+        type=int,
+        default=4000,
+        metavar="N",
+        help="training-sample cap for the Table 2 classifiers (default 4000)",
+    )
+    report_group.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the full report document (per-section seconds, "
+        "digests, data, materialised-record counter, corpus cache key) as JSON",
+    )
+    report_group.add_argument(
+        "--check-materialization",
+        action="store_true",
+        help="exit non-zero if any record object was materialised "
+        "(guards the columnar path's zero-materialisation invariant)",
+    )
+    report_parser.set_defaults(func=_cmd_report, parser=report_parser)
 
     stream_parser = subparsers.add_parser(
         "stream", help="replay a corpus through the online streaming detector"

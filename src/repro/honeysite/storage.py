@@ -318,7 +318,13 @@ class SessionArrays:
         "decision_detector_names",
         "decision_signal_values",
     )
-    _CACHE_FIELDS = ("_fingerprints", "_header_maps", "_decision_objects", "_attributes")
+    _CACHE_FIELDS = (
+        "_fingerprints",
+        "_header_maps",
+        "_decision_objects",
+        "_attributes",
+        "_attribute_columns",
+    )
 
     __slots__ = _ARRAY_FIELDS + _LIST_FIELDS + _CACHE_FIELDS
 
@@ -334,6 +340,7 @@ class SessionArrays:
         self._header_maps = None
         self._decision_objects = None
         self._attributes = None
+        self._attribute_columns = None
 
     # -- pickling (transport purity) ---------------------------------------
 
@@ -361,6 +368,43 @@ class SessionArrays:
     @property
     def n_decisions(self) -> int:
         return int(self.decision_is_bot.size)
+
+    # -- columnar attribute access -----------------------------------------
+
+    def attribute_value_codes(self, name: str) -> Tuple[np.ndarray, List[Any]]:
+        """Per-session value codes of fingerprint attribute *name*.
+
+        Returns ``(codes, values)``: ``codes[session]`` indexes *values*
+        (the attribute's raw-value side table) or is ``-1`` when the
+        session's fingerprint does not carry the attribute.  One
+        vectorized scan of the pair stream per attribute, memoized — the
+        columnar figure/table paths gather these through
+        ``RecordColumns.session_codes`` instead of decoding fingerprints.
+        """
+
+        if self._attribute_columns is None:
+            self._attribute_columns = {}
+        cached = self._attribute_columns.get(name)
+        if cached is not None:
+            return cached
+        codes = np.full(self.n_sessions, -1, dtype=np.int64)
+        values: List[Any] = []
+        try:
+            acode = self.fp_attribute_names.index(name)
+        except ValueError:
+            pass
+        else:
+            values = self.fp_values[acode]
+            pairs = np.nonzero(np.asarray(self.fp_attr_codes) == acode)[0]
+            # A fingerprint is a dict, so each session holds at most one
+            # pair per attribute; the owning session of pair p is the
+            # offset interval it falls into.
+            owners = (
+                np.searchsorted(np.asarray(self.fp_offsets), pairs, side="right") - 1
+            )
+            codes[owners] = np.asarray(self.fp_value_codes)[pairs]
+        self._attribute_columns[name] = (codes, values)
+        return codes, values
 
     # -- encoding ----------------------------------------------------------
 
@@ -1040,6 +1084,20 @@ class RecordColumns:
 
         return _first_occurrence_recode(self.session_codes, self.session_ips)
 
+    def attribute_rows(self, attribute) -> Tuple[np.ndarray, List[Any]]:
+        """Per-row raw-value codes of fingerprint *attribute*.
+
+        ``codes[row]`` indexes the returned decode list, or is ``-1`` when
+        the row's session does not carry the attribute — the columnar
+        counterpart of reading ``record.attribute(attribute)`` per row.
+        The per-session column is computed once per attribute and shared
+        by every row subset (:meth:`take` shares the session block).
+        """
+
+        name = attribute.value if isinstance(attribute, Attribute) else str(attribute)
+        codes, values = self.sessions.attribute_value_codes(name)
+        return codes[self.session_codes], values
+
     def evaded_rows(self, detector: str) -> np.ndarray:
         """Boolean per-row evasion column of *detector*, straight from the
         session-deduplicated decision arrays (``evaded == not is_bot``) —
@@ -1659,6 +1717,22 @@ class RequestStore:
         return cls(records)
 
 
+#: Process-wide total of record objects built out of lazy stores.
+_MATERIALIZED_RECORDS = 0
+
+
+def materialized_record_count() -> int:
+    """Total record objects materialised out of :class:`LazyRequestStore`
+    instances since process start.
+
+    Fully columnar consumers (the figure/table ports, ``repro report``)
+    snapshot this before and after a run and assert a delta of zero —
+    the observable form of the "no record objects" contract.
+    """
+
+    return _MATERIALIZED_RECORDS
+
+
 class LazyRequestStore(RequestStore):
     """A :class:`RequestStore` backed by :class:`RecordColumns`.
 
@@ -1750,6 +1824,8 @@ class LazyRequestStore(RequestStore):
                 },
             )
             append(record)
+        global _MATERIALIZED_RECORDS
+        _MATERIALIZED_RECORDS += len(records)
         return records
 
     # -- immutability ----------------------------------------------------------
@@ -1786,6 +1862,13 @@ class LazyRequestStore(RequestStore):
         if not len(self):
             return 0.0
         return int(np.count_nonzero(self._columns.evaded_rows(detector))) / len(self)
+
+    def detection_rate(self, detector: str) -> float:
+        # The base implementation's emptiness check touches ``_records``
+        # and would materialise; same arithmetic off the decision column.
+        if not len(self):
+            return 0.0
+        return 1.0 - self.evasion_rate(detector)
 
     def _take(self, rows: np.ndarray) -> "LazyRequestStore":
         return LazyRequestStore(self._columns.take(rows))

@@ -1,0 +1,299 @@
+"""Tests for the columnar reporting engine (``repro report``).
+
+Pins the PR-9 contract: every ported analysis answers a columnar-backed
+store bit-identically to the retained object-path oracle — on a regular
+corpus, on edge-case stores (empty, no evading rows, missing probed
+attributes, a single session) and on a memory-mapped archive — and the
+columnar engine materialises zero record objects while doing so.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.attributes import (
+    appendix_c_combination,
+    table2,
+    train_evasion_classifier,
+)
+from repro.analysis.cache import MMAP_ENV_VAR, load_corpus, save_corpus
+from repro.analysis.engine import CorpusEngine
+from repro.analysis.evasion import (
+    cohort_comparison,
+    dual_evader_summary,
+    overall_detection_rates,
+    table1_rows,
+)
+from repro.analysis.figures import (
+    figure4_plugin_evasion,
+    figure5_core_cdfs,
+    figure6_device_evasion,
+    figure7_iphone_resolutions,
+    figure8_location_histograms,
+    figure9_daily_series,
+    figure10_platform_spread,
+    new_fingerprints_over_time,
+    section62_geo_match,
+)
+from repro.analysis.ip_analysis import analyze_asn_blocklist, analyze_ip_blocklist
+from repro.analysis.report import Report, generate_report, report_section_keys
+from repro.fingerprint.attributes import Attribute
+from repro.honeysite.storage import (
+    LazyRequestStore,
+    RecordColumns,
+    RecordColumnsBuilder,
+    RequestStore,
+    materialized_record_count,
+)
+
+TINY = dict(
+    seed=29,
+    scale=0.004,
+    include_real_users=True,
+    include_privacy=True,
+    real_user_requests=120,
+    privacy_requests_each=12,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_corpus():
+    return CorpusEngine(**TINY).build(workers=1)
+
+
+@pytest.fixture(scope="module")
+def lazy_store(tiny_corpus):
+    store = tiny_corpus.bot_store
+    assert isinstance(store, LazyRequestStore)
+    return store
+
+
+@pytest.fixture(scope="module")
+def object_store(lazy_store):
+    return RequestStore(list(lazy_store))
+
+
+@pytest.fixture(scope="module")
+def regions(tiny_corpus):
+    return {
+        profile.name: profile.advertised_region
+        for profile in tiny_corpus.bot_profiles
+        if profile.advertised_region
+    }
+
+
+def empty_lazy_store() -> LazyRequestStore:
+    return LazyRequestStore(RecordColumnsBuilder().columns().renumbered())
+
+
+def rebuilt_store(columns: RecordColumns, *, strip=()) -> LazyRequestStore:
+    """A lazy store over *columns* re-encoded through the object-dictionary
+    constructor, optionally with *strip* attributes removed from every
+    session fingerprint."""
+
+    sessions = columns.sessions
+    fingerprints = list(columns.session_fingerprints)
+    if strip:
+        fingerprints = [fingerprint.without(*strip) for fingerprint in fingerprints]
+    return LazyRequestStore(
+        RecordColumns(
+            timestamps=columns.timestamps,
+            session_codes=columns.session_codes,
+            presented_codes=columns.presented_codes,
+            served_codes=columns.served_codes,
+            source_codes=columns.source_codes,
+            cookie_values=list(columns.cookie_values),
+            sources=list(columns.sources),
+            url_paths=list(columns.url_paths),
+            session_fingerprints=fingerprints,
+            session_headers=sessions.session_headers,
+            session_datadome=sessions.session_datadome,
+            session_botd=sessions.session_botd,
+            session_ips=list(sessions.session_ips),
+            headers=list(columns.headers),
+            decisions=list(columns.decisions),
+            request_ids=columns.request_ids,
+        )
+    )
+
+
+def edge_store(lazy_store: LazyRequestStore, case: str) -> LazyRequestStore:
+    columns = lazy_store.columns
+    if case == "empty":
+        return empty_lazy_store()
+    if case == "no_evaders":
+        rows = np.nonzero(
+            ~columns.evaded_rows("DataDome") & ~columns.evaded_rows("BotD")
+        )[0]
+        assert rows.size  # the tiny corpus detects some requests outright
+        return LazyRequestStore(columns.take(rows).renumbered())
+    if case == "missing_attributes":
+        return rebuilt_store(
+            columns,
+            strip=(Attribute.PLUGINS, Attribute.SCREEN_RESOLUTION, Attribute.TIMEZONE),
+        )
+    if case == "single_session":
+        busiest = int(np.argmax(np.bincount(columns.session_codes)))
+        rows = np.nonzero(columns.session_codes == busiest)[0]
+        assert rows.size > 1
+        return LazyRequestStore(columns.take(rows).renumbered())
+    raise AssertionError(case)
+
+
+def analysis_battery(store: RequestStore, geo, regions) -> dict:
+    """Every ported analysis, as one comparable result dictionary."""
+
+    rows = table1_rows(store)
+    return {
+        "table1": rows,
+        "overall": overall_detection_rates(store),
+        "cohort_datadome": cohort_comparison(store, "DataDome"),
+        "cohort_botd": cohort_comparison(store, "BotD"),
+        "dual": dual_evader_summary(store),
+        "appendix_c": appendix_c_combination(store),
+        "figure4": figure4_plugin_evasion(store),
+        "figure5": figure5_core_cdfs(
+            store,
+            [row.service for row in rows[:3]],
+            [row.service for row in rows[-3:]],
+        ),
+        "figure6": figure6_device_evasion(store),
+        "figure7": figure7_iphone_resolutions(store),
+        "figure8": figure8_location_histograms(store),
+        "figure9": figure9_daily_series(store),
+        "new_fingerprints": new_fingerprints_over_time(store),
+        "figure10": figure10_platform_spread(store),
+        "section62": section62_geo_match(store, regions),
+        "asn_blocklist": analyze_asn_blocklist(store, geo),
+        "ip_blocklist": analyze_ip_blocklist(store),
+    }
+
+
+def test_battery_matches_object_oracle_with_zero_materialisation(
+    tiny_corpus, lazy_store, object_store, regions
+):
+    geo = tiny_corpus.site.geo
+    before = materialized_record_count()
+    columnar = analysis_battery(lazy_store, geo, regions)
+    assert materialized_record_count() == before
+    reference = analysis_battery(object_store, geo, regions)
+    for key, value in reference.items():
+        assert columnar[key] == value, key
+
+
+@pytest.mark.parametrize(
+    "case", ("empty", "no_evaders", "missing_attributes", "single_session")
+)
+def test_edge_case_stores_match_object_oracle(tiny_corpus, lazy_store, regions, case):
+    lazy = edge_store(lazy_store, case)
+    reference = RequestStore(list(lazy))
+    geo = tiny_corpus.site.geo
+    before = materialized_record_count()
+    columnar = analysis_battery(lazy, geo, regions)
+    assert materialized_record_count() == before
+    expected = analysis_battery(reference, geo, regions)
+    for key, value in expected.items():
+        assert columnar[key] == value, (case, key)
+
+
+def test_missing_attribute_figures_degrade_not_crash(lazy_store):
+    stripped = edge_store(lazy_store, "missing_attributes")
+    points = figure4_plugin_evasion(stripped)
+    assert points and all(
+        point.requests == 0 and point.evasion_probability == 0.0 for point in points
+    )
+    assert figure7_iphone_resolutions(stripped).unique_resolutions == 0
+    by_timezone, by_ip = figure8_location_histograms(stripped)
+    assert by_timezone == {}
+    assert by_ip  # IP country is probed from the address, not the fingerprint
+
+
+def test_classifier_subsample_parity_both_rng_branches(lazy_store, object_store):
+    # max_samples below the store size exercises the rng.choice draw;
+    # above it, the no-subsample branch. Both must consume the generator
+    # identically on the two engines.
+    for max_samples in (300, 10 ** 6):
+        columnar = train_evasion_classifier(
+            lazy_store, "DataDome", max_samples=max_samples, seed=3
+        )
+        reference = train_evasion_classifier(
+            object_store, "DataDome", max_samples=max_samples, seed=3
+        )
+        assert columnar.train_accuracy == reference.train_accuracy
+        assert columnar.test_accuracy == reference.test_accuracy
+        assert columnar.importances == reference.importances
+        assert columnar.permutation == reference.permutation
+
+
+def test_classifier_rejects_tiny_stores_on_both_engines(lazy_store):
+    single = edge_store(lazy_store, "single_session")
+    if len(single) >= 20:
+        single = LazyRequestStore(single.columns.take(np.arange(5)).renumbered())
+    with pytest.raises(ValueError):
+        train_evasion_classifier(single, "DataDome")
+    with pytest.raises(ValueError):
+        train_evasion_classifier(RequestStore(list(single)), "DataDome")
+
+
+def test_report_engines_are_value_identical(tiny_corpus):
+    before = materialized_record_count()
+    columnar = generate_report(tiny_corpus, engine="columnar", ml_samples=300)
+    assert materialized_record_count() == before
+    assert columnar.materialized_records == 0
+    reference = generate_report(tiny_corpus, engine="object", ml_samples=300)
+    assert reference.materialized_records > 0
+    assert columnar.digests() == reference.digests()
+    assert [section.key for section in columnar.sections] == list(report_section_keys())
+    for col_section, ref_section in zip(columnar.sections, reference.sections):
+        assert col_section.data == ref_section.data, col_section.key
+
+
+def test_report_section_subset_and_unknown_key(tiny_corpus):
+    report = generate_report(tiny_corpus, sections=["table1", "figure4"])
+    assert [section.key for section in report.sections] == ["table1", "figure4"]
+    with pytest.raises(ValueError, match="unknown report section"):
+        generate_report(tiny_corpus, sections=["table1", "figure99"])
+    with pytest.raises(ValueError, match="engine must be one of"):
+        generate_report(tiny_corpus, engine="quantum")
+
+
+def test_report_render_and_json_document(tiny_corpus):
+    report = generate_report(tiny_corpus, sections=["table1", "blocklists"], cache_key="abc123")
+    assert isinstance(report, Report)
+    text = report.render()
+    assert "Table 1 · Per-service evasion" in text
+    assert "ASN / IP blocklist coverage" in text
+    document = report.to_document()
+    encoded = json.dumps(document, sort_keys=True, default=str)
+    decoded = json.loads(encoded)
+    assert decoded["engine"] == "columnar"
+    assert decoded["cache_key"] == "abc123"
+    assert decoded["materialized_records"] == 0
+    keys = [section["key"] for section in decoded["sections"]]
+    assert keys == ["table1", "blocklists"]
+    for section in decoded["sections"]:
+        assert section["seconds"] >= 0
+        assert len(section["digest"]) == 16
+
+
+def test_report_digests_stable_on_memory_mapped_archive(tiny_corpus, tmp_path, monkeypatch):
+    baseline = generate_report(
+        tiny_corpus, sections=["table1", "figure4", "figure9", "blocklists"]
+    )
+    save_corpus(tiny_corpus, tmp_path)
+    monkeypatch.setenv(MMAP_ENV_VAR, "1")
+    reloaded = load_corpus(tmp_path)
+    assert isinstance(reloaded.store, LazyRequestStore)
+    before = materialized_record_count()
+    mapped = generate_report(
+        reloaded, sections=["table1", "figure4", "figure9", "blocklists"]
+    )
+    assert materialized_record_count() == before
+    assert mapped.digests() == baseline.digests()
+
+
+def test_table2_identical_across_engines(lazy_store, object_store):
+    assert table2(lazy_store, max_samples=300) == table2(object_store, max_samples=300)
