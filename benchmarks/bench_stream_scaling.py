@@ -12,6 +12,12 @@ A refresh-enabled run (periodic window re-mining hot-swapped at batch
 boundaries) is recorded alongside so the cost of keeping the filter list
 fresh shows up in the same trajectory.
 
+A telemetry A/B pair (same replay with ``repro.obs`` recording off and
+on, best of :data:`TELEMETRY_REPEATS` runs each) gates the instrumented
+hot path: the per-batch latency histogram and span records may cost at
+most :data:`TELEMETRY_OVERHEAD_BUDGET` of throughput at the committed
+baseline scale.
+
 Results land in ``BENCH_stream_scaling.json`` next to the repository root
 when run at the baseline scale (0.05); smaller scales (CI smoke uses 0.01)
 write to a scratch file so they never clobber the committed trajectory.
@@ -23,6 +29,7 @@ import os
 import tempfile
 from pathlib import Path
 
+from repro import obs
 from repro.analysis.corpus import default_scale
 from repro.analysis.engine import CorpusEngine
 from repro.core.detector import FPInconsistent
@@ -37,6 +44,16 @@ REFRESH_WINDOW_ROWS = 25_000
 
 #: Scale of the committed repo-root baseline.
 BASELINE_SCALE = 0.05
+
+#: Telemetry A/B runs per arm; best-of-N fights scheduler noise.
+TELEMETRY_REPEATS = 3
+
+#: Maximum fraction of throughput the enabled telemetry may cost at the
+#: baseline scale.  Tiny smoke corpora amortise the per-batch clock reads
+#: over far less work, so sub-baseline scales get a noise-dominated
+#: allowance instead of a meaningful gate.
+TELEMETRY_OVERHEAD_BUDGET = 0.02
+TELEMETRY_SMOKE_BUDGET = 0.25
 
 #: Environment variable overriding where the result document is written.
 OUTPUT_ENV_VAR = "REPRO_BENCH_STREAM_OUTPUT"
@@ -60,8 +77,40 @@ def _run_entry(result, batch_size: int) -> dict:
         "batches": result.batches,
         "seconds": round(result.seconds, 3),
         "rows_per_second": round(result.rows_per_second, 1),
-        "p50_batch_ms": round(result.latency_quantile(0.50) * 1000, 3),
-        "p99_batch_ms": round(result.latency_quantile(0.99) * 1000, 3),
+        **{
+            name: round(value, 3)
+            for name, value in result.latency_quantiles_ms().items()
+        },
+    }
+
+
+def _telemetry_overhead_entry(detector, bot_store, scale: float) -> dict:
+    """Best-of-N throughput with telemetry off vs. on, plus the gate."""
+
+    batch_size = BATCH_SIZES[-1]
+    arms = {}
+    for arm, enabled in (("off", False), ("on", True)):
+        obs.set_telemetry(enabled)
+        try:
+            arms[arm] = max(
+                ReplayDriver(detector, batch_size=batch_size)
+                .replay(bot_store)
+                .rows_per_second
+                for _ in range(TELEMETRY_REPEATS)
+            )
+        finally:
+            obs.set_telemetry(None)
+    overhead = 1.0 - arms["on"] / arms["off"]
+    budget = (
+        TELEMETRY_OVERHEAD_BUDGET if scale >= BASELINE_SCALE else TELEMETRY_SMOKE_BUDGET
+    )
+    return {
+        "batch_size": batch_size,
+        "repeats": TELEMETRY_REPEATS,
+        "rows_per_second_off": round(arms["off"], 1),
+        "rows_per_second_on": round(arms["on"], 1),
+        "overhead_pct": round(overhead * 100, 2),
+        "budget_pct": round(budget * 100, 2),
     }
 
 
@@ -100,6 +149,8 @@ def bench_stream_scaling():
     refresh_run["refresh_interval_batches"] = REFRESH_INTERVAL_BATCHES
     refresh_run["refresh_window_rows"] = REFRESH_WINDOW_ROWS
 
+    telemetry_run = _telemetry_overhead_entry(detector, bot_store, scale)
+
     document = {
         "benchmark": "stream_scaling",
         "seed": 7,
@@ -108,6 +159,7 @@ def bench_stream_scaling():
         "rules": len(detector.filter_list),
         "runs": runs,
         "refresh_run": refresh_run,
+        "telemetry_overhead": telemetry_run,
     }
     result_path = _result_path(scale)
     result_path.write_text(json.dumps(document, indent=1, sort_keys=True) + "\n")
@@ -116,8 +168,16 @@ def bench_stream_scaling():
         label = "refresh" if "refreshes" in run else "frozen"
         print(
             f"{label} bs={run['batch_size']:>5}: {run['rows_per_second']} rows/s, "
-            f"p50 {run['p50_batch_ms']}ms, p99 {run['p99_batch_ms']}ms"
+            f"p50 {run['p50_batch_ms']}ms, p95 {run['p95_batch_ms']}ms, "
+            f"p99 {run['p99_batch_ms']}ms"
         )
+    print(
+        f"telemetry bs={telemetry_run['batch_size']:>5}: "
+        f"{telemetry_run['rows_per_second_off']} rows/s off, "
+        f"{telemetry_run['rows_per_second_on']} rows/s on "
+        f"({telemetry_run['overhead_pct']}% overhead, "
+        f"budget {telemetry_run['budget_pct']}%)"
+    )
 
     # Latency must scale with batch size, and throughput must stay in the
     # same order of magnitude across batch sizes (no pathological per-batch
@@ -126,3 +186,6 @@ def bench_stream_scaling():
     fastest = max(run["rows_per_second"] for run in runs)
     slowest = min(run["rows_per_second"] for run in runs)
     assert slowest > 0 and fastest / slowest < 50, (fastest, slowest)
+
+    # The instrumented hot path must stay within its overhead budget.
+    assert telemetry_run["overhead_pct"] <= telemetry_run["budget_pct"], telemetry_run

@@ -49,7 +49,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro import faults
+from repro import faults, obs
 from repro.analysis.corpus import Corpus
 from repro.analysis.npzmap import NotMappableError, load_npz_mapped
 from repro.bots.marketplace import build_marketplace
@@ -83,6 +83,16 @@ MMAP_ENV_VAR = "REPRO_CORPUS_MMAP"
 COMPRESS_ENV_VAR = "REPRO_CORPUS_COMPRESS"
 
 _FALSY = frozenset(("0", "false", "no", "off"))
+
+
+#: Always-on so warm-path behaviour (mmap vs in-RAM) is queryable even
+#: in untraced runs; lookups (hit/miss/uncached) are counted by the
+#: engine's ``build_or_load_corpus``.
+_CACHE_LOADS = obs.counter(
+    "repro_corpus_cache_loads_total",
+    "Columnar store archive loads by mode (mmap, ram).",
+    always=True,
+)
 
 
 def default_cache_dir() -> Optional[Path]:
@@ -301,11 +311,15 @@ def _load_columnar_store(path: Path):
     try:
         if mmap_enabled():
             try:
-                return _decode_columnar(load_npz_mapped(path), path)
+                store = _decode_columnar(load_npz_mapped(path), path)
+                _CACHE_LOADS.inc(mode="mmap")
+                return store
             except NotMappableError:
                 pass  # compressed archive: fall through to the in-RAM load
         with np.load(path, mmap_mode="r", allow_pickle=False) as data:
-            return _decode_columnar(data, path)
+            store = _decode_columnar(data, path)
+        _CACHE_LOADS.inc(mode="ram")
+        return store
     except StoreFormatError:
         raise
     except Exception as exc:

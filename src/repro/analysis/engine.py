@@ -41,6 +41,7 @@ import concurrent.futures
 import logging
 import os
 import pickle
+import threading
 import time
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
@@ -48,7 +49,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro import faults
+from repro import faults, obs
+from repro.obs import SpanRecord
 from repro.analysis.corpus import Corpus, default_scale
 from repro.bots.marketplace import build_marketplace
 from repro.bots.service import BotServiceProfile
@@ -151,6 +153,44 @@ MIN_RECORDS_PER_WORKER_COLUMNAR = 4_000
 #: per-session objects (or otherwise bloats the payload) into the shard
 #: transport.
 PAYLOAD_BYTES_PER_RECORD_CEILING = 320
+
+
+#: The ``map_shards`` recovery-stat keys, in reporting order.  Each is
+#: mirrored into an always-on registry counter (labelled by fan-out
+#: pool) so ``repro.obs`` is the single cumulative source of truth;
+#: ``CorpusEngine.last_plan["faults"]`` remains the per-build view.
+_SHARD_STAT_KEYS = (
+    "attempt_rounds",
+    "failures",
+    "retried",
+    "serial_fallbacks",
+    "pool_rebuilds",
+)
+
+_SHARD_STAT_COUNTERS = {
+    key: obs.counter(
+        f"repro_shard_{key}_total",
+        f"Shard fan-out {key.replace('_', ' ')}, by worker pool.",
+        always=True,
+    )
+    for key in _SHARD_STAT_KEYS
+}
+
+_SHARD_RUNS = obs.counter(
+    "repro_shard_runs_total", "Shard payloads executed, by worker pool."
+)
+
+_PAYLOAD_BYTES = obs.counter(
+    "repro_corpus_payload_bytes_total",
+    "Columnar shard payload bytes, as measured inside the workers.",
+    always=True,
+)
+
+_CACHE_LOOKUPS = obs.counter(
+    "repro_corpus_cache_lookups_total",
+    "Corpus cache lookups by status (hit, miss, uncached).",
+    always=True,
+)
 
 
 def validate_generation(generation: str) -> str:
@@ -288,12 +328,19 @@ def map_shards(
     """
 
     payloads = list(payloads)
-    if stats is not None:
-        stats.update(
-            attempt_rounds=0, failures=0, retried=0, serial_fallbacks=0, pool_rebuilds=0
-        )
+    track = dict.fromkeys(_SHARD_STAT_KEYS, 0)
+
+    def _finalize(result_list: list) -> list:
+        if stats is not None:
+            stats.update(track)
+        _SHARD_RUNS.inc(len(payloads), pool=label)
+        for key, value in track.items():
+            if value:
+                _SHARD_STAT_COUNTERS[key].inc(value, pool=label)
+        return result_list
+
     if workers <= 1 or len(payloads) <= 1:
-        return [fn(payload) for payload in payloads]
+        return _finalize([fn(payload) for payload in payloads])
     if executor is None:
         executor = default_executor()
     if executor not in _EXECUTORS:
@@ -314,32 +361,33 @@ def map_shards(
     pool = pool_cls(max_workers=max_workers)
     try:
         for attempt in range(retries + 1):
-            if stats is not None:
-                stats["attempt_rounds"] += 1
-            futures = {
-                index: pool.submit(
-                    _guarded_call,
-                    (fn, payloads[index], f"{label}:{index}:{attempt}", allow_kill),
-                )
-                for index in pending
-            }
-            failed: List[int] = []
-            broken = False
-            for index in pending:
-                try:
-                    results[index] = futures[index].result(timeout=timeout)
-                except (BrokenProcessPool, concurrent.futures.BrokenExecutor):
-                    failed.append(index)
-                    broken = True
-                except concurrent.futures.TimeoutError:
-                    # The attempt cannot be cancelled mid-run; abandon the
-                    # pool so the stuck worker never blocks a retry.
-                    failed.append(index)
-                    broken = True
-                except Exception:
-                    failed.append(index)
-            if stats is not None:
-                stats["failures"] += len(failed)
+            track["attempt_rounds"] += 1
+            with obs.tracer().span(
+                "shards.round", pool=label, round=attempt, pending=len(pending)
+            ):
+                futures = {
+                    index: pool.submit(
+                        _guarded_call,
+                        (fn, payloads[index], f"{label}:{index}:{attempt}", allow_kill),
+                    )
+                    for index in pending
+                }
+                failed: List[int] = []
+                broken = False
+                for index in pending:
+                    try:
+                        results[index] = futures[index].result(timeout=timeout)
+                    except (BrokenProcessPool, concurrent.futures.BrokenExecutor):
+                        failed.append(index)
+                        broken = True
+                    except concurrent.futures.TimeoutError:
+                        # The attempt cannot be cancelled mid-run; abandon the
+                        # pool so the stuck worker never blocks a retry.
+                        failed.append(index)
+                        broken = True
+                    except Exception:
+                        failed.append(index)
+            track["failures"] += len(failed)
             if not failed:
                 pending = []
                 break
@@ -347,22 +395,23 @@ def map_shards(
             if broken:
                 pool.shutdown(wait=False, cancel_futures=True)
                 pool = pool_cls(max_workers=max_workers)
-                if stats is not None:
-                    stats["pool_rebuilds"] += 1
+                track["pool_rebuilds"] += 1
             if attempt < retries:
-                if stats is not None:
-                    stats["retried"] += len(failed)
+                track["retried"] += len(failed)
                 time.sleep(retry_backoff_seconds(attempt, seed=retry_seed, label=label))
     finally:
         pool.shutdown(wait=False, cancel_futures=True)
 
     # Poisoned shards: the retry budget is spent, so run the stragglers
     # inline — trusted in-process execution, no fault point, no pool.
-    for index in pending:
-        results[index] = fn(payloads[index])
-    if stats is not None:
-        stats["serial_fallbacks"] += len(pending)
-    return results
+    if pending:
+        with obs.tracer().span(
+            "shards.serial_fallback", pool=label, pending=len(pending)
+        ):
+            for index in pending:
+                results[index] = fn(payloads[index])
+    track["serial_fallbacks"] += len(pending)
+    return _finalize(results)
 
 
 @dataclass(frozen=True)
@@ -412,6 +461,10 @@ class ShardResult:
     #: pickled size of (columns, table), measured in the worker when the
     #: spec requested it (``ShardSpec.measure_payload``)
     payload_bytes: Optional[int] = None
+    #: telemetry spans recorded inside the worker (empty while telemetry
+    #: is disabled); the coordinator adopts them into its tracer so one
+    #: timeline covers every process
+    spans: List[SpanRecord] = field(default_factory=list)
 
     def store(self):
         """The shard's records as a request store (shard-local ids 1..n).
@@ -435,6 +488,12 @@ def run_shard(spec: ShardSpec) -> ShardResult:
     generator.  Module-level so :class:`concurrent.futures` process pools
     can pickle it.
     """
+
+    # Spans are recorded by hand rather than through the worker's global
+    # tracer: pool processes are reused across shards, so slicing this
+    # shard's spans out of a shared tracer would race the thread executor.
+    span_ts = time.time()
+    span_started = time.perf_counter()
 
     # Derive the two child sequences statelessly (equivalent to
     # ``spec.seed.spawn(2)`` but without mutating the spec's SeedSequence,
@@ -512,6 +571,26 @@ def run_shard(spec: ShardSpec) -> ShardResult:
     payload_bytes: Optional[int] = None
     if spec.measure_payload and columns is not None:
         payload_bytes = len(pickle.dumps((columns, table), pickle.HIGHEST_PROTOCOL))
+    spans: List[SpanRecord] = []
+    if obs.telemetry_enabled():
+        attrs: Dict[str, object] = {
+            "index": spec.index,
+            "source": spec.source,
+            "kind": spec.kind,
+            "recorded": recorded,
+        }
+        if payload_bytes is not None:
+            attrs["payload_bytes"] = payload_bytes
+        spans.append(
+            SpanRecord(
+                name="corpus.shard",
+                ts=span_ts,
+                duration=time.perf_counter() - span_started,
+                pid=os.getpid(),
+                tid=threading.get_ident(),
+                attrs=attrs,
+            )
+        )
     return ShardResult(
         index=spec.index,
         source=spec.source,
@@ -522,6 +601,7 @@ def run_shard(spec: ShardSpec) -> ShardResult:
         table=table,
         columns=columns,
         payload_bytes=payload_bytes,
+        spans=spans,
     )
 
 
@@ -720,6 +800,11 @@ class CorpusEngine:
             stats=stats,
         )
         self.last_plan["faults"] = stats
+        # Shard workers record their spans locally (possibly in another
+        # process); merging them here puts every shard on one timeline.
+        obs.tracer().adopt(
+            span for result in results for span in result.spans
+        )
         return sorted(results, key=lambda result: result.index)
 
     def records_per_worker_floor(self) -> int:
@@ -794,7 +879,14 @@ class CorpusEngine:
             # measure their own payloads so the coordinator never
             # re-serialises what a process pool already shipped.
             specs = [replace(spec, measure_payload=True) for spec in specs]
-        results = self._execute(specs, effective, executor)
+        with obs.tracer().span(
+            "corpus.generate",
+            shards=len(specs),
+            workers=effective,
+            executor=executor,
+            generation=self.generation,
+        ):
+            results = self._execute(specs, effective, executor)
 
         corpus = Corpus(
             site=site, scale=self.scale, seed=self.seed, bot_profiles=self.profiles
@@ -814,10 +906,13 @@ class CorpusEngine:
                 technology = PrivacyTechnology(result.source.split(":", 1)[1])
                 corpus.privacy_requests[technology] = result.recorded
 
-        if all(result.columns is not None for result in results):
-            self._merge_columnar(corpus, results)
-        else:
-            self._merge_records(site, results)
+        with obs.tracer().span(
+            "corpus.merge", transport=self.last_plan["transport"]
+        ):
+            if all(result.columns is not None for result in results):
+                self._merge_columnar(corpus, results)
+            else:
+                self._merge_records(site, results)
         return corpus
 
     def _merge_records(self, site: HoneySite, results: Sequence[ShardResult]) -> None:
@@ -861,6 +956,8 @@ class CorpusEngine:
         self.last_plan["payload_bytes"] = (
             sum(measured) if all(size is not None for size in measured) else None
         )
+        if self.last_plan["payload_bytes"] is not None:
+            _PAYLOAD_BYTES.inc(self.last_plan["payload_bytes"])
 
         # Per-subset table assembly: a subset's rows are the merged rows of
         # its shards, in shard order (bots: every bot shard; privacy: one
@@ -984,6 +1081,7 @@ def build_or_load_corpus(
     if cache is not None and not isinstance(cache, CorpusCache):
         cache = CorpusCache(cache)
     if cache is None:
+        _CACHE_LOOKUPS.inc(status="uncached")
         return engine.build(workers=workers, executor=executor), "uncached"
 
     key = corpus_cache_key(
@@ -997,7 +1095,9 @@ def build_or_load_corpus(
     )
     cached = cache.load(key)
     if cached is not None:
+        _CACHE_LOOKUPS.inc(status="hit")
         return cached, "hit"
+    _CACHE_LOOKUPS.inc(status="miss")
     corpus = engine.build(workers=workers, executor=executor)
     try:
         cache.store(key, corpus)

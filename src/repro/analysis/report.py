@@ -25,10 +25,10 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.analysis.attributes import appendix_c_combination, table2
 from repro.analysis.corpus import Corpus
 from repro.analysis.evasion import (
@@ -505,26 +505,31 @@ def generate_report(
         builders = [entry for entry in builders if entry[0] in set(sections)]
 
     counter_before = materialized_record_count()
-    started = time.perf_counter()
+    tracer = obs.tracer()
     store = corpus.bot_store
-    if engine == "object" and isinstance(store, LazyRequestStore):
-        store = RequestStore(list(store))
+    with tracer.span(
+        "report.generate", engine=engine, sections=len(builders)
+    ) as report_span:
+        if engine == "object" and isinstance(store, LazyRequestStore):
+            store = RequestStore(list(store))
 
-    built: List[ReportSection] = []
-    for key, title, paper_ref, builder in builders:
-        section_started = time.perf_counter()
-        data, body = builder(corpus, store)
-        built.append(
-            ReportSection(
-                key=key,
-                title=title,
-                paper_ref=paper_ref,
-                seconds=time.perf_counter() - section_started,
-                body=body,
-                data=data,
+        built: List[ReportSection] = []
+        for key, title, paper_ref, builder in builders:
+            # The span is the section timer: ``Span.duration`` is always
+            # measured (recording into the tracer stays telemetry-gated).
+            with tracer.span("report.section", key=key) as span:
+                data, body = builder(corpus, store)
+            built.append(
+                ReportSection(
+                    key=key,
+                    title=title,
+                    paper_ref=paper_ref,
+                    seconds=span.duration,
+                    body=body,
+                    data=data,
+                )
             )
-        )
-    total_seconds = time.perf_counter() - started
+    total_seconds = report_span.duration
     # Counter delta across the whole run, including the object engine's
     # up-front materialisation (a lazy store that was already forced
     # earlier in the process reports 0 — the records were billed to

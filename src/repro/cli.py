@@ -23,6 +23,7 @@ import sys
 import time
 from typing import List, Optional, Sequence
 
+from repro import obs
 from repro.analysis.cache import CACHE_ENV_VAR
 from repro.analysis.corpus import Corpus, build_corpus_serial, default_scale
 from repro.analysis.engine import (
@@ -81,6 +82,52 @@ def _add_execution_knobs(parser: argparse.ArgumentParser, *, lists: bool = False
     )
 
 
+def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    """The ``--trace``/``--metrics-out`` exporter knobs every subcommand shares.
+
+    Either flag enables telemetry for the whole run — including
+    process-pool shard workers, which inherit ``REPRO_TELEMETRY``
+    through the environment and ship their spans back to the
+    coordinator's tracer.
+    """
+
+    group = parser.add_argument_group("telemetry")
+    group.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write the run's spans as Chrome trace-event JSON to PATH "
+        "(open in chrome://tracing or Perfetto); implies REPRO_TELEMETRY=1",
+    )
+    group.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the run's metrics in Prometheus text format to PATH; "
+        "implies REPRO_TELEMETRY=1",
+    )
+
+
+def _write_telemetry_artifacts(args: argparse.Namespace) -> None:
+    """Export the trace/metrics files a run asked for (after dispatch)."""
+
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        obs.write_chrome_trace(trace_path)
+        print(f"telemetry: wrote trace {trace_path}", file=sys.stderr)
+    metrics_path = getattr(args, "metrics_out", None)
+    if metrics_path:
+        obs.write_prometheus(metrics_path)
+        print(f"telemetry: wrote metrics {metrics_path}", file=sys.stderr)
+
+
+def _attach_telemetry(document: dict) -> None:
+    """Embed the metrics snapshot in a ``--json`` document when enabled."""
+
+    if obs.telemetry_enabled():
+        document["telemetry"] = obs.metrics_snapshot()
+
+
 _ABSENT = object()
 
 
@@ -115,6 +162,7 @@ def _validate_execution_knobs(parser: argparse.ArgumentParser, args: argparse.Na
 
 def _add_corpus_arguments(parser: argparse.ArgumentParser) -> None:
     _add_execution_knobs(parser)
+    _add_telemetry_arguments(parser)
     group = parser.add_argument_group("corpus")
     group.add_argument(
         "--generation",
@@ -271,6 +319,7 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
     if args.out:
         corpus.store.save_jsonl(args.out)
         summary["saved_to"] = str(args.out)
+    _attach_telemetry(summary)
     json.dump(summary, sys.stdout, indent=1, sort_keys=True)
     print()
     return 0
@@ -344,6 +393,7 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
             }
             for name, rates in result.table4.items()
         }
+        _attach_telemetry(document)
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(document, handle, indent=1, sort_keys=True)
             handle.write("\n")
@@ -402,8 +452,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     if args.json:
+        document = report.to_document()
+        _attach_telemetry(document)
         with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(report.to_document(), handle, indent=1, sort_keys=True, default=str)
+            json.dump(document, handle, indent=1, sort_keys=True, default=str)
             handle.write("\n")
         print(f"report: wrote {args.json}", file=sys.stderr)
     if args.check_materialization and report.materialized_records:
@@ -416,8 +468,49 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_stream(args: argparse.Namespace) -> int:
+def _mine_initial_filter_list(args: argparse.Namespace, corpus: Corpus, label: str):
+    """Mine the initial filter list exactly as the batch pipeline would.
+
+    Shared by ``stream`` and ``serve``: resolves the corpus's
+    pre-extracted bot table when it is acceptable, fits the detector
+    under a telemetry span, and prints the one-line mining report.
+    Returns ``(detector, table, table_source)``.
+    """
+
     from repro.core.detector import FPInconsistent
+
+    workers = args.workers or default_workers() or 1
+    detector = FPInconsistent()
+    with obs.tracer().span(f"{label}.mine_filter_list", workers=workers) as span:
+        table, table_source = detector.resolve_table(
+            corpus.bot_store, corpus.columnar_tables.get("bots")
+        )
+        detector.fit_table(table, workers=workers, executor=args.executor)
+        span.set(rules=len(detector.filter_list), table=table_source)
+    print(
+        f"{label}: filter list mined in {span.duration:.2f}s "
+        f"({len(detector.filter_list)} rules, table {table_source})",
+        file=sys.stderr,
+    )
+    return detector, table, table_source
+
+
+def _print_latency_quantiles(result, label: str) -> dict:
+    """Report per-batch latency quantiles on stderr; return them in ms."""
+
+    quantiles = result.latency_quantiles_ms()
+    print(
+        f"{label}: batch latency "
+        + " ".join(
+            f"{name[:name.index('_')]}={value:.2f}ms"
+            for name, value in sorted(quantiles.items())
+        ),
+        file=sys.stderr,
+    )
+    return quantiles
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
     from repro.stream import (
         DEFAULT_BATCH_SIZE,
         FilterListRefresher,
@@ -444,20 +537,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     corpus = _build_from_args(args)
     workers = args.workers or default_workers() or 1
     bot_store = corpus.bot_store
-
-    # Mine the initial filter list exactly as the batch pipeline would,
-    # reusing the corpus's pre-extracted table when it is acceptable.
-    detector = FPInconsistent()
-    started = time.perf_counter()
-    table, table_source = detector.resolve_table(
-        bot_store, corpus.columnar_tables.get("bots")
-    )
-    detector.fit_table(table, workers=workers, executor=args.executor)
-    print(
-        f"stream: filter list mined in {time.perf_counter() - started:.2f}s "
-        f"({len(detector.filter_list)} rules, table {table_source})",
-        file=sys.stderr,
-    )
+    detector, table, table_source = _mine_initial_filter_list(args, corpus, "stream")
 
     refresher = None
     if args.refresh_every:
@@ -481,6 +561,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         f"{batch_size}, {len(result.refreshes)} refresh(es))",
         file=sys.stderr,
     )
+    quantiles = _print_latency_quantiles(result, "stream")
     if checkpointer is not None:
         resumed = (
             "fresh start"
@@ -514,8 +595,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         "batch_size": batch_size,
         "rules": len(detector.filter_list),
         "rows_per_second": round(result.rows_per_second, 1),
-        "p50_batch_ms": round(result.latency_quantile(0.50) * 1000, 3),
-        "p99_batch_ms": round(result.latency_quantile(0.99) * 1000, 3),
+        **{name: round(value, 3) for name, value in quantiles.items()},
         "refreshes": result.refreshes,
         "verdicts": result.counts(),
         "table_source": table_source,
@@ -531,6 +611,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         document["seconds"] = round(result.seconds, 3)
         document["batch_seconds"] = [round(value, 6) for value in result.batch_seconds]
         document["verdicts_digest"] = digest
+        _attach_telemetry(document)
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(document, handle, indent=1, sort_keys=True)
             handle.write("\n")
@@ -542,7 +623,6 @@ def _cmd_stream(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.core.detector import FPInconsistent
     from repro.serve import DetectionGateway, DeviceRouter, GatewayReplayDriver
     from repro.stream import DEFAULT_BATCH_SIZE, FilterListRefresher, verdicts_digest
 
@@ -569,20 +649,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     corpus = _build_from_args(args)
     workers = args.workers or default_workers() or 1
     bot_store = corpus.bot_store
-
-    # Mine the initial filter list exactly as the batch pipeline would,
-    # reusing the corpus's pre-extracted table when it is acceptable.
-    detector = FPInconsistent()
-    started = time.perf_counter()
-    table, table_source = detector.resolve_table(
-        bot_store, corpus.columnar_tables.get("bots")
-    )
-    detector.fit_table(table, workers=workers, executor=args.executor)
-    print(
-        f"serve: filter list mined in {time.perf_counter() - started:.2f}s "
-        f"({len(detector.filter_list)} rules, table {table_source})",
-        file=sys.stderr,
-    )
+    detector, table, table_source = _mine_initial_filter_list(args, corpus, "serve")
 
     refresher = None
     if args.refresh_days:
@@ -616,6 +683,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"{result.migrations} migration(s), {len(result.refreshes)} refresh(es))",
         file=sys.stderr,
     )
+    quantiles = _print_latency_quantiles(result, "serve")
     health = result.health or {}
     if health.get("total_worker_failures") or health.get("refresh_failures"):
         print(
@@ -659,8 +727,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "migrations": result.migrations,
         "rules": len(detector.filter_list),
         "rows_per_second": round(result.rows_per_second, 1),
-        "p50_batch_ms": round(result.latency_quantile(0.50) * 1000, 3),
-        "p99_batch_ms": round(result.latency_quantile(0.99) * 1000, 3),
+        **{name: round(value, 3) for name, value in quantiles.items()},
         "refreshes": result.refreshes,
         "verdicts": result.counts(),
         "table_source": table_source,
@@ -677,6 +744,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         document["seconds"] = round(result.seconds, 3)
         document["batch_seconds"] = [round(value, 6) for value in result.batch_seconds]
         document["verdicts_digest"] = digest
+        _attach_telemetry(document)
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(document, handle, indent=1, sort_keys=True)
             handle.write("\n")
@@ -798,6 +866,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         seed=args.seed,
         executor=args.executor,
     )
+    _attach_telemetry(document)
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=1, sort_keys=True)
         handle.write("\n")
@@ -1005,6 +1074,7 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="measure serial vs. sharded corpus-build throughput"
     )
     _add_execution_knobs(bench_parser, lists=True)
+    _add_telemetry_arguments(bench_parser)
     bench_parser.add_argument(
         "--output", default="BENCH_corpus_scaling.json", help="result file (JSON)"
     )
@@ -1021,8 +1091,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "trace", None) or getattr(args, "metrics_out", None):
+        # Before dispatch, through the environment: process-pool shard
+        # workers inherit the setting and ship their spans back.
+        obs.enable_telemetry()
     try:
-        return args.func(args)
+        code = args.func(args)
     except (ValueError, OSError) as exc:
         # Bad configuration (scale/seed/env values) or unwritable paths:
         # report like a CLI, not with a traceback.  Set REPRO_DEBUG=1 to
@@ -1031,6 +1105,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             raise
         print(f"repro: error: {exc}", file=sys.stderr)
         return 2
+    _write_telemetry_artifacts(args)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from repro import obs
 from repro.core.detector import FPInconsistent, InconsistencyVerdict, validate_engine
 from repro.core.evaluation import (
     DetectionRates,
@@ -39,6 +40,14 @@ from repro.core.rules import FilterList
 from repro.core.spatial import SpatialInconsistencyMiner, SpatialMinerConfig
 from repro.core.temporal import TemporalInconsistencyDetector
 from repro.honeysite.storage import RequestStore
+
+
+_RULES_MINED = obs.gauge(
+    "repro_pipeline_rules", "Rules in the most recently mined filter list."
+)
+_VERDICTS = obs.counter(
+    "repro_pipeline_verdicts_total", "Verdicts produced, by evaluated subset."
+)
 
 
 @dataclass
@@ -154,51 +163,67 @@ class FPInconsistentPipeline:
         executor = executor if executor is not None else self._executor
 
         detector = self._build_detector()
+        tracer = obs.tracer()
         table_sources: Dict[str, str] = {}
         if engine == "legacy":
-            detector.fit(bot_store, engine="legacy")
-            verdicts = detector.classify_store(bot_store, engine="legacy")
+            with tracer.span("pipeline.mine", engine=engine):
+                detector.fit(bot_store, engine="legacy")
+            with tracer.span("pipeline.classify", engine=engine, subset="bots"):
+                verdicts = detector.classify_store(bot_store, engine="legacy")
             table = None
         else:
             # resolve_table extracts through the detector (not bare
             # ColumnarTable.from_store): it appends the tracked temporal
             # attributes, so a custom temporal configuration keeps the
             # columnar/legacy verdicts identical.
-            table, table_sources["bots"] = detector.resolve_table(bot_store, bot_table)
-            detector.fit_table(table, workers=workers, executor=executor)
-            verdicts = detector.classify_table(table, workers=workers, executor=executor)
+            with tracer.span("pipeline.extract", subset="bots") as span:
+                table, table_sources["bots"] = detector.resolve_table(bot_store, bot_table)
+                span.set(source=table_sources["bots"], rows=table.n_rows)
+            with tracer.span("pipeline.mine", engine=engine, workers=workers) as span:
+                detector.fit_table(table, workers=workers, executor=executor)
+                span.set(rules=len(detector.filter_list))
+            with tracer.span(
+                "pipeline.classify", engine=engine, subset="bots", workers=workers
+            ):
+                verdicts = detector.classify_table(table, workers=workers, executor=executor)
+        _RULES_MINED.set(len(detector.filter_list))
+        _VERDICTS.inc(len(verdicts), subset="bots")
 
-        columns = _StoreColumns(bot_store, verdicts)
-        result = PipelineResult(
-            filter_list=detector.filter_list,
-            verdicts=verdicts,
-            table4=evaluate_table4(bot_store, verdicts, _columns=columns),
-            table3=evaluate_table3(bot_store, verdicts, _columns=columns),
-            table_sources=table_sources,
-        )
+        with tracer.span("pipeline.evaluate"):
+            columns = _StoreColumns(bot_store, verdicts)
+            result = PipelineResult(
+                filter_list=detector.filter_list,
+                verdicts=verdicts,
+                table4=evaluate_table4(bot_store, verdicts, _columns=columns),
+                table3=evaluate_table3(bot_store, verdicts, _columns=columns),
+                table_sources=table_sources,
+            )
 
         if real_user_store is not None and len(real_user_store) > 0:
-            if engine == "columnar":
-                user_table, table_sources["real_users"] = detector.resolve_table(
-                    real_user_store, real_user_table
-                )
-                user_verdicts = detector.classify_table(
-                    user_table, workers=workers, executor=executor
-                )
-            else:
-                user_verdicts = detector.classify_store(
-                    real_user_store, engine=engine, workers=workers, executor=executor
-                )
+            with tracer.span("pipeline.classify", engine=engine, subset="real_users"):
+                if engine == "columnar":
+                    user_table, table_sources["real_users"] = detector.resolve_table(
+                        real_user_store, real_user_table
+                    )
+                    user_verdicts = detector.classify_table(
+                        user_table, workers=workers, executor=executor
+                    )
+                else:
+                    user_verdicts = detector.classify_store(
+                        real_user_store, engine=engine, workers=workers, executor=executor
+                    )
+            _VERDICTS.inc(len(user_verdicts), subset="real_users")
             result.real_user_tnr = true_negative_rate(real_user_store, user_verdicts)
 
         if check_generalization:
-            result.generalization = evaluate_generalization(
-                bot_store,
-                seed=generalization_seed,
-                detector_factory=self._build_detector,
-                engine=engine,
-                workers=workers,
-                executor=executor,
-                table=table,
-            )
+            with tracer.span("pipeline.generalization"):
+                result.generalization = evaluate_generalization(
+                    bot_store,
+                    seed=generalization_seed,
+                    detector_factory=self._build_detector,
+                    engine=engine,
+                    workers=workers,
+                    executor=executor,
+                    table=table,
+                )
         return result

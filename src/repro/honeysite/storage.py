@@ -47,6 +47,7 @@ from typing import (
 
 import numpy as np
 
+from repro import obs
 from repro.antibot.base import Decision
 from repro.fingerprint.attributes import Attribute
 from repro.fingerprint.fingerprint import Fingerprint
@@ -1717,8 +1718,15 @@ class RequestStore:
         return cls(records)
 
 
-#: Process-wide total of record objects built out of lazy stores.
-_MATERIALIZED_RECORDS = 0
+#: Process-wide total of record objects built out of lazy stores.  The
+#: registry counter is the single source of truth (always on, so the
+#: materialisation contract stays checkable in untraced runs);
+#: :func:`materialized_record_count` remains the back-compat read.
+_MATERIALIZED_RECORDS = obs.counter(
+    "repro_records_materialized_total",
+    "Record objects materialised out of lazy columnar stores.",
+    always=True,
+)
 
 
 def materialized_record_count() -> int:
@@ -1727,10 +1735,12 @@ def materialized_record_count() -> int:
 
     Fully columnar consumers (the figure/table ports, ``repro report``)
     snapshot this before and after a run and assert a delta of zero —
-    the observable form of the "no record objects" contract.
+    the observable form of the "no record objects" contract.  Reads the
+    ``repro_records_materialized_total`` counter of the
+    :mod:`repro.obs` registry.
     """
 
-    return _MATERIALIZED_RECORDS
+    return int(_MATERIALIZED_RECORDS.value())
 
 
 class LazyRequestStore(RequestStore):
@@ -1824,8 +1834,7 @@ class LazyRequestStore(RequestStore):
                 },
             )
             append(record)
-        global _MATERIALIZED_RECORDS
-        _MATERIALIZED_RECORDS += len(records)
+        _MATERIALIZED_RECORDS.inc(len(records))
         return records
 
     # -- immutability ----------------------------------------------------------

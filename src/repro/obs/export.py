@@ -1,0 +1,139 @@
+"""Exporters: JSON snapshot, Prometheus text exposition, Chrome trace.
+
+Three consumers, three formats, one registry/tracer:
+
+- :func:`metrics_snapshot` — the JSON-able mapping attached to every
+  ``--json`` document under the ``"telemetry"`` key.
+- :func:`prometheus_text` — text exposition (``# HELP``/``# TYPE`` plus
+  sample lines) for ``--metrics-out metrics.prom``; histograms expand
+  to cumulative ``_bucket{le=...}`` / ``_sum`` / ``_count``.
+- :func:`chrome_trace` — a ``{"traceEvents": [...]}`` document of
+  complete (``"ph": "X"``) events for ``--trace trace.json``, loadable
+  in ``chrome://tracing`` or Perfetto.  Timestamps are rebased to the
+  earliest span so the timeline starts at zero.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, registry
+from repro.obs.trace import Tracer, tracer
+
+
+def metrics_snapshot(reg: Optional[MetricsRegistry] = None) -> Dict:
+    """Every non-empty metric series as one JSON-able mapping."""
+
+    return (reg or registry()).snapshot()
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_labels(labels: Dict[str, str], extra: Optional[Dict[str, str]] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in sorted(merged.items())
+    )
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_le(bound: float) -> str:
+    if bound == int(bound):
+        return f"{bound:.1f}"
+    return repr(float(bound))
+
+
+def prometheus_text(reg: Optional[MetricsRegistry] = None) -> str:
+    """The registry in Prometheus text-exposition format (version 0.0.4)."""
+
+    lines: List[str] = []
+    for metric in (reg or registry()).metrics():
+        series = metric.series()
+        if not series:
+            continue
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, (Counter, Gauge)):
+            for entry in series:
+                labels = _format_labels(entry["labels"])
+                lines.append(f"{metric.name}{labels} {_format_value(entry['value'])}")
+        elif isinstance(metric, Histogram):
+            for entry in series:
+                cumulative = 0
+                for bound, count in zip(metric.buckets, entry["counts"]):
+                    cumulative += count
+                    labels = _format_labels(entry["labels"], {"le": _format_le(bound)})
+                    lines.append(f"{metric.name}_bucket{labels} {cumulative}")
+                cumulative += entry["counts"][-1]
+                labels = _format_labels(entry["labels"], {"le": "+Inf"})
+                lines.append(f"{metric.name}_bucket{labels} {cumulative}")
+                base = _format_labels(entry["labels"])
+                lines.append(f"{metric.name}_sum{base} {repr(float(entry['sum']))}")
+                lines.append(f"{metric.name}_count{base} {_format_value(entry['count'])}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def chrome_trace(trc: Optional[Tracer] = None) -> Dict:
+    """The tracer's spans as a Chrome trace-event JSON document."""
+
+    records = sorted((trc or tracer()).records(), key=lambda r: (r.ts, -r.duration))
+    events: List[Dict] = []
+    seen_pids: Dict[int, bool] = {}
+    epoch = records[0].ts if records else 0.0
+    own_pid = None
+    if records:
+        import os
+
+        own_pid = os.getpid()
+    for record in records:
+        if record.pid not in seen_pids:
+            seen_pids[record.pid] = True
+            label = "repro" if record.pid == own_pid else f"shard-worker {record.pid}"
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": record.pid,
+                    "tid": 0,
+                    "args": {"name": label},
+                }
+            )
+        events.append(
+            {
+                "ph": "X",
+                "name": record.name,
+                "cat": record.name.split(".", 1)[0],
+                "ts": (record.ts - epoch) * 1e6,
+                "dur": record.duration * 1e6,
+                "pid": record.pid,
+                "tid": record.tid,
+                "args": dict(record.attrs),
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_prometheus(path: str, reg: Optional[MetricsRegistry] = None) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(prometheus_text(reg))
+
+
+def write_chrome_trace(path: str, trc: Optional[Tracer] = None) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(trc), handle)
+        handle.write("\n")

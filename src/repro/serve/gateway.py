@@ -32,13 +32,14 @@ from __future__ import annotations
 
 import logging
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro import faults
+from repro import faults, obs
 from repro.core.columnar import ColumnarTable
 from repro.core.detector import FPInconsistent, InconsistencyVerdict
 from repro.core.rules import FilterList
@@ -70,6 +71,44 @@ CLOSE_JOIN_TIMEOUT = 5.0
 REFRESH_BACKOFF_BASE_BATCHES = 1
 REFRESH_BACKOFF_CAP_BATCHES = 64
 
+#: Registry mirrors of :class:`GatewayHealth`.  The incident counters are
+#: always on — health stays answerable in untraced runs, and the registry
+#: is the cumulative source of truth across every gateway in the process
+#: (the per-gateway ``health`` object keeps the detail: which rows were
+#: dead-lettered, the last error).  Restoring a checkpoint does *not*
+#: re-count: only live record_* events increment.
+_WORKER_FAILURES = obs.counter(
+    "repro_serve_worker_failures_total",
+    "Supervised scoring failures, by gateway worker.",
+    always=True,
+)
+_WORKER_REBUILDS = obs.counter(
+    "repro_serve_worker_rebuilds_total",
+    "Gateway workers rebuilt after a failure.",
+    always=True,
+)
+_DEAD_LETTERS = obs.counter(
+    "repro_serve_dead_letters_total",
+    "Row groups dead-lettered after exhausting the attempt budget.",
+    always=True,
+)
+_REFRESH_FAILURES = obs.counter(
+    "repro_serve_refresh_failures_total",
+    "Failed filter-list re-mines (background or sync).",
+    always=True,
+)
+_MIGRATIONS = obs.counter(
+    "repro_serve_migrations_total", "Device keys migrated between workers."
+)
+_REFRESH_DEPLOYS = obs.counter(
+    "repro_serve_refresh_deploys_total",
+    "Refreshed filter lists deployed across gateway workers.",
+)
+_WORKER_SCORE_SECONDS = obs.histogram(
+    "repro_serve_worker_score_seconds",
+    "Per-batch scoring wall-clock, by gateway worker.",
+)
+
 
 @dataclass
 class GatewayHealth:
@@ -96,13 +135,20 @@ class GatewayHealth:
     def record_worker_failure(self, worker: int, exc: BaseException) -> None:
         self.worker_failures[worker] = self.worker_failures.get(worker, 0) + 1
         self.last_error = f"worker {worker}: {exc}"
+        _WORKER_FAILURES.inc(worker=worker)
+
+    def record_worker_rebuild(self) -> None:
+        self.worker_rebuilds += 1
+        _WORKER_REBUILDS.inc()
 
     def record_dead_letter(self, *, batch: int, worker: int, rows: List[int]) -> None:
         self.dead_letters.append({"batch": batch, "worker": worker, "rows": rows})
+        _DEAD_LETTERS.inc()
 
     def record_refresh_failure(self, exc: BaseException) -> None:
         self.refresh_failures += 1
         self.last_error = f"refresh: {exc}"
+        _REFRESH_FAILURES.inc()
 
     def to_dict(self) -> Dict:
         """JSON-ready summary (the serve CLI embeds it)."""
@@ -243,6 +289,9 @@ class DetectionGateway:
     # -- the scoring path ------------------------------------------------------
 
     def _score(self, batch: ColumnarTable) -> Dict[int, InconsistencyVerdict]:
+        telemetry_on = obs.telemetry_enabled()
+        score_wall = time.time() if telemetry_on else 0.0
+        score_started = time.perf_counter() if telemetry_on else 0.0
         # A background-mined list deploys at the earliest batch boundary
         # after mining completes; every row of a batch sees one list.
         self._apply_ready_refresh(block=False)
@@ -251,6 +300,8 @@ class DetectionGateway:
         for migration in migrations:
             self._migrate(migration)
         self.migrations += len(migrations)
+        if migrations:
+            _MIGRATIONS.inc(len(migrations))
 
         busy = [worker for worker, rows in enumerate(assignments) if rows.size]
         groups = {worker: batch.take(assignments[worker]) for worker in busy}
@@ -311,6 +362,15 @@ class DetectionGateway:
                 self._inflight = self._refresh_pool.submit(
                     self._mine_guarded, window, self._refresh_key()
                 )
+        if telemetry_on:
+            obs.tracer().record(
+                "serve.score",
+                ts=score_wall,
+                duration=time.perf_counter() - score_started,
+                batch=self.batches - 1,
+                rows=batch.n_rows,
+                workers=len(busy),
+            )
         return verdicts
 
     # -- supervision -----------------------------------------------------------
@@ -333,7 +393,12 @@ class DetectionGateway:
             classifier = self._classifiers[worker]
             try:
                 faults.check("worker_classify", f"b{self.batches}:w{worker}:a{attempt}")
-                return classifier.classify_batch(rows_table)
+                scored_at = time.perf_counter()
+                partial = classifier.classify_batch(rows_table)
+                _WORKER_SCORE_SECONDS.observe(
+                    time.perf_counter() - scored_at, worker=worker
+                )
+                return partial
             except Exception as exc:
                 with self._health_lock:
                     self.health.record_worker_failure(worker, exc)
@@ -372,7 +437,7 @@ class DetectionGateway:
             swaps=failed.swaps,
         )
         with self._health_lock:
-            self.health.worker_rebuilds += 1
+            self.health.record_worker_rebuild()
 
     def _migrate(self, migration: KeyMigration) -> None:
         """Move one device key's temporal seen-state between workers.
@@ -451,6 +516,7 @@ class DetectionGateway:
         if stream_day is not None:
             entry["stream_day"] = stream_day
         self.refreshes.append(entry)
+        _REFRESH_DEPLOYS.inc()
 
     # -- checkpointing ---------------------------------------------------------
 

@@ -20,6 +20,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.core.detector import InconsistencyVerdict
 from repro.honeysite.storage import RequestStore
 from repro.serve.gateway import DetectionGateway
@@ -27,6 +28,11 @@ from repro.stream.checkpoint import CheckpointError, StreamCheckpointer
 from repro.stream.replay import DEFAULT_BATCH_SIZE, ArrivalStream, ReplayResult
 
 logger = logging.getLogger("repro.serve")
+
+#: The same per-batch latency histogram the single-stream driver fills
+#: (interned by name): gateway batches are the same unit of work, so one
+#: series answers "batch latency" for both front-ends.
+_BATCH_SECONDS = obs.histogram("repro_stream_batch_seconds")
 
 
 @dataclass
@@ -111,7 +117,9 @@ class GatewayReplayDriver:
                 break
             batch_started = time.perf_counter()
             verdicts.update(arrivals.submit(self._gateway, start, self.batch_size))
-            batch_seconds.append(time.perf_counter() - batch_started)
+            elapsed = time.perf_counter() - batch_started
+            batch_seconds.append(elapsed)
+            _BATCH_SECONDS.observe(elapsed, stage="total")
             scored_this_run += 1
             if (
                 checkpointer is not None

@@ -20,9 +20,18 @@ from __future__ import annotations
 
 from typing import Dict
 
+from repro import obs
 from repro.core.columnar import ColumnarTable
 from repro.core.detector import FPInconsistent, InconsistencyVerdict
 from repro.core.rules import FilterList
+
+_ROWS_SCORED = obs.counter(
+    "repro_stream_rows_scored_total", "Rows scored by online classifiers."
+)
+_SWAPS = obs.counter(
+    "repro_stream_refresh_swaps_total",
+    "Filter-list hot-swaps deployed into online classifiers.",
+)
 
 
 class OnlineClassifier:
@@ -74,6 +83,7 @@ class OnlineClassifier:
             batch, workers=1, temporal_state=self._state
         )
         self._rows_scored += batch.n_rows
+        _ROWS_SCORED.inc(batch.n_rows)
         return verdicts
 
     def swap_filter_list(self, filter_list: FilterList) -> None:
@@ -86,6 +96,7 @@ class OnlineClassifier:
 
         self._detector.filter_list = filter_list
         self._swaps += 1
+        _SWAPS.inc()
 
     def restore(
         self,

@@ -34,10 +34,22 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.columnar import ColumnarTable, default_table_attributes
 from repro.fingerprint.attributes import Attribute
 from repro.fingerprint.fingerprint import Fingerprint, grouping_value
 from repro.honeysite.storage import RecordColumns, RecordedRequest
+
+_ROWS_INGESTED = obs.counter(
+    "repro_stream_rows_ingested_total", "Rows encoded into micro-batches."
+)
+_BATCHES_EMITTED = obs.counter(
+    "repro_stream_batches_total", "Micro-batches emitted by stream ingestors."
+)
+_VOCABULARY_VALUES = obs.gauge(
+    "repro_stream_vocabulary_values",
+    "Total decode-list entries across attributes (grows monotonically).",
+)
 
 
 class StreamIngestor:
@@ -217,6 +229,13 @@ class StreamIngestor:
         )
         self._rows_ingested += n_rows
         self._batches_emitted += 1
+        _ROWS_INGESTED.inc(n_rows)
+        _BATCHES_EMITTED.inc()
+        # Decode lists only grow, so summing lengths here keeps the gauge
+        # exact without a per-row cost.
+        _VOCABULARY_VALUES.set(
+            sum(len(values) for values in self._values.values())
+        )
         return table
 
     # -- ingestion -------------------------------------------------------------

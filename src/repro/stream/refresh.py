@@ -42,10 +42,18 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.core.columnar import ColumnarTable
 from repro.core.rules import FilterList
 from repro.core.spatial import SpatialInconsistencyMiner
 from repro.honeysite.storage import SECONDS_PER_DAY
+
+_WINDOW_ROWS = obs.gauge(
+    "repro_stream_window_rows", "Rows currently retained in the refresh window."
+)
+_REFRESH_MINES = obs.counter(
+    "repro_stream_refresh_mines_total", "Filter-list re-mines over the window."
+)
 
 
 class FilterListRefresher:
@@ -195,6 +203,7 @@ class FilterListRefresher:
                 self._rows_in_window -= overflow
                 overflow = 0
         self._batches_seen += 1
+        _WINDOW_ROWS.set(self._rows_in_window)
 
     def window_table(self) -> ColumnarTable:
         """The current window as one mineable columnar table.
@@ -244,9 +253,14 @@ class FilterListRefresher:
         mining elsewhere (the serving gateway's background refresh worker).
         """
 
-        return self._miner.mine_table(
-            table, workers=self._workers, executor=self._executor
-        )
+        with obs.tracer().span(
+            "stream.refresh_mine", rows=table.n_rows, workers=self._workers
+        ):
+            filter_list = self._miner.mine_table(
+                table, workers=self._workers, executor=self._executor
+            )
+        _REFRESH_MINES.inc()
+        return filter_list
 
     def refresh(self) -> FilterList:
         """Mine a fresh filter list over the current window."""

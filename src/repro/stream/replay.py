@@ -27,6 +27,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.core.columnar import ColumnarTable
 from repro.core.detector import FPInconsistent, InconsistencyVerdict
 from repro.honeysite.storage import LazyRequestStore, RequestStore
@@ -39,6 +40,14 @@ logger = logging.getLogger("repro.stream")
 
 #: Default micro-batch size of the replay driver and the CLI.
 DEFAULT_BATCH_SIZE = 1024
+
+#: Per-batch wall-clock by stage (``ingest``/``classify``/``refresh``)
+#: plus the end-to-end ``total``.  Shared with the serving gateway's
+#: replay driver, whose batches run the same stages.
+_BATCH_SECONDS = obs.histogram(
+    "repro_stream_batch_seconds",
+    "Per-batch latency in seconds, by stage (ingest, classify, refresh, total).",
+)
 
 
 class ArrivalStream:
@@ -124,6 +133,18 @@ class ReplayResult:
         ordered = sorted(self.batch_seconds)
         rank = min(len(ordered) - 1, max(0, int(np.ceil(quantile * len(ordered))) - 1))
         return ordered[rank]
+
+    def latency_quantiles_ms(self) -> Dict[str, float]:
+        """The reported batch-latency quantiles (p50/p95/p99), in ms.
+
+        One definition shared by the CLI summaries (human-readable and
+        ``--json``) and the scaling benches.
+        """
+
+        return {
+            f"p{int(quantile * 100)}_batch_ms": self.latency_quantile(quantile) * 1000
+            for quantile in (0.5, 0.95, 0.99)
+        }
 
     def counts(self) -> Dict[str, int]:
         """Verdict tallies: spatial / temporal / combined inconsistency."""
@@ -222,20 +243,44 @@ class ReplayDriver:
                 resumed_from = batches_done
 
         scored_this_run = 0
+        # One switch read per replay keeps the disabled path at exactly
+        # the pre-telemetry cost; the enabled path adds two clock reads
+        # and three histogram observes per batch (bench-gated ≤ 2%).
+        telemetry_on = obs.telemetry_enabled()
+        tracer = obs.tracer()
         started = time.perf_counter()
         for start in range(start_row, total, self.batch_size):
             if max_batches is not None and scored_this_run >= max_batches:
                 break
+            batch_wall = time.time() if telemetry_on else 0.0
             batch_started = time.perf_counter()
             batch = arrivals.ingest(ingestor, start, self.batch_size)
+            ingested = time.perf_counter()
             verdicts.update(classifier.classify_batch(batch))
-            batch_seconds.append(time.perf_counter() - batch_started)
+            elapsed = time.perf_counter() - batch_started
+            batch_seconds.append(elapsed)
             index = batches_done
             batches_done += 1
             scored_this_run += 1
+            if telemetry_on:
+                _BATCH_SECONDS.observe(ingested - batch_started, stage="ingest")
+                _BATCH_SECONDS.observe(elapsed - (ingested - batch_started), stage="classify")
+                _BATCH_SECONDS.observe(elapsed, stage="total")
+                tracer.record(
+                    "stream.batch",
+                    ts=batch_wall,
+                    duration=elapsed,
+                    index=index,
+                    rows=batch.n_rows,
+                )
             if self._refresher is not None:
+                refresh_started = time.perf_counter() if telemetry_on else 0.0
                 self._refresher.observe_batch(batch)
                 refreshed = self._refresher.maybe_refresh()
+                if telemetry_on:
+                    _BATCH_SECONDS.observe(
+                        time.perf_counter() - refresh_started, stage="refresh"
+                    )
                 if refreshed is not None:
                     classifier.swap_filter_list(refreshed)
                     refreshes.append({"batch": index, "rules": len(refreshed)})

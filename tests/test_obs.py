@@ -1,0 +1,403 @@
+"""Tests for the unified telemetry layer (:mod:`repro.obs`).
+
+Covers the registry and histogram semantics, span nesting, the shard-span
+merge across both executor kinds, exporter formats, the CLI exporter
+flags, the back-compat accessors that now read through the registry, and
+the load-bearing invariant of the whole layer: enabling telemetry never
+changes a single output byte.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.analysis.engine import CorpusEngine
+from repro.cli import main as cli_main
+from repro.core.detector import FPInconsistent
+from repro.honeysite.storage import materialized_record_count
+from repro.serve.gateway import GatewayHealth
+from repro.stream import ReplayDriver, verdicts_digest
+
+TINY = dict(
+    seed=29,
+    scale=0.004,
+    include_real_users=True,
+    real_user_requests=120,
+)
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_isolation():
+    """Restore the telemetry switch and drain the tracer after each test.
+
+    Always-on counters are left alone — they are cumulative by design
+    and every consumer reads deltas — but the enabled/disabled state and
+    the span buffer must not leak between tests (or into the rest of the
+    suite, which assumes untraced runs).
+    """
+
+    before = os.environ.get(obs.TELEMETRY_ENV_VAR)
+    yield
+    obs.set_telemetry(None)
+    if before is None:
+        os.environ.pop(obs.TELEMETRY_ENV_VAR, None)
+    else:
+        os.environ[obs.TELEMETRY_ENV_VAR] = before
+    obs.tracer().reset()
+
+
+# -- registry semantics -------------------------------------------------------
+
+
+def test_counter_labels_totals_and_monotonicity():
+    obs.set_telemetry(True)
+    c = obs.counter("test_obs_counter_total", "help text")
+    c.reset()
+    c.inc()
+    c.inc(2, status="hit")
+    c.inc(3, status="miss")
+    c.inc(status="hit")
+    assert c.value() == 1
+    assert c.value(status="hit") == 3
+    assert c.value(status="miss") == 3
+    assert c.total() == 7
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gated_counter_is_a_noop_when_disabled():
+    obs.set_telemetry(False)
+    c = obs.counter("test_obs_gated_total")
+    c.reset()
+    c.inc(5)
+    assert c.value() == 0
+    obs.set_telemetry(True)
+    c.inc(5)
+    assert c.value() == 5
+
+
+def test_always_counter_records_while_disabled():
+    obs.set_telemetry(False)
+    c = obs.counter("test_obs_always_total", always=True)
+    c.reset()
+    c.inc(2)
+    assert c.value() == 2
+
+
+def test_gauge_set_add_last_write_wins():
+    obs.set_telemetry(True)
+    g = obs.gauge("test_obs_gauge")
+    g.reset()
+    g.set(10)
+    g.set(4)
+    g.add(1.5)
+    assert g.value() == 5.5
+
+
+def test_histogram_buckets_sum_count_and_inf_slot():
+    obs.set_telemetry(True)
+    h = obs.histogram("test_obs_seconds", buckets=(0.1, 1.0))
+    h.reset()
+    for value in (0.05, 0.5, 0.5, 2.0):
+        h.observe(value, stage="total")
+    snap = h.snapshot(stage="total")
+    # Non-cumulative internal counts: [<=0.1, <=1.0, +Inf].
+    assert snap["counts"] == [1, 2, 1]
+    assert snap["count"] == 4
+    assert snap["sum"] == pytest.approx(3.05)
+    # A boundary value lands in the bucket whose bound it equals.
+    h.observe(0.1, stage="total")
+    assert h.snapshot(stage="total")["counts"][0] == 2
+
+
+def test_registry_interns_by_name_and_rejects_type_mismatch():
+    first = obs.counter("test_obs_interned_total", "first help")
+    second = obs.counter("test_obs_interned_total", "ignored rebinding help")
+    assert first is second
+    assert second.help == "first help"
+    with pytest.raises(ValueError):
+        obs.gauge("test_obs_interned_total")
+    # Re-registration with always=True upgrades the existing instrument.
+    assert not first.always
+    obs.counter("test_obs_interned_total", always=True)
+    assert first.always
+
+
+def test_registry_snapshot_reset_and_metric_value():
+    obs.set_telemetry(True)
+    c = obs.counter("test_obs_snapshot_total", "snapshot help")
+    c.reset()
+    c.inc(4, kind="a")
+    snapshot = obs.registry().snapshot()
+    entry = snapshot["test_obs_snapshot_total"]
+    assert entry["type"] == "counter"
+    assert entry["series"] == [{"labels": {"kind": "a"}, "value": 4.0}]
+    assert obs.metric_value("test_obs_snapshot_total", kind="a") == 4
+    assert obs.metric_value("test_obs_never_registered") == 0.0
+    c.reset()
+    assert c.series() == []
+    # Empty series are dropped from snapshots entirely.
+    assert "test_obs_snapshot_total" not in obs.registry().snapshot()
+
+
+# -- spans --------------------------------------------------------------------
+
+
+def test_span_nesting_depth_and_parent():
+    obs.set_telemetry(True)
+    trc = obs.tracer()
+    trc.reset()
+    with trc.span("outer.work", rows=3):
+        with trc.span("inner.step") as inner:
+            inner.set(result="ok")
+    records = {record.name: record for record in trc.records()}
+    assert records["outer.work"].depth == 0
+    assert records["outer.work"].parent is None
+    assert records["outer.work"].attrs == {"rows": 3}
+    assert records["inner.step"].depth == 1
+    assert records["inner.step"].parent == "outer.work"
+    assert records["inner.step"].attrs == {"result": "ok"}
+    assert records["inner.step"].duration <= records["outer.work"].duration
+
+
+def test_span_measures_duration_even_while_disabled():
+    obs.set_telemetry(False)
+    trc = obs.tracer()
+    trc.reset()
+    with trc.span("quiet.work") as span:
+        pass
+    assert span.duration >= 0.0
+    assert trc.records() == []
+    trc.record("quiet.loop", ts=1.0, duration=0.5)
+    assert trc.records() == []
+
+
+def test_span_records_error_attribute_on_exception():
+    obs.set_telemetry(True)
+    trc = obs.tracer()
+    trc.reset()
+    with pytest.raises(RuntimeError):
+        with trc.span("failing.work"):
+            raise RuntimeError("boom")
+    (record,) = trc.records()
+    assert record.attrs["error"] == "RuntimeError"
+
+
+def test_tracer_adopt_merges_foreign_records():
+    obs.set_telemetry(True)
+    trc = obs.tracer()
+    trc.reset()
+    foreign = obs.SpanRecord(
+        name="corpus.shard", ts=12.0, duration=0.25, pid=99999, tid=1
+    )
+    trc.adopt([foreign])
+    assert trc.records() == [foreign]
+
+
+# -- exporters ----------------------------------------------------------------
+
+
+def test_prometheus_text_format():
+    obs.set_telemetry(True)
+    c = obs.counter("test_obs_prom_total", "a counter")
+    c.reset()
+    c.inc(3, status='he said "hi"\n')
+    h = obs.histogram("test_obs_prom_seconds", "a histogram", buckets=(0.1, 1.0))
+    h.reset()
+    for value in (0.05, 0.5, 2.0):
+        h.observe(value)
+    text = obs.prometheus_text()
+    assert "# HELP test_obs_prom_total a counter" in text
+    assert "# TYPE test_obs_prom_total counter" in text
+    assert 'test_obs_prom_total{status="he said \\"hi\\"\\n"} 3' in text
+    # Cumulative buckets with the implicit +Inf, plus _sum and _count.
+    assert 'test_obs_prom_seconds_bucket{le="0.1"} 1' in text
+    assert 'test_obs_prom_seconds_bucket{le="1.0"} 2' in text
+    assert 'test_obs_prom_seconds_bucket{le="+Inf"} 3' in text
+    assert "test_obs_prom_seconds_count 3" in text
+    assert "test_obs_prom_seconds_sum 2.55" in text
+
+
+def test_chrome_trace_format():
+    obs.set_telemetry(True)
+    trc = obs.tracer()
+    trc.reset()
+    with trc.span("corpus.generate", shards=2):
+        pass
+    trc.adopt(
+        [obs.SpanRecord(name="corpus.shard", ts=0.0, duration=0.5, pid=424242, tid=7)]
+    )
+    document = obs.chrome_trace()
+    assert document["displayTimeUnit"] == "ms"
+    events = document["traceEvents"]
+    metas = [e for e in events if e["ph"] == "M"]
+    spans = [e for e in events if e["ph"] == "X"]
+    assert {meta["args"]["name"] for meta in metas} == {
+        "repro",
+        "shard-worker 424242",
+    }
+    by_name = {span["name"]: span for span in spans}
+    assert by_name["corpus.generate"]["cat"] == "corpus"
+    assert by_name["corpus.generate"]["args"] == {"shards": 2}
+    # Timestamps are rebased to the earliest span, in microseconds.
+    assert min(span["ts"] for span in spans) == 0.0
+    assert by_name["corpus.shard"]["dur"] == pytest.approx(0.5e6)
+    json.dumps(document)  # must be JSON-clean
+
+
+# -- shard span merge across executors ---------------------------------------
+
+
+@pytest.mark.parametrize("executor", ["thread", "process"])
+def test_shard_spans_merge_back_from_workers(executor):
+    # enable_telemetry() (not set_telemetry) so process workers inherit
+    # the switch through the environment, as the CLI does.
+    obs.enable_telemetry()
+    trc = obs.tracer()
+    trc.reset()
+    engine = CorpusEngine(**TINY, min_records_per_worker=500)
+    engine.build(workers=2, executor=executor)
+    assert engine.last_plan["effective_workers"] == 2
+    records = trc.records()
+    shard_spans = [r for r in records if r.name == "corpus.shard"]
+    assert len(shard_spans) == engine.last_plan["shards"]
+    assert {r.attrs["source"] for r in shard_spans} >= {"real_users"}
+    if executor == "process":
+        assert {r.pid for r in shard_spans} - {os.getpid()}, (
+            "process-pool shard spans must carry the worker pids"
+        )
+    else:
+        assert {r.pid for r in shard_spans} == {os.getpid()}
+    names = {r.name for r in records}
+    assert {"corpus.generate", "corpus.merge"} <= names
+
+
+# -- byte identity ------------------------------------------------------------
+
+
+def _store_bytes(corpus) -> bytes:
+    return "\n".join(
+        json.dumps(record.to_dict(), sort_keys=True) for record in corpus.store
+    ).encode()
+
+
+def test_corpus_build_is_byte_identical_with_telemetry_on():
+    engine = CorpusEngine(**TINY)
+    baseline = engine.build(workers=2, executor="thread")
+    obs.set_telemetry(True)
+    traced = engine.build(workers=2, executor="thread")
+    assert _store_bytes(baseline) == _store_bytes(traced)
+
+
+def test_stream_replay_is_byte_identical_with_telemetry_on(small_corpus):
+    bot_store = small_corpus.bot_store
+    detector = FPInconsistent()
+    table, _source = detector.resolve_table(
+        bot_store, small_corpus.columnar_tables.get("bots")
+    )
+    detector.fit_table(table)
+
+    obs.set_telemetry(False)
+    baseline = ReplayDriver(detector, batch_size=512).replay(bot_store)
+    obs.set_telemetry(True)
+    traced = ReplayDriver(detector, batch_size=512).replay(bot_store)
+    assert verdicts_digest(baseline.verdicts) == verdicts_digest(traced.verdicts)
+    # ...and the telemetry side actually recorded the replay.
+    hist = obs.registry().get("repro_stream_batch_seconds")
+    assert hist.snapshot(stage="total")["count"] >= traced.batches
+    assert any(r.name == "stream.batch" for r in obs.tracer().records())
+
+
+# -- back-compat accessors ----------------------------------------------------
+
+
+def test_materialized_record_count_reads_the_registry():
+    engine = CorpusEngine(seed=31, scale=0.002, include_real_users=False)
+    corpus = engine.build(workers=1)
+    before = materialized_record_count()
+    corpus.store.records  # force materialisation of the lazy store
+    delta = materialized_record_count() - before
+    assert delta == len(corpus.store)
+    assert delta == obs.metric_value("repro_records_materialized_total") - before
+
+
+def test_gateway_health_writes_through_to_registry():
+    health = GatewayHealth()
+    failures = obs.registry().get("repro_serve_worker_failures_total")
+    rebuilds = obs.registry().get("repro_serve_worker_rebuilds_total")
+    dead = obs.registry().get("repro_serve_dead_letters_total")
+    before = (
+        failures.total(),
+        rebuilds.value(),
+        dead.value(),
+    )
+    health.record_worker_failure(1, RuntimeError("boom"))
+    health.record_worker_rebuild()
+    health.record_dead_letter(batch=3, worker=1, rows=[7, 8])
+    assert failures.total() == before[0] + 1
+    assert rebuilds.value() == before[1] + 1
+    assert dead.value() == before[2] + 1
+    # Restoring a checkpointed health report must not re-count.
+    restored = GatewayHealth.from_dict(health.to_dict())
+    assert restored.to_dict() == health.to_dict()
+    assert failures.total() == before[0] + 1
+    assert rebuilds.value() == before[1] + 1
+
+
+def test_shard_fault_stats_mirror_into_registry():
+    runs = obs.registry().get("repro_shard_runs_total")
+    obs.set_telemetry(True)
+    before = runs.value(pool="corpus")
+    engine = CorpusEngine(seed=31, scale=0.002, include_real_users=False)
+    engine.build(workers=1)
+    assert runs.value(pool="corpus") > before
+
+
+# -- CLI exporter flags -------------------------------------------------------
+
+
+def test_cli_stream_trace_and_metrics_exporters(capsys, tmp_path):
+    trace_path = tmp_path / "trace.json"
+    metrics_path = tmp_path / "metrics.prom"
+    json_path = tmp_path / "stream.json"
+    argv = [
+        "stream",
+        "--seed", "5",
+        "--scale", "0.002",
+        "--no-real-users",
+        "--no-cache",
+        "--batch-size", "256",
+    ]
+    code = cli_main(argv + ["--json", str(tmp_path / "plain.json")])
+    assert code == 0
+    code = cli_main(
+        argv
+        + [
+            "--json", str(json_path),
+            "--trace", str(trace_path),
+            "--metrics-out", str(metrics_path),
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "batch latency p50=" in captured.err
+
+    trace = json.loads(trace_path.read_text())
+    names = {e["name"] for e in trace["traceEvents"] if e["ph"] == "X"}
+    assert {"corpus.shard", "stream.mine_filter_list", "stream.batch"} <= names
+
+    prom = metrics_path.read_text()
+    assert "# TYPE repro_stream_batch_seconds histogram" in prom
+    assert 'repro_stream_batch_seconds_bucket{le="+Inf",stage="total"}' in prom
+
+    document = json.loads(json_path.read_text())
+    assert "p95_batch_ms" in document
+    assert "repro_stream_batch_seconds" in document["telemetry"]
+    # Tracing must not change a single verdict byte.
+    plain = json.loads((tmp_path / "plain.json").read_text())
+    assert "telemetry" not in plain
+    assert document["verdicts_digest"] == plain["verdicts_digest"]
